@@ -1,0 +1,210 @@
+//! **Ablations** — the design choices DESIGN.md §7 calls out.
+//!
+//! * A1: switching strategy (store-and-forward vs cut-through/wormhole)
+//!   as a function of message size and distance.
+//! * A2: packet size — the router's packetisation trade-off.
+//! * A3: cache replacement policy (LRU vs FIFO vs random).
+//! * A4: coherence protocol (MESI vs MSI) under read-write sharing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mermaid::prelude::*;
+use mermaid_memory::{Access, CoherenceProtocol, MemSystemConfig, MemorySystem, Replacement};
+use mermaid_network::{NetworkConfig, Switching};
+use mermaid_stats::table::Align;
+use mermaid_stats::Table;
+use pearl::Time;
+
+/// A1: one message across a ring, varying size and switching.
+fn print_a1() {
+    let mut t = Table::new(["message", "hops", "SAF latency", "VCT latency", "VCT gain"])
+        .with_aligns(vec![Align::Right; 5])
+        .with_title("A1: switching strategy vs message size (t805-class links, ring(16))");
+    for (bytes, dst) in [(256u32, 8u32), (4096, 8), (65536, 8), (4096, 1), (4096, 4)] {
+        let lat = |sw: Switching| {
+            let mut net = NetworkConfig::t805(Topology::Ring(16));
+            net.router.switching = sw;
+            let mut ts = TraceSet::new(16);
+            ts.trace_mut(0).push(Operation::ASend { bytes, dst });
+            ts.trace_mut(dst).push(Operation::Recv { src: 0 });
+            let r = TaskLevelSim::new(net).run(&ts);
+            pearl::Duration::from_ps(r.comm.msg_latency.max().unwrap())
+        };
+        let saf = lat(Switching::StoreAndForward);
+        let vct = lat(Switching::VirtualCutThrough);
+        t.row([
+            format!("{bytes} B"),
+            dst.to_string(),
+            format!("{saf}"),
+            format!("{vct}"),
+            format!("{:.2}×", saf.as_ps() as f64 / vct.as_ps() as f64),
+        ]);
+    }
+    eprintln!("\n=== A1 (expected: VCT gain grows with distance, shrinks to ~1 at 1 hop) ===");
+    eprintln!("{}", t.render());
+}
+
+/// A2: packet size under a bulk transfer.
+fn print_a2() {
+    let mut t = Table::new(["packet payload", "predicted", "packets forwarded"])
+        .with_aligns(vec![Align::Right; 3])
+        .with_title("A2: packetisation of a 256 KiB transfer over 4 hops (SAF)");
+    for payload in [128u32, 512, 2048, 8192, 65536] {
+        let mut net = NetworkConfig::t805(Topology::Ring(16));
+        net.router.max_packet_payload = payload;
+        let mut ts = TraceSet::new(16);
+        ts.trace_mut(0).push(Operation::ASend {
+            bytes: 256 * 1024,
+            dst: 4,
+        });
+        ts.trace_mut(4).push(Operation::Recv { src: 0 });
+        let r = TaskLevelSim::new(net).run(&ts);
+        let forwarded: u64 = r.comm.nodes.iter().map(|n| n.router.forwarded).sum();
+        t.row([
+            format!("{payload} B"),
+            format!("{}", r.predicted_time),
+            forwarded.to_string(),
+        ]);
+    }
+    eprintln!("=== A2 (expected: small packets pipeline hops but pay per-packet overhead) ===");
+    eprintln!("{}", t.render());
+}
+
+/// A3: replacement policy on a looping working set slightly over capacity.
+fn print_a3() {
+    let mut t = Table::new(["replacement", "l1d hit%", "finish"])
+        .with_aligns(vec![Align::Left, Align::Right, Align::Right])
+        .with_title("A3: replacement policy, cyclic working set ≈ 1.25× cache capacity");
+    for repl in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+        let mut cfg = MemSystemConfig::small(1);
+        cfg.l1d.replacement = repl;
+        let mut sys = MemorySystem::new(cfg);
+        let mut now = Time::ZERO;
+        // 5 KiB cyclic scan over a 4 KiB cache: LRU's pathological case.
+        for round in 0..20 {
+            for slot in 0..(5 * 1024 / 32) {
+                let r = sys.access(0, Access::Read, slot * 32, 4, now);
+                now += r.latency;
+                let _ = round;
+            }
+        }
+        let s = sys.stats();
+        t.row([
+            format!("{repl:?}"),
+            format!("{:.1}", 100.0 * s.l1d[0].hit_rate()),
+            format!("{now}"),
+        ]);
+    }
+    eprintln!("=== A3 (expected: random beats LRU/FIFO on cyclic over-capacity scans) ===");
+    eprintln!("{}", t.render());
+}
+
+/// A4: MESI's E state saves upgrade traffic on private read-then-write.
+fn print_a4() {
+    let mut t = Table::new(["protocol", "bus transactions", "finish"])
+        .with_aligns(vec![Align::Left, Align::Right, Align::Right])
+        .with_title("A4: coherence protocol, private read-then-write pattern (2 CPUs)");
+    for proto in [CoherenceProtocol::Mesi, CoherenceProtocol::Msi] {
+        let mut cfg = MemSystemConfig::small(2);
+        cfg.protocol = proto;
+        let mut sys = MemorySystem::new(cfg);
+        let mut now = Time::ZERO;
+        for i in 0..500u64 {
+            let cpu = (i % 2) as usize;
+            let addr = 0x10_0000 * (cpu as u64 + 1) + (i / 2) * 32;
+            let r = sys.access(cpu, Access::Read, addr, 4, now);
+            now += r.latency;
+            let w = sys.access(cpu, Access::Write, addr, 4, now);
+            now += w.latency;
+        }
+        let s = sys.stats();
+        t.row([
+            format!("{proto:?}"),
+            s.bus_transactions.to_string(),
+            format!("{now}"),
+        ]);
+    }
+    eprintln!("=== A4 (expected: MSI pays an upgrade transaction per private write) ===");
+    eprintln!("{}", t.render());
+}
+
+/// A5: adaptive vs deterministic routing under matrix-transpose traffic on
+/// a mesh — the classic adversarial pattern for dimension-order routing
+/// (X-first funnels the upper triangle's flows onto the same column links
+/// while their row links idle; adaptive minimal routing uses both).
+fn print_a5() {
+    use mermaid_network::config::Routing;
+    let mut t = Table::new(["routing", "predicted", "max link wait"])
+        .with_aligns(vec![Align::Left, Align::Right, Align::Right])
+        .with_title("A5: routing strategy, transpose traffic on mesh(4x4)");
+    let w = 4u32;
+    let topo = Topology::Mesh2D { w, h: w };
+    let mut ts = TraceSet::new((w * w) as usize);
+    for node in 0..w * w {
+        let (x, y) = (node % w, node / w);
+        let dst = x * w + y; // (x,y) → (y,x)
+        if dst != node {
+            ts.trace_mut(node).push(Operation::ASend {
+                bytes: 128 * 1024,
+                dst,
+            });
+            ts.trace_mut(node).push(Operation::Recv { src: dst });
+        }
+    }
+    for routing in [Routing::DimensionOrder, Routing::AdaptiveMinimal] {
+        let mut net = NetworkConfig::hw_routed(topo);
+        // Small packets give the adaptive router spreading opportunities
+        // (one decision per packet).
+        net.router.max_packet_payload = 1024;
+        net.router.routing = routing;
+        let r = TaskLevelSim::new(net).run(&ts);
+        let max_wait = r
+            .comm
+            .nodes
+            .iter()
+            .map(|n| n.router.link_wait)
+            .max()
+            .unwrap();
+        t.row([
+            format!("{routing:?}"),
+            format!("{}", r.predicted_time),
+            format!("{max_wait}"),
+        ]);
+    }
+    eprintln!("=== A5 (expected: adaptive spreads the hot links, finishing sooner) ===");
+    eprintln!("{}", t.render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_a1();
+    print_a2();
+    print_a3();
+    print_a4();
+    print_a5();
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for sw in [Switching::StoreAndForward, Switching::VirtualCutThrough] {
+        let name = format!("a1_bulk_{sw:?}");
+        g.bench_function(name, move |b| {
+            b.iter(|| {
+                let mut net = NetworkConfig::t805(Topology::Ring(16));
+                net.router.switching = sw;
+                let mut ts = TraceSet::new(16);
+                for node in 0..16u32 {
+                    ts.trace_mut(node).push(Operation::ASend {
+                        bytes: 16 * 1024,
+                        dst: (node + 4) % 16,
+                    });
+                    ts.trace_mut(node).push(Operation::Recv {
+                        src: (node + 12) % 16,
+                    });
+                }
+                TaskLevelSim::new(net).run(&ts)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

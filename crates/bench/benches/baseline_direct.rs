@@ -1,0 +1,81 @@
+//! **Experiment E4** — comparison against the direct-execution technique
+//! (paper Section 2 / Section 6).
+//!
+//! Direct-execution simulators (Tango, Proteus, WWT) "typically obtain a
+//! slowdown of between 2 and a few hundred" — much faster than Mermaid's
+//! detailed mode — but "the performance evaluation of instruction or
+//! private data caches can only be marginally performed" because local
+//! instructions are statically costed at compile time.
+//!
+//! Both halves are measured here on the same traces:
+//! 1. **Speed**: the direct baseline runs much faster than the hybrid mode
+//!    (it skips the cache/bus/DRAM model entirely).
+//! 2. **Blindness**: sweep the application's working set across the cache
+//!    size — the hybrid prediction responds, the baseline's cannot.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mermaid::prelude::*;
+use mermaid::DirectExecSim;
+use mermaid_bench::{e1_app, t805_16};
+use mermaid_stats::table::Align;
+use mermaid_stats::Table;
+
+fn print_e4_rows() {
+    // Blindness sweep: working set from cache-resident to cache-hostile.
+    let mut t = Table::new([
+        "working set",
+        "hybrid predicts",
+        "direct predicts",
+        "direct error%",
+    ])
+    .with_aligns(vec![Align::Right; 4])
+    .with_title("E4: cache blindness of direct execution (t805×16, same traces)");
+    for ws in [2 * 1024u64, 8 * 1024, 64 * 1024, 512 * 1024] {
+        let app = StochasticApp {
+            working_set: ws,
+            ..e1_app(16, CommPattern::NearestNeighborRing, 10_000)
+        };
+        let traces = StochasticGenerator::new(app, 13).generate();
+        let hybrid = HybridSim::new(t805_16()).run(&traces);
+        let direct = DirectExecSim::new(t805_16()).run(&traces);
+        let err = 100.0
+            * (direct.predicted_time.as_ps() as f64 - hybrid.predicted_time.as_ps() as f64)
+            / hybrid.predicted_time.as_ps() as f64;
+        t.row([
+            format!("{} KiB", ws / 1024),
+            format!("{}", hybrid.predicted_time),
+            format!("{}", direct.predicted_time),
+            format!("{err:+.1}"),
+        ]);
+    }
+    eprintln!("\n=== E4: direct-execution baseline (paper: fast but cache-blind) ===");
+    eprintln!("{}", t.render());
+    eprintln!("expected shape: |error| grows as the working set leaves the 4 KiB on-chip RAM.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_e4_rows();
+
+    let traces =
+        StochasticGenerator::new(e1_app(16, CommPattern::NearestNeighborRing, 5_000), 13).generate();
+    let mut g = c.benchmark_group("e4_baseline");
+    g.sample_size(10);
+    g.bench_function("hybrid_detailed", |b| {
+        b.iter_batched(
+            || traces.clone(),
+            |ts| HybridSim::new(t805_16()).run(&ts),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("direct_execution", |b| {
+        b.iter_batched(
+            || traces.clone(),
+            |ts| DirectExecSim::new(t805_16()).run(&ts),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! **Experiment E3** — simulator memory usage (paper Section 6).
+//!
+//! "Since Mermaid does not interpret machine instructions, it is not
+//! necessary to store large quantities of state information during
+//! simulation runs. For example, the contents of the memory does not have
+//! to be modelled and simulated caches only need to hold addresses (tags),
+//! not data. As a consequence, the simulation of parallel platforms is
+//! only constrained by the memory consumption of the (threaded)
+//! trace-generating applications."
+//!
+//! We sweep the node count and report the model footprint per node (flat)
+//! and in total (linear), and contrast it with what a data-carrying
+//! simulator would additionally hold. The bench times model construction
+//! to show it stays cheap at scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mermaid::prelude::*;
+use mermaid::ModelFootprint;
+use mermaid_stats::table::Align;
+use mermaid_stats::Table;
+
+fn print_e3_rows() {
+    let mut t = Table::new([
+        "nodes",
+        "model B/node",
+        "model total",
+        "simulated cache B/node",
+        "data-carrying total",
+    ])
+    .with_aligns(vec![Align::Right; 5])
+    .with_title("E3: tags-only model footprint vs node count (PowerPC 601 nodes, 2 cache levels)");
+    for nodes in [4u32, 16, 64, 256, 1024] {
+        // A ring of the right size keeps topology cost out of the picture.
+        let machine = MachineConfig::powerpc601_cluster(Topology::Ring(nodes), 1);
+        let f = ModelFootprint::of(&machine);
+        t.row([
+            nodes.to_string(),
+            f.bytes_per_node.to_string(),
+            format!("{:.2} MiB", f.total_bytes as f64 / (1024.0 * 1024.0)),
+            f.simulated_cache_bytes_per_node.to_string(),
+            format!(
+                "{:.2} MiB",
+                (f.total_bytes as u64 + f.simulated_cache_bytes_per_node * nodes as u64) as f64
+                    / (1024.0 * 1024.0)
+            ),
+        ]);
+    }
+    eprintln!("\n=== E3: memory usage (paper: tags only, growth linear in nodes, data-free) ===");
+    eprintln!("{}", t.render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_e3_rows();
+
+    let mut g = c.benchmark_group("e3_memory");
+    g.sample_size(10);
+    for nodes in [16u32, 64, 256] {
+        g.bench_function(format!("build_models_{nodes}_nodes"), |b| {
+            b.iter(|| {
+                // Build every node's computational model (the dominant
+                // state) as a full detailed simulation would.
+                let machine = MachineConfig::powerpc601_cluster(Topology::Ring(nodes), 1);
+                let sims: Vec<_> = (0..nodes)
+                    .map(|_| {
+                        mermaid_cpu::SingleNodeSim::new(machine.cpu, machine.node_mem.clone())
+                    })
+                    .collect();
+                sims.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! **Experiment E1** — detailed-mode slowdown per simulated processor
+//! (paper Section 6).
+//!
+//! The paper measures a T805 multicomputer and a PowerPC 601 single node
+//! (two cache levels) under a mix of application loads on a 143 MHz
+//! UltraSPARC host, reporting a typical slowdown of **750–4 000 per
+//! processor** (≈30 000–200 000 simulated cycles per host second).
+//!
+//! This bench regenerates those rows on the build host. Absolute values
+//! are far lower (compiled Rust vs interpreted-ish Pearl, three decades of
+//! host progress); the shape to verify is: detailed-mode slowdown is large
+//! compared with the task-level mode (E2), and communication-light loads
+//! simulate faster per target cycle than cache-stressing ones.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mermaid::prelude::*;
+use mermaid::{report, SlowdownMeter};
+use mermaid_bench::{e1_app, t805_16};
+
+/// Print the paper-style table once, before the timing runs.
+fn print_e1_rows() {
+    let mut rows = Vec::new();
+    for (label, pattern) in [
+        ("t805×16, nn-ring phases", CommPattern::NearestNeighborRing),
+        ("t805×16, all-to-all phases", CommPattern::AllToAll),
+        ("t805×16, master-worker phases", CommPattern::MasterWorker),
+    ] {
+        let traces = StochasticGenerator::new(e1_app(16, pattern, 20_000), 5).generate();
+        let machine = t805_16();
+        let meter = SlowdownMeter::start(16, machine.cpu.clock);
+        let r = HybridSim::new(machine).run(&traces);
+        assert!(r.comm.all_done);
+        rows.push((label.to_string(), meter.finish(r.predicted_time)));
+    }
+    {
+        let app = StochasticApp {
+            nodes: 1,
+            phases: 1,
+            ops_per_phase: SizeDist::Fixed(400_000),
+            pattern: CommPattern::None,
+            ..StochasticApp::scientific(1)
+        };
+        let traces = StochasticGenerator::new(app, 6).generate();
+        let machine = MachineConfig::powerpc601_node(1);
+        let mut sim = mermaid_cpu::SingleNodeSim::new(machine.cpu, machine.node_mem.clone());
+        let meter = SlowdownMeter::start(1, machine.cpu.clock);
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let res = sim.run(&refs);
+        rows.push((
+            "ppc601×1, two cache levels".to_string(),
+            meter.finish(res.finish),
+        ));
+    }
+    eprintln!("\n=== E1: detailed-mode slowdown (paper: 750–4000×/proc on 143 MHz host) ===");
+    eprintln!("{}", report::slowdown_table(&rows).render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_e1_rows();
+
+    let mut g = c.benchmark_group("e1_detailed");
+    g.sample_size(10);
+
+    let traces =
+        StochasticGenerator::new(e1_app(16, CommPattern::NearestNeighborRing, 5_000), 5).generate();
+    g.bench_function("hybrid_t805_16node", |b| {
+        b.iter_batched(
+            || traces.clone(),
+            |ts| HybridSim::new(t805_16()).run(&ts),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let app = StochasticApp {
+        nodes: 1,
+        phases: 1,
+        ops_per_phase: SizeDist::Fixed(100_000),
+        pattern: CommPattern::None,
+        ..StochasticApp::scientific(1)
+    };
+    let single = StochasticGenerator::new(app, 6).generate();
+    g.bench_function("computational_ppc601_100k_ops", |b| {
+        b.iter(|| {
+            let machine = MachineConfig::powerpc601_node(1);
+            let mut sim = mermaid_cpu::SingleNodeSim::new(machine.cpu, machine.node_mem.clone());
+            let refs: Vec<&Trace> = single.iter().collect();
+            sim.run(&refs)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **Experiment E2** — task-level slowdown per simulated processor
+//! (paper Section 6).
+//!
+//! "If fast prototyping of a multicomputer is the primary goal, then the
+//! communication model can be used directly. The slowdown of this type of
+//! simulation depends heavily on the amount of computation and
+//! communication present within the application. […] Our measurements
+//! indicate a typical slowdown of between 0.5 and 4 per processor."
+//!
+//! We sweep the computation:communication ratio from compute-dominated to
+//! communication-dominated and report the per-processor slowdown of each
+//! point. The paper's shape: slowdown rises as the communication share
+//! grows (computation is nearly free at task level), and the whole range
+//! sits orders of magnitude below the detailed mode (E1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mermaid::prelude::*;
+use mermaid::{report, SlowdownMeter};
+use mermaid_bench::{e2_app, t805_16};
+
+fn print_e2_rows() {
+    let mut rows = Vec::new();
+    // compute_ps per phase vs message bytes: from compute-heavy (ratio
+    // strongly favouring computation) to comm-heavy.
+    for (label, compute_ps, msg_bytes) in [
+        ("task-level, 100:1 comp:comm", 50_000_000u64, 512u64),
+        ("task-level, 10:1 comp:comm", 5_000_000, 2_048),
+        ("task-level, 1:1 comp:comm", 500_000, 8_192),
+        ("task-level, 1:10 comp:comm", 50_000, 32_768),
+    ] {
+        let traces =
+            StochasticGenerator::new(e2_app(16, compute_ps, msg_bytes, 100), 7).generate_task_level();
+        let machine = t805_16();
+        let meter = SlowdownMeter::start(16, machine.cpu.clock);
+        let r = TaskLevelSim::new(machine.network).run(&traces);
+        assert!(r.comm.all_done);
+        rows.push((label.to_string(), meter.finish(r.predicted_time)));
+    }
+    eprintln!("\n=== E2: task-level slowdown (paper: 0.5–4×/proc, rising with comm share) ===");
+    eprintln!("{}", report::slowdown_table(&rows).render());
+    eprintln!("(entire-multicomputer simulation at minor slowdown — Section 6)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_e2_rows();
+
+    let mut g = c.benchmark_group("e2_tasklevel");
+    g.sample_size(20);
+    for (name, compute_ps, msg_bytes) in [
+        ("compute_heavy", 50_000_000u64, 512u64),
+        ("balanced", 500_000, 8_192),
+        ("comm_heavy", 50_000, 32_768),
+    ] {
+        let traces =
+            StochasticGenerator::new(e2_app(16, compute_ps, msg_bytes, 50), 7).generate_task_level();
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || traces.clone(),
+                |ts| TaskLevelSim::new(t805_16().network).run(&ts),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! **Figure F4** — the workload-modelling framework (paper Fig. 4).
+//!
+//! Fig. 4 spans a 2×2 space: workloads are *reality-based* (instrumented
+//! programs) or *stochastic*, and computation is modelled at the
+//! *instruction level* (single-node model) or the *task level* (multi-node
+//! model). The paper's implementation covered only the reality-based ×
+//! instruction-level quadrant (the shaded area); this reproduction
+//! implements all four. This bench exercises each quadrant end to end and
+//! times its generation+simulation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mermaid::prelude::*;
+use mermaid_bench::t805_16;
+use mermaid_stats::table::Align;
+use mermaid_stats::Table;
+use mermaid_tracegen::annotate::TargetLayout;
+use mermaid_tracegen::programs::jacobi1d;
+use mermaid_tracegen::InterleavedTraceGen;
+use std::time::Instant;
+
+/// A named workload path: label plus a runnable pipeline.
+type Quadrant = (&'static str, Box<dyn Fn() -> pearl::Time>);
+
+fn quadrants() -> [Quadrant; 4] {
+    let machine = t805_16();
+    let m1 = machine.clone();
+    let m2 = machine.clone();
+    let m3 = machine.clone();
+    let m4 = machine;
+    [
+        (
+            "reality-based × instruction-level (paper's shaded path)",
+            Box::new(move || {
+                let traces =
+                    InterleavedTraceGen::spawn(16, TargetLayout::default(), move |ctx| {
+                        jacobi1d(ctx, 16, 32, 4)
+                    })
+                    .collect_all();
+                HybridSim::new(m1.clone()).run(&traces).predicted_time
+            }),
+        ),
+        (
+            "reality-based × task-level (measured tasks replayed)",
+            Box::new(move || {
+                let traces =
+                    InterleavedTraceGen::spawn(16, TargetLayout::default(), move |ctx| {
+                        jacobi1d(ctx, 16, 32, 4)
+                    })
+                    .collect_all();
+                let hybrid = HybridSim::new(m2.clone()).run(&traces);
+                TaskLevelSim::new(m2.network)
+                    .run(&hybrid.task_traces)
+                    .predicted_time
+            }),
+        ),
+        (
+            "stochastic × instruction-level",
+            Box::new(move || {
+                let app = StochasticApp {
+                    phases: 4,
+                    ops_per_phase: SizeDist::Fixed(3_000),
+                    ..StochasticApp::scientific(16)
+                };
+                let traces = StochasticGenerator::new(app, 3).generate();
+                HybridSim::new(m3.clone()).run(&traces).predicted_time
+            }),
+        ),
+        (
+            "stochastic × task-level",
+            Box::new(move || {
+                let app = StochasticApp {
+                    phases: 4,
+                    ..StochasticApp::scientific(16)
+                };
+                let traces = StochasticGenerator::new(app, 3).generate_task_level();
+                TaskLevelSim::new(m4.network).run(&traces).predicted_time
+            }),
+        ),
+    ]
+}
+
+fn print_f4_rows() {
+    let mut t = Table::new(["workload path (Fig. 4 quadrant)", "predicted", "host ms"])
+        .with_aligns(vec![Align::Left, Align::Right, Align::Right])
+        .with_title("F4: all four workload-modelling paths, 16-node T805 mesh");
+    for (name, run) in quadrants() {
+        let t0 = Instant::now();
+        let predicted = run();
+        t.row([
+            name.to_string(),
+            format!("{predicted}"),
+            format!("{:.2}", t0.elapsed().as_secs_f64() * 1e3),
+        ]);
+    }
+    eprintln!("\n=== F4: workload modelling framework (paper supported only the first path) ===");
+    eprintln!("{}", t.render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_f4_rows();
+
+    let mut g = c.benchmark_group("f4_paths");
+    g.sample_size(10);
+    for (name, run) in quadrants() {
+        let short = name.split(' ').next().unwrap().to_string()
+            + "_"
+            + if name.contains("instruction") {
+                "instr"
+            } else {
+                "task"
+            };
+        g.bench_function(short, move |b| b.iter(&run));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Shared workload builders for the benchmark harness (experiments
+//! E1–E4, F4, and the ablations; see DESIGN.md §4 for the index).
+
+use mermaid::prelude::*;
+
+/// The standard detailed-mode workload of E1: a mix of application loads
+/// on a 16-node machine (nearest-neighbour and all-to-all phases).
+pub fn e1_app(nodes: u32, pattern: CommPattern, ops_per_phase: u64) -> StochasticApp {
+    StochasticApp {
+        phases: 4,
+        ops_per_phase: SizeDist::Fixed(ops_per_phase),
+        pattern,
+        msg_bytes: SizeDist::Fixed(4096),
+        ..StochasticApp::scientific(nodes)
+    }
+}
+
+/// Task-level workload of E2 with a controllable computation:communication
+/// balance: `compute_ps` per phase against `msg_bytes`-sized ring messages.
+pub fn e2_app(nodes: u32, compute_ps: u64, msg_bytes: u64, phases: u32) -> StochasticApp {
+    StochasticApp {
+        phases,
+        pattern: CommPattern::NearestNeighborRing,
+        msg_bytes: SizeDist::Fixed(msg_bytes),
+        task_ps: SizeDist::Fixed(compute_ps),
+        ..StochasticApp::scientific(nodes)
+    }
+}
+
+/// A 16-node T805 machine on a 4×4 mesh — the multicomputer of Section 6.
+pub fn t805_16() -> MachineConfig {
+    MachineConfig::t805_multicomputer(Topology::Mesh2D { w: 4, h: 4 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builders_produce_runnable_traces() {
+        let ts = StochasticGenerator::new(e1_app(16, CommPattern::NearestNeighborRing, 500), 1)
+            .generate();
+        assert!(ts.comm_imbalances().is_empty());
+        let r = HybridSim::new(t805_16()).run(&ts);
+        assert!(r.comm.all_done);
+
+        let task = StochasticGenerator::new(e2_app(16, 1_000_000, 1024, 5), 2)
+            .generate_task_level();
+        let r = TaskLevelSim::new(t805_16().network).run(&task);
+        assert!(r.comm.all_done);
+    }
+}

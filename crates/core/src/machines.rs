@@ -1,0 +1,246 @@
+//! Complete machine configurations: CPU + node memory system + network.
+//!
+//! These are the "architecture X / architecture Y" boxes of Fig. 1 — fully
+//! parameterised machine models, with calibrated presets for the two
+//! targets of the paper's evaluation (a T805 transputer multicomputer and a
+//! PowerPC 601 node with two cache levels).
+
+use mermaid_cpu::CpuParams;
+use mermaid_memory::{
+    BusParams, CacheParams, CoherenceProtocol, DramParams, MemSystemConfig, Replacement,
+    WritePolicy,
+};
+use mermaid_network::{NetworkConfig, Topology};
+use pearl::{Duration, Frequency};
+use serde::{Deserialize, Serialize};
+
+/// A complete multicomputer model: identical nodes on an interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Model name for reports.
+    pub name: String,
+    /// The processor of each node.
+    pub cpu: CpuParams,
+    /// The memory system of each node (its `cpus` field gives the number of
+    /// processors per node — >1 models SMP nodes / hybrid architectures).
+    pub node_mem: MemSystemConfig,
+    /// The interconnect. Its topology also fixes the node count.
+    pub network: NetworkConfig,
+}
+
+impl MachineConfig {
+    /// Number of nodes (from the network topology).
+    pub fn nodes(&self) -> u32 {
+        self.network.topology.nodes()
+    }
+
+    /// Validate all sub-configurations.
+    pub fn validate(&self) {
+        self.node_mem.validate();
+        self.network.validate();
+    }
+
+    /// An Inmos T805 transputer multicomputer (Parsytec GCel class).
+    ///
+    /// The T805 has no cache: its single-cycle 4 KiB on-chip RAM is
+    /// modelled as a 4 KiB one-cycle "L1" over a 3-cycle external DRAM.
+    /// Links are 20 Mbit/s with software store-and-forward routing.
+    pub fn t805_multicomputer(topology: Topology) -> Self {
+        let clock = Frequency::from_mhz(30);
+        let onchip = CacheParams {
+            size_bytes: 4 * 1024,
+            line_bytes: 16,
+            assoc: 1,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: clock.cycles(1),
+        };
+        MachineConfig {
+            name: format!("T805 multicomputer, {}", topology.label()),
+            cpu: CpuParams::t805(),
+            node_mem: MemSystemConfig {
+                cpus: 1,
+                l1i: onchip,
+                l1d: onchip,
+                l2: None,
+                bus: BusParams {
+                    width_bytes: 4,
+                    clock,
+                    arbitration_cycles: 1,
+                },
+                dram: DramParams {
+                    access_latency: clock.cycles(3),
+                    single_server: true,
+                },
+                protocol: CoherenceProtocol::Msi,
+                c2c_latency: clock.cycles(4),
+            },
+            network: NetworkConfig::t805(topology),
+        }
+    }
+
+    /// A Motorola PowerPC 601 node with two cache levels (the paper's
+    /// detailed single-node model): 32 KiB 8-way L1s at 66 MHz over a
+    /// 512 KiB 4-way L2 and 60 MHz 64-bit bus.
+    pub fn powerpc601_node(cpus: usize) -> Self {
+        let clock = Frequency::from_mhz(66);
+        let l1 = CacheParams {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            assoc: 8,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: clock.cycles(1),
+        };
+        let l2 = CacheParams {
+            size_bytes: 512 * 1024,
+            line_bytes: 64,
+            assoc: 4,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: clock.cycles(9),
+        };
+        let bus_clock = Frequency::from_mhz(60);
+        MachineConfig {
+            name: format!("PowerPC 601 node ({cpus} CPU)"),
+            cpu: CpuParams::powerpc601(),
+            node_mem: MemSystemConfig {
+                cpus,
+                l1i: l1,
+                l1d: l1,
+                l2: Some(l2),
+                bus: BusParams {
+                    width_bytes: 8,
+                    clock: bus_clock,
+                    arbitration_cycles: 2,
+                },
+                dram: DramParams {
+                    access_latency: Duration::from_ns(180),
+                    single_server: true,
+                },
+                protocol: CoherenceProtocol::Mesi,
+                c2c_latency: Duration::from_ns(120),
+            },
+            // A single node still needs a (degenerate) network object; give
+            // clusters a hardware-routed interconnect.
+            network: NetworkConfig::hw_routed(Topology::Ring(2)),
+        }
+    }
+
+    /// A hybrid architecture: PowerPC-601-class SMP nodes (`cpus_per_node`
+    /// processors each) connected by a hardware-routed network —
+    /// "clusters of shared memory multiprocessors in a message-passing
+    /// network" (Section 4.3).
+    pub fn powerpc601_cluster(topology: Topology, cpus_per_node: usize) -> Self {
+        let mut m = MachineConfig::powerpc601_node(cpus_per_node);
+        m.name = format!(
+            "PowerPC 601 cluster, {} × {cpus_per_node} CPUs",
+            topology.label()
+        );
+        m.network = NetworkConfig::hw_routed(topology);
+        m
+    }
+
+    /// An Intel Paragon XP/S-class multicomputer: i860 XP nodes (50 MHz,
+    /// 16 KiB split L1 caches) on a 2-D mesh with ~175 MB/s hardware-routed
+    /// wormhole links.
+    pub fn paragon(w: u32, h: u32) -> Self {
+        let clock = Frequency::from_mhz(50);
+        let l1 = CacheParams {
+            size_bytes: 16 * 1024,
+            line_bytes: 32,
+            assoc: 4,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: clock.cycles(1),
+        };
+        MachineConfig {
+            name: format!("Paragon XP/S, mesh({w}x{h})"),
+            cpu: CpuParams::i860xp(),
+            node_mem: MemSystemConfig {
+                cpus: 1,
+                l1i: l1,
+                l1d: l1,
+                l2: None,
+                bus: BusParams {
+                    width_bytes: 8,
+                    clock,
+                    arbitration_cycles: 1,
+                },
+                dram: DramParams {
+                    access_latency: Duration::from_ns(150),
+                    single_server: true,
+                },
+                protocol: CoherenceProtocol::Mesi,
+                c2c_latency: Duration::from_ns(100),
+            },
+            network: NetworkConfig::hw_routed(Topology::Mesh2D { w, h }),
+        }
+    }
+
+    /// The fast round-number test machine used across the test suites.
+    pub fn test_machine(topology: Topology) -> Self {
+        MachineConfig {
+            name: format!("test machine, {}", topology.label()),
+            cpu: CpuParams::uniform_test(),
+            node_mem: MemSystemConfig::small(1),
+            network: NetworkConfig::test(topology),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineConfig::t805_multicomputer(Topology::Mesh2D { w: 4, h: 4 }).validate();
+        MachineConfig::powerpc601_node(1).validate();
+        MachineConfig::powerpc601_node(4).validate();
+        MachineConfig::powerpc601_cluster(Topology::Hypercube { dim: 3 }, 2).validate();
+        MachineConfig::test_machine(Topology::Ring(4)).validate();
+    }
+
+    #[test]
+    fn paragon_preset_validates_and_runs() {
+        let m = MachineConfig::paragon(4, 4);
+        m.validate();
+        assert_eq!(m.nodes(), 16);
+        assert_eq!(m.cpu.clock.as_mhz(), 50);
+        assert!(m.node_mem.l2.is_none());
+    }
+
+    #[test]
+    fn node_count_follows_topology() {
+        let m = MachineConfig::t805_multicomputer(Topology::Mesh2D { w: 8, h: 8 });
+        assert_eq!(m.nodes(), 64);
+    }
+
+    #[test]
+    fn t805_has_no_second_level() {
+        let m = MachineConfig::t805_multicomputer(Topology::Ring(2));
+        assert!(m.node_mem.l2.is_none());
+        assert_eq!(m.node_mem.cpus, 1);
+    }
+
+    #[test]
+    fn ppc601_has_two_cache_levels() {
+        let m = MachineConfig::powerpc601_node(1);
+        assert!(m.node_mem.l2.is_some());
+        assert_eq!(m.node_mem.l1d.size_bytes, 32 * 1024);
+        assert_eq!(m.node_mem.l2.unwrap().size_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn configs_serialize_roundtrip() {
+        let m = MachineConfig::powerpc601_cluster(Topology::Torus2D { w: 4, h: 4 }, 2);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

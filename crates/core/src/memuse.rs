@@ -1,0 +1,101 @@
+//! Simulator memory-footprint accounting (experiment E3).
+//!
+//! "Since Mermaid does not interpret machine instructions, it is not
+//! necessary to store large quantities of state information during
+//! simulation runs. For example, the contents of the memory does not have
+//! to be modelled and simulated caches only need to hold addresses (tags),
+//! not data." (paper, Section 6). This module makes that claim measurable:
+//! it computes the resident model state of a configured machine, node by
+//! node, and contrasts it with the memory the *simulated* machine would
+//! have.
+
+use mermaid_cpu::SingleNodeSim;
+use mermaid_memory::MemorySystem;
+
+use crate::machines::MachineConfig;
+
+/// Breakdown of the simulator-side memory footprint for one machine model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelFootprint {
+    /// Nodes in the machine.
+    pub nodes: u32,
+    /// Bytes of model state per node (cache tags, CPU state, router state).
+    pub bytes_per_node: usize,
+    /// Total model bytes for the machine.
+    pub total_bytes: usize,
+    /// Bytes of *simulated* memory capacity per node (caches only — the
+    /// quantity a data-carrying simulator would additionally store).
+    pub simulated_cache_bytes_per_node: u64,
+}
+
+impl ModelFootprint {
+    /// Measure the footprint of `machine`'s models.
+    pub fn of(machine: &MachineConfig) -> Self {
+        let nodes = machine.nodes();
+        // One representative node: CPUs + memory system.
+        let node = SingleNodeSim::new(machine.cpu, machine.node_mem.clone());
+        let per_node_mem = node.footprint_bytes();
+        // Router-side state is small and bounded: neighbour map + stats.
+        let router_estimate = 512usize;
+        let bytes_per_node = per_node_mem + router_estimate;
+        let m = &machine.node_mem;
+        let simulated = m.cpus as u64
+            * (m.l1i.size_bytes + m.l1d.size_bytes + m.l2.map_or(0, |l| l.size_bytes));
+        ModelFootprint {
+            nodes,
+            bytes_per_node,
+            total_bytes: bytes_per_node * nodes as usize,
+            simulated_cache_bytes_per_node: simulated,
+        }
+    }
+
+    /// Ratio of simulated cache capacity to model state — how much a
+    /// data-carrying simulator would pay on top (≫1 demonstrates the
+    /// tags-only saving).
+    pub fn data_overhead_ratio(&self) -> f64 {
+        self.simulated_cache_bytes_per_node as f64 / self.bytes_per_node.max(1) as f64
+    }
+}
+
+/// Footprint of a concrete, already-running memory system (post-run; the
+/// same number `ModelFootprint::of` predicts per node).
+pub fn live_footprint(mem: &MemorySystem) -> usize {
+    mem.footprint_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mermaid_network::Topology;
+
+    #[test]
+    fn footprint_scales_linearly_with_nodes() {
+        let m4 = ModelFootprint::of(&MachineConfig::t805_multicomputer(Topology::Ring(4)));
+        let m16 = ModelFootprint::of(&MachineConfig::t805_multicomputer(Topology::Ring(16)));
+        assert_eq!(m4.bytes_per_node, m16.bytes_per_node);
+        assert_eq!(m16.total_bytes, 4 * m4.total_bytes);
+    }
+
+    #[test]
+    fn tags_only_model_is_much_smaller_than_simulated_caches() {
+        let m = ModelFootprint::of(&MachineConfig::powerpc601_node(1));
+        // 32K + 32K + 512K simulated; the tag model must be well under it.
+        assert_eq!(m.simulated_cache_bytes_per_node, 576 * 1024);
+        assert!(
+            m.data_overhead_ratio() > 1.0,
+            "tags-only model ({} B) should undercut simulated capacity",
+            m.bytes_per_node
+        );
+    }
+
+    #[test]
+    fn smp_nodes_count_every_cpu() {
+        let one = ModelFootprint::of(&MachineConfig::powerpc601_node(1));
+        let four = ModelFootprint::of(&MachineConfig::powerpc601_node(4));
+        assert!(four.bytes_per_node > 3 * one.bytes_per_node);
+        assert_eq!(
+            four.simulated_cache_bytes_per_node,
+            4 * one.simulated_cache_bytes_per_node
+        );
+    }
+}

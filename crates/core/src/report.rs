@@ -1,0 +1,133 @@
+//! Post-mortem report rendering: turns simulation results into the tables
+//! and summaries of the "visualization and analysis tools" box of Fig. 1.
+
+use mermaid_stats::table::Align;
+use mermaid_stats::Table;
+
+use crate::hybrid::HybridResult;
+use crate::slowdown::SlowdownReport;
+use crate::tasklevel::TaskLevelResult;
+
+/// Render a per-node summary table of a hybrid run.
+pub fn hybrid_table(r: &HybridResult) -> Table {
+    let mut t = Table::new([
+        "node",
+        "ops",
+        "compute",
+        "send blk",
+        "recv blk",
+        "l1d hit%",
+        "msgs rx",
+    ])
+    .with_title("Hybrid simulation, per node");
+    for (compute, comm) in r.nodes.iter().zip(&r.comm.nodes) {
+        let l1d: f64 = compute
+            .mem
+            .l1d
+            .first()
+            .map(|s| 100.0 * s.hit_rate())
+            .unwrap_or(0.0);
+        t.row([
+            compute.node.to_string(),
+            compute.cpu.ops.total.to_string(),
+            format!("{}", comm.proc.compute),
+            format!("{}", comm.proc.send_block),
+            format!("{}", comm.proc.recv_block),
+            format!("{l1d:.1}"),
+            comm.proc.msgs_received.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Render a task-level run summary.
+pub fn task_level_table(r: &TaskLevelResult) -> Table {
+    let mut t = Table::new(["node", "compute", "send blk", "recv blk", "msgs rx", "bytes tx"])
+        .with_title("Task-level simulation, per node");
+    for n in &r.comm.nodes {
+        t.row([
+            n.node.to_string(),
+            format!("{}", n.proc.compute),
+            format!("{}", n.proc.send_block),
+            format!("{}", n.proc.recv_block),
+            n.proc.msgs_received.to_string(),
+            n.proc.bytes_sent.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Render a slowdown table in the paper's Section 6 shape.
+pub fn slowdown_table(rows: &[(String, SlowdownReport)]) -> Table {
+    let mut t = Table::new([
+        "configuration",
+        "procs",
+        "sim time",
+        "host ms",
+        "slowdown/proc",
+        "cycles/s",
+    ])
+    .with_title("Slowdown per simulated processor (paper Section 6)")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for (name, r) in rows {
+        t.row([
+            name.clone(),
+            r.processors.to_string(),
+            format!("{}", r.simulated),
+            format!("{:.1}", r.host_wall.as_secs_f64() * 1e3),
+            format!("{:.1}", r.slowdown_per_processor()),
+            format!("{:.0}", r.target_cycles_per_host_second()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::HybridSim;
+    use crate::machines::MachineConfig;
+    use crate::tasklevel::TaskLevelSim;
+    use mermaid_network::Topology;
+    use mermaid_tracegen::{CommPattern, SizeDist, StochasticApp, StochasticGenerator};
+
+    #[test]
+    fn tables_render_for_real_runs() {
+        let app = StochasticApp {
+            phases: 2,
+            ops_per_phase: SizeDist::Fixed(100),
+            pattern: CommPattern::NearestNeighborRing,
+            ..StochasticApp::scientific(3)
+        };
+        let machine = MachineConfig::test_machine(Topology::Ring(3));
+        let hybrid = HybridSim::new(machine.clone())
+            .run(&StochasticGenerator::new(app, 1).generate());
+        let ht = hybrid_table(&hybrid);
+        assert_eq!(ht.len(), 3);
+        assert!(ht.render().contains("node"));
+
+        let task = TaskLevelSim::new(machine.network)
+            .run(&StochasticGenerator::new(app, 1).generate_task_level());
+        let tt = task_level_table(&task);
+        assert_eq!(tt.len(), 3);
+        assert!(tt.to_csv().lines().count() == 4);
+    }
+
+    #[test]
+    fn slowdown_table_renders() {
+        use crate::slowdown::SlowdownMeter;
+        let m = SlowdownMeter::start(4, pearl::Frequency::from_mhz(30));
+        let rep = m.finish(pearl::Time::from_us(100));
+        let t = slowdown_table(&[("t805".to_string(), rep)]);
+        let s = t.render();
+        assert!(s.contains("t805"));
+        assert!(s.contains("slowdown/proc"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Parallel design-space sweeps.
+//!
+//! The workbench's core activity is scenario analysis: the same workload
+//! over a grid of candidate architectures. Individual simulations are
+//! deterministic and independent, so the grid is embarrassingly parallel —
+//! this module fans a sweep out over the host's cores with a simple shared
+//! work queue (crossbeam scoped threads; results keep the input order, so
+//! a parallel sweep is bit-identical to a serial one).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `f` over every configuration, in parallel, preserving input order.
+///
+/// `f` must be deterministic for reproducible sweeps (every simulator in
+/// this workspace is). Panics in `f` are propagated.
+pub fn parallel_sweep<C, T, F>(configs: Vec<C>, f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    let n = configs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return configs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let configs_ref = &configs;
+    let f_ref = &f;
+    let next_ref = &next;
+    let slots_ref = &slots;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let out = f_ref(&configs_ref[i]);
+                *slots_ref[i].lock().unwrap() = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("sweep slot unfilled"))
+        .collect()
+}
+
+/// Convenience: sweep labelled configurations and return `(label, value)`
+/// pairs in input order.
+pub fn labelled_sweep<C, T, F>(configs: Vec<(String, C)>, f: F) -> Vec<(String, T)>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    let (labels, cfgs): (Vec<String>, Vec<C>) = configs.into_iter().unzip();
+    labels
+        .into_iter()
+        .zip(parallel_sweep(cfgs, f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::HybridSim;
+    use crate::machines::MachineConfig;
+    use mermaid_network::Topology;
+    use mermaid_tracegen::{CommPattern, SizeDist, StochasticApp, StochasticGenerator};
+
+    #[test]
+    fn parallel_results_preserve_order() {
+        let inputs: Vec<u64> = (0..57).collect();
+        let out = parallel_sweep(inputs.clone(), |&x| x * x);
+        assert_eq!(out, inputs.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let out: Vec<u32> = parallel_sweep(Vec::<u32>::new(), |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_simulation_sweep_matches_serial() {
+        let app = StochasticApp {
+            phases: 2,
+            ops_per_phase: SizeDist::Fixed(500),
+            pattern: CommPattern::NearestNeighborRing,
+            ..StochasticApp::scientific(4)
+        };
+        let traces = StochasticGenerator::new(app, 3).generate();
+        let topos = vec![
+            Topology::Ring(4),
+            Topology::FullyConnected(4),
+            Topology::Mesh2D { w: 2, h: 2 },
+            Topology::Star(4),
+        ];
+        let serial: Vec<_> = topos
+            .iter()
+            .map(|&t| {
+                HybridSim::new(MachineConfig::test_machine(t))
+                    .run(&traces)
+                    .predicted_time
+            })
+            .collect();
+        let parallel = parallel_sweep(topos, |&t| {
+            HybridSim::new(MachineConfig::test_machine(t))
+                .run(&traces)
+                .predicted_time
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn labelled_sweep_pairs_names() {
+        let out = labelled_sweep(
+            vec![("a".to_string(), 1u32), ("b".to_string(), 2)],
+            |&x| x + 10,
+        );
+        assert_eq!(
+            out,
+            vec![("a".to_string(), 11), ("b".to_string(), 12)]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        parallel_sweep(vec![1u32, 2, 3, 4, 5, 6, 7, 8], |&x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,94 @@
+//! Task-level (fast-prototyping) simulation mode.
+//!
+//! "If fast prototyping of a multicomputer is the primary goal, then the
+//! communication model can be used directly. […] Computation can be
+//! simulated extremely fast since it is modelled at the level of tasks,
+//! whereas communication is simulated in more detail" (paper, Section 6).
+//! The task-level traces come straight from a trace generator (Fig. 4's
+//! task-level quadrants) instead of from the computational model.
+
+use mermaid_network::{CommResult, CommSim, NetworkConfig};
+use mermaid_ops::TraceSet;
+use pearl::Time;
+
+/// Result of a task-level simulation.
+#[derive(Debug)]
+pub struct TaskLevelResult {
+    /// Predicted execution time.
+    pub predicted_time: Time,
+    /// Full communication-model results.
+    pub comm: CommResult,
+    /// Task-level operations simulated.
+    pub ops_simulated: u64,
+}
+
+/// The fast-prototyping simulator: the communication model alone.
+pub struct TaskLevelSim {
+    network: NetworkConfig,
+}
+
+impl TaskLevelSim {
+    /// Create a task-level simulator for the given interconnect.
+    pub fn new(network: NetworkConfig) -> Self {
+        network.validate();
+        TaskLevelSim { network }
+    }
+
+    /// The interconnect configuration.
+    pub fn network(&self) -> &NetworkConfig {
+        &self.network
+    }
+
+    /// Run over task-level traces (one per node).
+    pub fn run(&self, traces: &TraceSet) -> TaskLevelResult {
+        let ops_simulated = traces.total_ops() as u64;
+        let comm = CommSim::new(self.network, traces).run();
+        TaskLevelResult {
+            predicted_time: comm.finish,
+            comm,
+            ops_simulated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mermaid_network::Topology;
+    use mermaid_tracegen::{CommPattern, StochasticApp, StochasticGenerator};
+
+    fn traces(n: u32, pattern: CommPattern) -> TraceSet {
+        let app = StochasticApp {
+            pattern,
+            ..StochasticApp::scientific(n)
+        };
+        StochasticGenerator::new(app, 11).generate_task_level()
+    }
+
+    #[test]
+    fn task_level_run_completes() {
+        let ts = traces(8, CommPattern::NearestNeighborRing);
+        let r = TaskLevelSim::new(NetworkConfig::test(Topology::Ring(8))).run(&ts);
+        assert!(r.comm.all_done, "deadlocked: {:?}", r.comm.deadlocked);
+        assert!(r.predicted_time > Time::ZERO);
+        assert_eq!(r.ops_simulated, ts.total_ops() as u64);
+    }
+
+    #[test]
+    fn richer_topology_is_no_slower_for_all_to_all() {
+        let ts = traces(8, CommPattern::AllToAll);
+        let ring = TaskLevelSim::new(NetworkConfig::test(Topology::Ring(8))).run(&ts);
+        let full =
+            TaskLevelSim::new(NetworkConfig::test(Topology::FullyConnected(8))).run(&ts);
+        assert!(full.predicted_time <= ring.predicted_time);
+    }
+
+    #[test]
+    fn hypercube_beats_ring_on_butterfly_traffic() {
+        let ts = traces(8, CommPattern::Butterfly);
+        let ring = TaskLevelSim::new(NetworkConfig::test(Topology::Ring(8))).run(&ts);
+        let cube =
+            TaskLevelSim::new(NetworkConfig::test(Topology::Hypercube { dim: 3 })).run(&ts);
+        assert!(cube.predicted_time <= ring.predicted_time);
+    }
+}

@@ -1,0 +1,219 @@
+//! CPU machine parameters, with calibrated presets.
+//!
+//! "Every model has a set of machine parameters that is calibrated with
+//! published information or by benchmarking" (paper, Section 3). The
+//! presets below are calibrated from public datasheet figures for the two
+//! processors the paper's evaluation uses: the Inmos T805 transputer and
+//! the Motorola PowerPC 601.
+
+use mermaid_ops::{ArithOp, DataType};
+use pearl::Frequency;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation costs of a CPU, in cycles of its own clock.
+///
+/// Memory operations additionally pay the memory-hierarchy latency; the
+/// cycle counts here are the issue costs of the instructions themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuParams {
+    /// Core clock.
+    pub clock: Frequency,
+    /// Issue cost of a load (excl. memory hierarchy).
+    pub load_cycles: u64,
+    /// Issue cost of a store (excl. memory hierarchy).
+    pub store_cycles: u64,
+    /// Cost of loading an integer constant.
+    pub const_cycles: u64,
+    /// Cost of loading a floating-point constant.
+    pub fconst_cycles: u64,
+    /// Integer add/sub.
+    pub int_alu_cycles: u64,
+    /// Integer multiply.
+    pub int_mul_cycles: u64,
+    /// Integer divide.
+    pub int_div_cycles: u64,
+    /// Floating add/sub.
+    pub flt_alu_cycles: u64,
+    /// Floating multiply.
+    pub flt_mul_cycles: u64,
+    /// Floating divide.
+    pub flt_div_cycles: u64,
+    /// Extra cycles for 64-bit (double-width) arithmetic.
+    pub double_extra_cycles: u64,
+    /// Taken-branch cost (excl. the target's ifetch, which is traced).
+    pub branch_cycles: u64,
+    /// Function-call overhead.
+    pub call_cycles: u64,
+    /// Function-return overhead.
+    pub ret_cycles: u64,
+}
+
+impl CpuParams {
+    /// Cycle cost of an arithmetic operation on `ty`.
+    pub fn arith_cycles(&self, op: ArithOp, ty: DataType) -> u64 {
+        let base = match (op, ty.is_float()) {
+            (ArithOp::Add | ArithOp::Sub, false) => self.int_alu_cycles,
+            (ArithOp::Mul, false) => self.int_mul_cycles,
+            (ArithOp::Div, false) => self.int_div_cycles,
+            (ArithOp::Add | ArithOp::Sub, true) => self.flt_alu_cycles,
+            (ArithOp::Mul, true) => self.flt_mul_cycles,
+            (ArithOp::Div, true) => self.flt_div_cycles,
+        };
+        let wide = matches!(ty, DataType::I64 | DataType::F64);
+        base + if wide { self.double_extra_cycles } else { 0 }
+    }
+
+    /// Cycle cost of loading a constant of `ty`.
+    pub fn const_load_cycles(&self, ty: DataType) -> u64 {
+        if ty.is_float() {
+            self.fconst_cycles
+        } else {
+            self.const_cycles
+        }
+    }
+
+    /// The Inmos T805 transputer at 30 MHz.
+    ///
+    /// Calibration (datasheet figures): single-cycle ALU; hardware FPU with
+    /// ~2-cycle issue for add, ~11 for multiply (f32), ~30+ for divide;
+    /// integer multiply/divide are microcoded (~38 cycles); branches and
+    /// call/return are cheap thanks to the three-register workspace model.
+    pub fn t805() -> Self {
+        CpuParams {
+            clock: Frequency::from_mhz(30),
+            load_cycles: 1,
+            store_cycles: 1,
+            const_cycles: 1,
+            fconst_cycles: 2,
+            int_alu_cycles: 1,
+            int_mul_cycles: 38,
+            int_div_cycles: 39,
+            flt_alu_cycles: 7,
+            flt_mul_cycles: 11,
+            flt_div_cycles: 30,
+            double_extra_cycles: 7,
+            branch_cycles: 4,
+            call_cycles: 7,
+            ret_cycles: 5,
+        }
+    }
+
+    /// The Motorola PowerPC 601 at 66 MHz.
+    ///
+    /// Calibration (user manual figures): single-cycle integer ALU,
+    /// 5–10-cycle integer multiply (we use 9), 36-cycle divide; pipelined
+    /// FPU with 1-cycle throughput/4-cycle latency adds (we charge 1, the
+    /// abstract model has no pipelining), 1–2-cycle multiply, 17/31-cycle
+    /// f32/f64 divide; folded branches cost ~1 cycle.
+    pub fn powerpc601() -> Self {
+        CpuParams {
+            clock: Frequency::from_mhz(66),
+            load_cycles: 1,
+            store_cycles: 1,
+            const_cycles: 1,
+            fconst_cycles: 1,
+            int_alu_cycles: 1,
+            int_mul_cycles: 9,
+            int_div_cycles: 36,
+            flt_alu_cycles: 1,
+            flt_mul_cycles: 2,
+            flt_div_cycles: 17,
+            double_extra_cycles: 14,
+            branch_cycles: 1,
+            call_cycles: 2,
+            ret_cycles: 2,
+        }
+    }
+
+    /// The Intel i860 XP at 50 MHz (the Paragon's node processor).
+    ///
+    /// Calibration (datasheet figures): single-cycle integer ALU; integer
+    /// multiply via the FPU (~6 cycles); no hardware divide (software
+    /// sequence, ~38 cycles); pipelined FPU with 3-cycle adds/multiplies
+    /// (charged at latency — the abstract model has no pipelining) and
+    /// reciprocal-approximation division (~22 cycles); delayed branches
+    /// cost ~1 cycle.
+    pub fn i860xp() -> Self {
+        CpuParams {
+            clock: Frequency::from_mhz(50),
+            load_cycles: 1,
+            store_cycles: 1,
+            const_cycles: 1,
+            fconst_cycles: 1,
+            int_alu_cycles: 1,
+            int_mul_cycles: 6,
+            int_div_cycles: 38,
+            flt_alu_cycles: 3,
+            flt_mul_cycles: 3,
+            flt_div_cycles: 22,
+            double_extra_cycles: 1,
+            branch_cycles: 1,
+            call_cycles: 2,
+            ret_cycles: 2,
+        }
+    }
+
+    /// A featureless 100 MHz test CPU where every operation costs one
+    /// cycle — handy for making test arithmetic predictable.
+    pub fn uniform_test() -> Self {
+        CpuParams {
+            clock: Frequency::from_mhz(100),
+            load_cycles: 1,
+            store_cycles: 1,
+            const_cycles: 1,
+            fconst_cycles: 1,
+            int_alu_cycles: 1,
+            int_mul_cycles: 1,
+            int_div_cycles: 1,
+            flt_alu_cycles: 1,
+            flt_mul_cycles: 1,
+            flt_div_cycles: 1,
+            double_extra_cycles: 0,
+            branch_cycles: 1,
+            call_cycles: 1,
+            ret_cycles: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arith_costs_follow_class_and_width() {
+        let p = CpuParams::t805();
+        assert_eq!(p.arith_cycles(ArithOp::Add, DataType::I32), 1);
+        assert_eq!(p.arith_cycles(ArithOp::Sub, DataType::I32), 1);
+        assert_eq!(p.arith_cycles(ArithOp::Mul, DataType::I32), 38);
+        assert_eq!(p.arith_cycles(ArithOp::Div, DataType::I32), 39);
+        assert_eq!(p.arith_cycles(ArithOp::Mul, DataType::F32), 11);
+        // 64-bit pays the double surcharge.
+        assert_eq!(
+            p.arith_cycles(ArithOp::Add, DataType::I64),
+            1 + p.double_extra_cycles
+        );
+        assert_eq!(
+            p.arith_cycles(ArithOp::Div, DataType::F64),
+            30 + p.double_extra_cycles
+        );
+    }
+
+    #[test]
+    fn const_loads_distinguish_float() {
+        let p = CpuParams::t805();
+        assert_eq!(p.const_load_cycles(DataType::I32), 1);
+        assert_eq!(p.const_load_cycles(DataType::F64), 2);
+    }
+
+    #[test]
+    fn presets_have_expected_clocks() {
+        assert_eq!(CpuParams::t805().clock.as_mhz(), 30);
+        assert_eq!(CpuParams::powerpc601().clock.as_mhz(), 66);
+    }
+
+    #[test]
+    fn faster_preset_has_shorter_cycle() {
+        assert!(CpuParams::powerpc601().clock.cycle() < CpuParams::t805().clock.cycle());
+    }
+}

@@ -1,0 +1,146 @@
+//! Trace-driven validation of the computational model: hand-computable
+//! workloads must produce hand-computed times, and the model must respond
+//! to every machine parameter the paper says it parameterises.
+
+use mermaid_cpu::{CpuParams, SingleNodeSim};
+use mermaid_memory::MemSystemConfig;
+use mermaid_ops::{ArithOp, DataType, Operation, Trace};
+use pearl::{Duration, Frequency};
+
+fn run(cpu: CpuParams, mem: MemSystemConfig, ops: Vec<Operation>) -> Duration {
+    let mut sim = SingleNodeSim::new(cpu, mem);
+    let t = Trace::from_ops(0, ops);
+    sim.run(&[&t]).finish.since(pearl::Time::ZERO)
+}
+
+#[test]
+fn closed_form_register_workload() {
+    // 1000 integer adds + 500 f64 multiplies on the T805:
+    // 1000×1 + 500×(11+7) cycles at 30 MHz.
+    let p = CpuParams::t805();
+    let mut ops = Vec::new();
+    for _ in 0..1000 {
+        ops.push(Operation::Arith {
+            op: ArithOp::Add,
+            ty: DataType::I32,
+        });
+    }
+    for _ in 0..500 {
+        ops.push(Operation::Arith {
+            op: ArithOp::Mul,
+            ty: DataType::F64,
+        });
+    }
+    let expect = p.clock.cycles(1000 + 500 * 18);
+    assert_eq!(run(p, MemSystemConfig::small(1), ops), expect);
+}
+
+#[test]
+fn clock_scaling_is_exactly_linear_for_register_work() {
+    let mk = |mhz: u64| {
+        let mut p = CpuParams::uniform_test();
+        p.clock = Frequency::from_mhz(mhz);
+        let ops = vec![
+            Operation::Arith {
+                op: ArithOp::Add,
+                ty: DataType::I32
+            };
+            10_000
+        ];
+        run(p, MemSystemConfig::small(1), ops)
+    };
+    // Double the clock → exactly half the time (register work only).
+    assert_eq!(mk(50).as_ps(), 2 * mk(100).as_ps());
+}
+
+#[test]
+fn every_latency_parameter_is_observable() {
+    // Bump each CPU cost parameter in turn; the corresponding op gets
+    // slower and the others do not.
+    let base = CpuParams::uniform_test();
+    type Probe = (&'static str, fn(&mut CpuParams), Operation);
+    let probes: Vec<Probe> = vec![
+        (
+            "int_mul",
+            |p| p.int_mul_cycles += 5,
+            Operation::Arith {
+                op: ArithOp::Mul,
+                ty: DataType::I32,
+            },
+        ),
+        (
+            "flt_div",
+            |p| p.flt_div_cycles += 5,
+            Operation::Arith {
+                op: ArithOp::Div,
+                ty: DataType::F32,
+            },
+        ),
+        (
+            "branch",
+            |p| p.branch_cycles += 5,
+            Operation::Branch { addr: 0 },
+        ),
+        (
+            "const",
+            |p| p.const_cycles += 5,
+            Operation::LoadConst { ty: DataType::I32 },
+        ),
+    ];
+    for (name, bump, op) in probes {
+        let before = run(base, MemSystemConfig::small(1), vec![op; 100]);
+        let mut p = base;
+        bump(&mut p);
+        let after = run(p, MemSystemConfig::small(1), vec![op; 100]);
+        assert_eq!(
+            after,
+            before + base.clock.cycles(500),
+            "{name} bump must add exactly 5 cycles × 100 ops"
+        );
+    }
+}
+
+#[test]
+fn cache_size_parameter_moves_the_hit_rate() {
+    // A 16 KiB working set: hit rate collapses when the D-cache shrinks
+    // below it.
+    let scan: Vec<Operation> = (0..4)
+        .flat_map(|_| {
+            (0..512u64).map(|i| Operation::Load {
+                ty: DataType::I32,
+                addr: 0x1000 + i * 32,
+            })
+        })
+        .collect();
+    let rate = |l1_bytes: u64| {
+        let mut cfg = MemSystemConfig::small(1);
+        cfg.l1d.size_bytes = l1_bytes;
+        let mut sim = SingleNodeSim::new(CpuParams::uniform_test(), cfg);
+        let t = Trace::from_ops(0, scan.clone());
+        let r = sim.run(&[&t]);
+        r.mem_stats.l1d[0].hit_rate()
+    };
+    let big = rate(32 * 1024); // holds the whole scan
+    let small = rate(2 * 1024); // 8× too small
+    assert!(big > 0.7, "big cache should mostly hit: {big}");
+    assert!(small < 0.2, "small cache should mostly miss: {small}");
+}
+
+#[test]
+fn dram_latency_parameter_is_observable_end_to_end() {
+    let scan: Vec<Operation> = (0..256u64)
+        .map(|i| Operation::Load {
+            ty: DataType::I32,
+            addr: 0x10_0000 + i * 4096, // every access a fresh line & set
+        })
+        .collect();
+    let time = |dram_ns: u64| {
+        let mut cfg = MemSystemConfig::small(1);
+        cfg.dram.access_latency = Duration::from_ns(dram_ns);
+        run(CpuParams::uniform_test(), cfg, scan.clone())
+    };
+    let slow = time(1000);
+    let fast = time(100);
+    // 256 misses × 900 ns difference.
+    assert_eq!(slow, fast + Duration::from_ns(256 * 900));
+}

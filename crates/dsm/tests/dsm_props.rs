@@ -1,0 +1,103 @@
+//! Property-based tests of the DSM runtime's caching discipline.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use mermaid_dsm::{Dsm, DsmConfig};
+use mermaid_ops::{DataType, Operation};
+use mermaid_tracegen::annotate::Translator;
+
+proptest! {
+    /// Fault accounting: the number of `get` operations in the generated
+    /// trace equals the page-fault statistic, and never exceeds the number
+    /// of distinct remote pages touched per epoch (between acquires).
+    #[test]
+    fn faults_are_bounded_by_distinct_remote_pages(
+        accesses in prop::collection::vec((any::<bool>(), 0u64..4096, any::<bool>()), 1..300),
+        me in 0u32..4,
+    ) {
+        let cfg = DsmConfig { nodes: 4, page_bytes: 512 };
+        let mut t = Translator::with_defaults(me);
+        let mut dsm = Dsm::new(&mut t, cfg);
+        let v = dsm.shared_array("v", DataType::F64, 4096);
+
+        let mut epoch_remote_reads: HashSet<u64> = HashSet::new();
+        let mut expected_fault_bound = 0u64;
+        let mut expected_puts = 0u64;
+        for &(is_write, idx, do_acquire) in &accesses {
+            if do_acquire {
+                dsm.acquire();
+                expected_fault_bound += epoch_remote_reads.len() as u64;
+                epoch_remote_reads.clear();
+            }
+            let page = idx * 8 / 512;
+            let home = cfg.home(page);
+            if is_write {
+                dsm.write(v, idx);
+                if home != me {
+                    expected_puts += 1;
+                }
+            } else {
+                dsm.read(v, idx);
+                if home != me {
+                    epoch_remote_reads.insert(page);
+                }
+            }
+        }
+        expected_fault_bound += epoch_remote_reads.len() as u64;
+
+        let stats = dsm.stats().clone();
+        let trace = t.finish();
+        let s = trace.stats();
+        prop_assert_eq!(s.gets, stats.page_faults, "trace gets == stat faults");
+        prop_assert_eq!(s.puts, stats.write_throughs);
+        prop_assert_eq!(s.puts, expected_puts);
+        prop_assert!(
+            stats.page_faults <= expected_fault_bound,
+            "faults {} exceed distinct-remote-page bound {}",
+            stats.page_faults,
+            expected_fault_bound
+        );
+        // Every read/write touched the shadow: loads+stores ≥ accesses.
+        prop_assert!(s.loads + s.stores >= accesses.len() as u64);
+    }
+
+    /// Within one epoch, re-reading the same element never faults twice.
+    #[test]
+    fn repeated_reads_fault_at_most_once(idx in 0u64..4096, reps in 1usize..20) {
+        let cfg = DsmConfig { nodes: 4, page_bytes: 512 };
+        let mut t = Translator::with_defaults(0);
+        let mut dsm = Dsm::new(&mut t, cfg);
+        let v = dsm.shared_array("v", DataType::F64, 4096);
+        for _ in 0..reps {
+            dsm.read(v, idx);
+        }
+        prop_assert!(dsm.stats().page_faults <= 1);
+    }
+
+    /// The generated communication is one-sided only (no sends/recvs from
+    /// data access; the matcher-based operations appear only via barrier).
+    #[test]
+    fn data_access_emits_only_one_sided_traffic(
+        accesses in prop::collection::vec((any::<bool>(), 0u64..1024), 1..100),
+    ) {
+        let cfg = DsmConfig { nodes: 4, page_bytes: 512 };
+        let mut t = Translator::with_defaults(1);
+        let mut dsm = Dsm::new(&mut t, cfg);
+        let v = dsm.shared_array("v", DataType::F64, 1024);
+        for &(is_write, idx) in &accesses {
+            if is_write { dsm.write(v, idx) } else { dsm.read(v, idx) }
+        }
+        let trace = t.finish();
+        for op in trace.iter() {
+            let two_sided = matches!(
+                op,
+                Operation::Send { .. }
+                    | Operation::Recv { .. }
+                    | Operation::ASend { .. }
+                    | Operation::ARecv { .. }
+            );
+            prop_assert!(!two_sided, "unexpected two-sided op {}", op);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The node bus: a single shared server with FCFS arbitration.
+//!
+//! The paper (Fig. 3a) calls the bus "a simple forwarding mechanism,
+//! carrying out arbitration upon multiple accesses". We model it as a
+//! single resource with a busy-until clock: a transaction arriving while
+//! the bus is busy waits; occupancy is arbitration cycles plus data beats.
+
+use pearl::{Duration, Time};
+
+pub use crate::config::BusParams;
+
+/// Statistics of the bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Transactions carried.
+    pub transactions: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Total time transactions spent waiting for the bus.
+    pub wait: Duration,
+    /// Total time the bus was occupied.
+    pub busy: Duration,
+}
+
+/// The shared node bus.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    params: BusParams,
+    busy_until: Time,
+    stats: BusStats,
+}
+
+/// Outcome of one bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusGrant {
+    /// When the transaction was granted the bus.
+    pub start: Time,
+    /// When the transaction released the bus.
+    pub end: Time,
+    /// How long it waited for arbitration (start − request).
+    pub wait: Duration,
+}
+
+impl Bus {
+    /// A new idle bus.
+    pub fn new(params: BusParams) -> Self {
+        Bus {
+            params,
+            busy_until: Time::ZERO,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &BusParams {
+        &self.params
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// When the bus next becomes free.
+    pub fn available_at(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Carry a transaction of `bytes` arriving at `now`; the transaction
+    /// additionally holds the bus for `extra` (e.g. a coupled DRAM access
+    /// on a non-split-transaction bus). Returns the grant window.
+    pub fn transact(&mut self, now: Time, bytes: u32, extra: Duration) -> BusGrant {
+        let start = now.max(self.busy_until);
+        let occupancy = self.params.transfer_time(bytes) + extra;
+        let end = start + occupancy;
+        self.busy_until = end;
+        self.stats.transactions += 1;
+        self.stats.bytes += bytes as u64;
+        let wait = start.since(now);
+        self.stats.wait += wait;
+        self.stats.busy += occupancy;
+        BusGrant { start, end, wait }
+    }
+
+    /// Bus utilization over `[0, horizon)`.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            0.0
+        } else {
+            self.stats.busy.as_ps() as f64 / horizon.as_ps() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pearl::Frequency;
+
+    fn bus() -> Bus {
+        // 10 ns per cycle, 8-byte beats, 1 arb cycle.
+        Bus::new(BusParams {
+            width_bytes: 8,
+            clock: Frequency::from_mhz(100),
+            arbitration_cycles: 1,
+        })
+    }
+
+    #[test]
+    fn idle_bus_grants_immediately() {
+        let mut b = bus();
+        let g = b.transact(Time::from_ps(1000), 32, Duration::ZERO);
+        assert_eq!(g.start, Time::from_ps(1000));
+        // 1 arb + 4 beats = 5 cycles = 50 ns.
+        assert_eq!(g.end, Time::from_ps(1000) + Duration::from_ns(50));
+        assert_eq!(g.wait, Duration::ZERO);
+    }
+
+    #[test]
+    fn contending_transactions_queue_fcfs() {
+        let mut b = bus();
+        let g1 = b.transact(Time::ZERO, 8, Duration::ZERO); // 2 cycles = 20 ns
+        let g2 = b.transact(Time::from_ps(5_000), 8, Duration::ZERO);
+        assert_eq!(g1.end, Time::from_ps(20_000));
+        assert_eq!(g2.start, Time::from_ps(20_000));
+        assert_eq!(g2.wait, Duration::from_ps(15_000));
+        assert_eq!(b.stats().transactions, 2);
+        assert_eq!(b.stats().bytes, 16);
+    }
+
+    #[test]
+    fn extra_occupancy_extends_the_hold() {
+        let mut b = bus();
+        let g = b.transact(Time::ZERO, 8, Duration::from_ns(200));
+        assert_eq!(g.end, Time::from_ps(220_000));
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let mut b = bus();
+        b.transact(Time::ZERO, 8, Duration::ZERO); // busy 20 ns
+        let u = b.utilization(Time::from_ps(40_000));
+        assert!((u - 0.5).abs() < 1e-12);
+        assert_eq!(b.utilization(Time::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Machine parameters for the memory hierarchy.
+//!
+//! Every architecture model in Mermaid "has a set of machine parameters
+//! that is calibrated with published information or by benchmarking"
+//! (paper, Section 3). These structs are that parameter set for the memory
+//! side of a node.
+
+use pearl::{Duration, Frequency};
+use serde::{Deserialize, Serialize};
+
+/// Write-hit policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Dirty lines are written back on eviction.
+    WriteBack,
+    /// Every store is propagated to the next level immediately.
+    WriteThrough,
+}
+
+/// Replacement policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Replacement {
+    /// Least recently used.
+    Lru,
+    /// First in, first out (fill order).
+    Fifo,
+    /// Pseudo-random (deterministic xorshift; reproducible runs).
+    Random,
+}
+
+/// The snoopy coherence protocol variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoherenceProtocol {
+    /// Modified / Shared / Invalid.
+    Msi,
+    /// Modified / Exclusive / Shared / Invalid.
+    Mesi,
+}
+
+/// Parameters of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (ways per set); `1` = direct-mapped.
+    pub assoc: u32,
+    /// Write-hit policy.
+    pub write_policy: WritePolicy,
+    /// Allocate a line on a write miss (write-allocate)?
+    pub write_allocate: bool,
+    /// Replacement policy.
+    pub replacement: Replacement,
+    /// Hit (and probe) latency.
+    pub hit_latency: Duration,
+}
+
+impl CacheParams {
+    /// Number of sets. Panics if the geometry is inconsistent.
+    pub fn sets(&self) -> u64 {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(self.assoc >= 1, "associativity must be >= 1");
+        let lines = self.size_bytes / self.line_bytes as u64;
+        assert!(
+            lines.is_multiple_of(self.assoc as u64) && lines > 0,
+            "cache geometry: {} lines not divisible into {}-way sets",
+            lines,
+            self.assoc
+        );
+        let sets = lines / self.assoc as u64;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+
+    /// Validate the geometry (used by constructors).
+    pub fn validate(&self) {
+        let _ = self.sets();
+    }
+}
+
+/// Bus parameters (paper Fig. 3a: "a simple forwarding mechanism, carrying
+/// out arbitration upon multiple accesses").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusParams {
+    /// Data width in bytes per bus cycle.
+    pub width_bytes: u32,
+    /// Bus clock.
+    pub clock: Frequency,
+    /// Arbitration overhead, in bus cycles, per transaction.
+    pub arbitration_cycles: u64,
+}
+
+impl BusParams {
+    /// Time to move `bytes` across the bus, including arbitration.
+    pub fn transfer_time(&self, bytes: u32) -> Duration {
+        let beats = (bytes as u64).div_ceil(self.width_bytes as u64);
+        self.clock.cycles(self.arbitration_cycles + beats)
+    }
+}
+
+/// DRAM parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramParams {
+    /// Latency from request to first data.
+    pub access_latency: Duration,
+    /// Whether the memory is a single server (accesses queue) or ideally
+    /// pipelined (no queueing).
+    pub single_server: bool,
+}
+
+/// The full memory-system configuration of one node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemSystemConfig {
+    /// Number of processors sharing this node's bus.
+    pub cpus: usize,
+    /// Per-CPU instruction cache.
+    pub l1i: CacheParams,
+    /// Per-CPU data cache.
+    pub l1d: CacheParams,
+    /// Optional unified second-level cache (per CPU).
+    pub l2: Option<CacheParams>,
+    /// The shared bus.
+    pub bus: BusParams,
+    /// Main memory.
+    pub dram: DramParams,
+    /// Coherence protocol for the data caches.
+    pub protocol: CoherenceProtocol,
+    /// Latency for a cache-to-cache supply (snoop flush), excluding bus
+    /// transfer time.
+    pub c2c_latency: Duration,
+}
+
+impl MemSystemConfig {
+    /// Validate all cache geometries.
+    pub fn validate(&self) {
+        assert!(self.cpus >= 1, "need at least one CPU");
+        self.l1i.validate();
+        self.l1d.validate();
+        if let Some(l2) = &self.l2 {
+            l2.validate();
+            assert!(
+                l2.line_bytes >= self.l1d.line_bytes && l2.line_bytes >= self.l1i.line_bytes,
+                "L2 lines must be at least as large as L1 lines (inclusion)"
+            );
+        }
+    }
+
+    /// A small, fast default configuration used by tests and examples:
+    /// 4 KiB 2-way L1s, no L2, 64-bit 50 MHz bus, 200 ns DRAM.
+    pub fn small(cpus: usize) -> Self {
+        let l1 = CacheParams {
+            size_bytes: 4 * 1024,
+            line_bytes: 32,
+            assoc: 2,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: Duration::from_ns(10),
+        };
+        MemSystemConfig {
+            cpus,
+            l1i: l1,
+            l1d: l1,
+            l2: None,
+            bus: BusParams {
+                width_bytes: 8,
+                clock: Frequency::from_mhz(50),
+                arbitration_cycles: 1,
+            },
+            dram: DramParams {
+                access_latency: Duration::from_ns(200),
+                single_server: false,
+            },
+            protocol: CoherenceProtocol::Mesi,
+            c2c_latency: Duration::from_ns(40),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_counts_follow_geometry() {
+        let p = CacheParams {
+            size_bytes: 8 * 1024,
+            line_bytes: 32,
+            assoc: 2,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: Duration::from_ns(5),
+        };
+        assert_eq!(p.sets(), 128);
+        let direct = CacheParams { assoc: 1, ..p };
+        assert_eq!(direct.sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size must be 2^k")]
+    fn non_power_of_two_lines_rejected() {
+        let p = CacheParams {
+            size_bytes: 900,
+            line_bytes: 30,
+            assoc: 1,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: Duration::ZERO,
+        };
+        p.sets();
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn indivisible_ways_rejected() {
+        let p = CacheParams {
+            size_bytes: 96,
+            line_bytes: 32,
+            assoc: 2,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: Duration::ZERO,
+        };
+        p.sets();
+    }
+
+    #[test]
+    fn bus_transfer_time_includes_arbitration() {
+        let bus = BusParams {
+            width_bytes: 8,
+            clock: Frequency::from_mhz(100), // 10 ns/cycle
+            arbitration_cycles: 2,
+        };
+        // 32 bytes = 4 beats + 2 arb cycles = 6 cycles = 60 ns.
+        assert_eq!(bus.transfer_time(32), Duration::from_ns(60));
+        // 1 byte still needs a whole beat.
+        assert_eq!(bus.transfer_time(1), Duration::from_ns(30));
+    }
+
+    #[test]
+    fn small_config_validates() {
+        MemSystemConfig::small(4).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_rejected() {
+        MemSystemConfig::small(0).validate();
+    }
+}

@@ -1,0 +1,101 @@
+//! Main-memory model: "a simple DRAM memory" (paper, Fig. 3a).
+
+use pearl::{Duration, Time};
+
+pub use crate::config::DramParams;
+
+/// Statistics of the DRAM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses (writebacks and write-throughs).
+    pub writes: u64,
+    /// Total queueing delay (single-server mode only).
+    pub wait: Duration,
+}
+
+/// The DRAM main memory.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    params: DramParams,
+    busy_until: Time,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// A new idle memory.
+    pub fn new(params: DramParams) -> Self {
+        Dram {
+            params,
+            busy_until: Time::ZERO,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &DramParams {
+        &self.params
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Perform an access starting at `now`; returns its completion time.
+    /// In single-server mode concurrent accesses queue; otherwise the
+    /// memory is ideally pipelined.
+    pub fn access(&mut self, now: Time, write: bool) -> Time {
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let start = if self.params.single_server {
+            let s = now.max(self.busy_until);
+            self.stats.wait += s.since(now);
+            s
+        } else {
+            now
+        };
+        let end = start + self.params.access_latency;
+        if self.params.single_server {
+            self.busy_until = end;
+        }
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_memory_never_queues() {
+        let mut d = Dram::new(DramParams {
+            access_latency: Duration::from_ns(100),
+            single_server: false,
+        });
+        let t1 = d.access(Time::ZERO, false);
+        let t2 = d.access(Time::ZERO, false);
+        assert_eq!(t1, Time::from_ps(100_000));
+        assert_eq!(t2, Time::from_ps(100_000));
+        assert_eq!(d.stats().reads, 2);
+        assert_eq!(d.stats().wait, Duration::ZERO);
+    }
+
+    #[test]
+    fn single_server_memory_queues() {
+        let mut d = Dram::new(DramParams {
+            access_latency: Duration::from_ns(100),
+            single_server: true,
+        });
+        let t1 = d.access(Time::ZERO, false);
+        let t2 = d.access(Time::from_ns(10), true);
+        assert_eq!(t1, Time::from_ps(100_000));
+        assert_eq!(t2, Time::from_ps(200_000));
+        assert_eq!(d.stats().wait, Duration::from_ns(90));
+        assert_eq!(d.stats().writes, 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! # mermaid-memory — the node memory hierarchy
+//!
+//! Models the memory side of the single-node computational template
+//! (paper, Fig. 3a): a multi-level **cache hierarchy**, a **bus** with
+//! arbitration, and a **DRAM** main memory. Multiple processors may share
+//! the bus; coherence between their private caches is kept by a **snoopy
+//! write-invalidate protocol** (MESI or MSI).
+//!
+//! Following the paper (Section 6), caches are *tags-only*: no data values
+//! are stored, only address tags and coherence state, which keeps simulator
+//! memory consumption independent of the simulated memory size.
+//!
+//! The central type is [`MemorySystem`]: the CPU model calls
+//! [`MemorySystem::access`] for every `load`, `store`, and `ifetch`
+//! operation and receives the access latency, which level served it, and
+//! how long the access waited for the bus.
+
+pub mod bus;
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod system;
+
+pub use bus::{Bus, BusParams};
+pub use cache::{Cache, CacheStats, Victim};
+pub use config::{
+    CacheParams, CoherenceProtocol, MemSystemConfig, Replacement, WritePolicy,
+};
+pub use dram::{Dram, DramParams};
+pub use system::{Access, AccessReport, HitLevel, MemStats, MemorySystem};
+
+/// Coherence states of the snoopy write-invalidate protocol.
+///
+/// The full MESI set; under the MSI protocol configuration the `E` state is
+/// simply never granted. Second-level caches reuse the same states with
+/// `M` = present-dirty and `S` = present-clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mesi {
+    /// Modified: sole owner, dirty with respect to memory.
+    Modified,
+    /// Exclusive: sole owner, clean (MESI only).
+    Exclusive,
+    /// Shared: possibly replicated, clean.
+    Shared,
+    /// Invalid / not present.
+    Invalid,
+}
+
+impl Mesi {
+    /// True when the line is present in the cache.
+    #[inline]
+    pub const fn is_valid(self) -> bool {
+        !matches!(self, Mesi::Invalid)
+    }
+
+    /// True when the line must be written back on eviction or flush.
+    #[inline]
+    pub const fn is_dirty(self) -> bool {
+        matches!(self, Mesi::Modified)
+    }
+}

@@ -1,0 +1,840 @@
+//! The node memory system: per-CPU cache stacks, snoopy coherence, the
+//! shared bus, and DRAM (paper, Fig. 3a).
+//!
+//! ## Model conventions
+//!
+//! * The bus is **not** split-transaction: a miss transaction holds the bus
+//!   for arbitration + supplier latency + line transfer. Writebacks and
+//!   write-throughs are *posted*: they occupy the bus but do not add to the
+//!   requesting CPU's latency.
+//! * Inclusion is enforced between L2 and the L1s: an L2 eviction
+//!   invalidates the contained L1 lines (flushing dirty ones into the
+//!   posted writeback).
+//! * Dirtiness is tracked per level; an L1 eviction of a Modified line
+//!   writes back into the L2 (marking it Modified there) or, without an L2,
+//!   posts a bus writeback to DRAM.
+//! * Instruction lines live in the L1I/L2 in Shared state and never become
+//!   dirty; code and data address ranges are assumed disjoint (the
+//!   annotation translator guarantees this).
+
+use pearl::{Duration, Time};
+
+use crate::bus::Bus;
+use crate::cache::{Cache, CacheStats, Victim};
+use crate::config::{CoherenceProtocol, MemSystemConfig, WritePolicy};
+use crate::dram::Dram;
+use crate::Mesi;
+
+/// The kind of memory access a CPU issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Instruction fetch (L1I side).
+    IFetch,
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+}
+
+/// Which level ultimately served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// First-level hit.
+    L1,
+    /// Second-level hit.
+    L2,
+    /// Supplied by another CPU's cache (snoop flush).
+    CacheToCache,
+    /// Supplied by main memory.
+    Dram,
+}
+
+/// Outcome of one CPU access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessReport {
+    /// Total CPU-visible latency.
+    pub latency: Duration,
+    /// The deepest level involved in serving the access.
+    pub level: HitLevel,
+    /// Time spent waiting for bus arbitration.
+    pub bus_wait: Duration,
+    /// Cache lines the access touched (>1 when it straddles lines).
+    pub lines: u32,
+}
+
+/// Aggregated statistics of the whole memory system.
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    /// Per-CPU L1I statistics.
+    pub l1i: Vec<CacheStats>,
+    /// Per-CPU L1D statistics.
+    pub l1d: Vec<CacheStats>,
+    /// Per-CPU L2 statistics (empty when no L2 is configured).
+    pub l2: Vec<CacheStats>,
+    /// Bus transactions carried.
+    pub bus_transactions: u64,
+    /// Bytes moved over the bus.
+    pub bus_bytes: u64,
+    /// Total bus-wait time.
+    pub bus_wait: Duration,
+    /// Total bus-busy time.
+    pub bus_busy: Duration,
+    /// DRAM reads.
+    pub dram_reads: u64,
+    /// DRAM writes.
+    pub dram_writes: u64,
+}
+
+struct CpuCaches {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Option<Cache>,
+}
+
+/// The memory system of one node.
+pub struct MemorySystem {
+    cfg: MemSystemConfig,
+    stacks: Vec<CpuCaches>,
+    bus: Bus,
+    dram: Dram,
+}
+
+impl MemorySystem {
+    /// Build an empty (cold-cache) memory system.
+    pub fn new(cfg: MemSystemConfig) -> Self {
+        cfg.validate();
+        let stacks = (0..cfg.cpus)
+            .map(|_| CpuCaches {
+                l1i: Cache::new(cfg.l1i),
+                l1d: Cache::new(cfg.l1d),
+                l2: cfg.l2.map(Cache::new),
+            })
+            .collect();
+        MemorySystem {
+            bus: Bus::new(cfg.bus),
+            dram: Dram::new(cfg.dram),
+            cfg,
+            stacks,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemSystemConfig {
+        &self.cfg
+    }
+
+    /// Number of CPUs on the node.
+    pub fn cpus(&self) -> usize {
+        self.cfg.cpus
+    }
+
+    /// Perform an access of `size` bytes at `addr` for `cpu`, starting at
+    /// `now`. Accesses that straddle line boundaries are split and served
+    /// sequentially.
+    pub fn access(
+        &mut self,
+        cpu: usize,
+        kind: Access,
+        addr: u64,
+        size: u32,
+        now: Time,
+    ) -> AccessReport {
+        assert!(cpu < self.stacks.len(), "unknown CPU {cpu}");
+        assert!(size > 0, "zero-size access");
+        let line_bytes = match kind {
+            Access::IFetch => self.cfg.l1i.line_bytes,
+            _ => self.cfg.l1d.line_bytes,
+        } as u64;
+        let first = addr & !(line_bytes - 1);
+        let last = (addr + size as u64 - 1) & !(line_bytes - 1);
+
+        let mut t = now;
+        let mut total = Duration::ZERO;
+        let mut bus_wait = Duration::ZERO;
+        let mut worst = HitLevel::L1;
+        let mut lines = 0u32;
+        let mut line = first;
+        loop {
+            let (lat, lvl, wait) = self.access_line(cpu, kind, line, size.min(line_bytes as u32), t);
+            total += lat;
+            t += lat;
+            bus_wait += wait;
+            worst = worst.max(lvl);
+            lines += 1;
+            if line == last {
+                break;
+            }
+            line += line_bytes;
+        }
+        AccessReport {
+            latency: total,
+            level: worst,
+            bus_wait,
+            lines,
+        }
+    }
+
+    /// One line-granular access.
+    fn access_line(
+        &mut self,
+        cpu: usize,
+        kind: Access,
+        addr: u64,
+        bytes: u32,
+        now: Time,
+    ) -> (Duration, HitLevel, Duration) {
+        match kind {
+            Access::IFetch => self.ifetch_line(cpu, addr, now),
+            Access::Read => self.read_line(cpu, addr, now),
+            Access::Write => self.write_line(cpu, addr, bytes, now),
+        }
+    }
+
+    fn ifetch_line(&mut self, cpu: usize, addr: u64, now: Time) -> (Duration, HitLevel, Duration) {
+        let l1_hit = self.cfg.l1i.hit_latency;
+        if self.stacks[cpu].l1i.lookup(addr).is_valid() {
+            return (l1_hit, HitLevel::L1, Duration::ZERO);
+        }
+        let mut elapsed = l1_hit;
+        // L2 probe.
+        if self.stacks[cpu].l2.is_some() {
+            let l2_hit = self.cfg.l2.unwrap().hit_latency;
+            elapsed += l2_hit;
+            let st = self.stacks[cpu].l2.as_mut().unwrap().lookup(addr);
+            if st.is_valid() {
+                self.fill_l1i(cpu, addr);
+                return (elapsed, HitLevel::L2, Duration::ZERO);
+            }
+        }
+        // Miss to memory: instructions come from DRAM (no snooping — code is
+        // read-only and not present in remote data caches).
+        let line = self.cfg.l1i.line_bytes;
+        let grant = self
+            .bus
+            .transact(now + elapsed, line, self.cfg.dram.access_latency);
+        self.dram.access(grant.start, false);
+        let done = grant.end;
+        self.fill_l2(cpu, addr, Mesi::Shared, done);
+        self.fill_l1i(cpu, addr);
+        (done.since(now), HitLevel::Dram, grant.wait)
+    }
+
+    fn read_line(&mut self, cpu: usize, addr: u64, now: Time) -> (Duration, HitLevel, Duration) {
+        let l1_hit = self.cfg.l1d.hit_latency;
+        if self.stacks[cpu].l1d.lookup(addr).is_valid() {
+            return (l1_hit, HitLevel::L1, Duration::ZERO);
+        }
+        let mut elapsed = l1_hit;
+        if self.stacks[cpu].l2.is_some() {
+            let l2_hit = self.cfg.l2.unwrap().hit_latency;
+            elapsed += l2_hit;
+            let st = self.stacks[cpu].l2.as_mut().unwrap().lookup(addr);
+            if st.is_valid() {
+                // Inherit the L2 state into the L1D.
+                self.fill_l1d(cpu, addr, st, now + elapsed);
+                return (elapsed, HitLevel::L2, Duration::ZERO);
+            }
+        }
+        // Bus read (BusRd): snoop all other stacks.
+        let (sharer, dirty) = self.snoop_read(cpu, addr);
+        let supply = if dirty {
+            self.cfg.c2c_latency
+        } else {
+            self.cfg.dram.access_latency
+        };
+        let line = self.cfg.l1d.line_bytes;
+        let grant = self.bus.transact(now + elapsed, line, supply);
+        if !dirty {
+            self.dram.access(grant.start, false);
+        }
+        let state = if sharer || self.cfg.protocol == CoherenceProtocol::Msi {
+            Mesi::Shared
+        } else {
+            Mesi::Exclusive
+        };
+        let done = grant.end;
+        self.fill_l2(cpu, addr, state, done);
+        self.fill_l1d(cpu, addr, state, done);
+        let level = if dirty {
+            HitLevel::CacheToCache
+        } else {
+            HitLevel::Dram
+        };
+        (done.since(now), level, grant.wait)
+    }
+
+    fn write_line(
+        &mut self,
+        cpu: usize,
+        addr: u64,
+        bytes: u32,
+        now: Time,
+    ) -> (Duration, HitLevel, Duration) {
+        match self.cfg.l1d.write_policy {
+            WritePolicy::WriteBack => self.write_back_line(cpu, addr, now),
+            WritePolicy::WriteThrough => self.write_through_line(cpu, addr, bytes, now),
+        }
+    }
+
+    fn write_back_line(&mut self, cpu: usize, addr: u64, now: Time) -> (Duration, HitLevel, Duration) {
+        let l1_hit = self.cfg.l1d.hit_latency;
+        let st = self.stacks[cpu].l1d.lookup(addr);
+        match st {
+            Mesi::Modified => return (l1_hit, HitLevel::L1, Duration::ZERO),
+            Mesi::Exclusive => {
+                // Silent E→M upgrade.
+                self.stacks[cpu].l1d.set_state(addr, Mesi::Modified);
+                return (l1_hit, HitLevel::L1, Duration::ZERO);
+            }
+            Mesi::Shared => {
+                // Upgrade (BusUpgr): invalidate remote copies; control-only
+                // bus transaction.
+                self.snoop_invalidate_remote(cpu, addr);
+                let grant = self.bus.transact(now + l1_hit, 0, Duration::ZERO);
+                self.stacks[cpu].l1d.set_state(addr, Mesi::Modified);
+                return (grant.end.since(now), HitLevel::L1, grant.wait);
+            }
+            Mesi::Invalid => {}
+        }
+        let mut elapsed = l1_hit;
+        // L2 probe.
+        if self.stacks[cpu].l2.is_some() {
+            let l2_hit = self.cfg.l2.unwrap().hit_latency;
+            elapsed += l2_hit;
+            let st2 = self.stacks[cpu].l2.as_mut().unwrap().lookup(addr);
+            if st2.is_valid() {
+                if st2 == Mesi::Shared && self.has_remote_copy(cpu, addr) {
+                    // Upgrade from L2-shared: invalidate remotes.
+                    self.snoop_invalidate_remote(cpu, addr);
+                    let grant = self.bus.transact(now + elapsed, 0, Duration::ZERO);
+                    self.fill_l1d(cpu, addr, Mesi::Modified, grant.end);
+                    return (grant.end.since(now), HitLevel::L2, grant.wait);
+                }
+                self.fill_l1d(cpu, addr, Mesi::Modified, now + elapsed);
+                return (elapsed, HitLevel::L2, Duration::ZERO);
+            }
+        }
+        if !self.cfg.l1d.write_allocate {
+            // Write-no-allocate: post the word to memory, don't fill.
+            let grant = self.bus.transact(now + elapsed, self.cfg.l1d.line_bytes.min(8), Duration::ZERO);
+            self.dram.access(grant.start, true);
+            self.snoop_invalidate_remote(cpu, addr);
+            return (elapsed, HitLevel::Dram, Duration::ZERO);
+        }
+        // Write-allocate miss: BusRdX — read with intent to modify.
+        let dirty = self.snoop_rdx(cpu, addr);
+        let supply = if dirty {
+            self.cfg.c2c_latency
+        } else {
+            self.cfg.dram.access_latency
+        };
+        let line = self.cfg.l1d.line_bytes;
+        let grant = self.bus.transact(now + elapsed, line, supply);
+        if !dirty {
+            self.dram.access(grant.start, false);
+        }
+        let done = grant.end;
+        self.fill_l2(cpu, addr, Mesi::Shared, done);
+        self.fill_l1d(cpu, addr, Mesi::Modified, done);
+        let level = if dirty {
+            HitLevel::CacheToCache
+        } else {
+            HitLevel::Dram
+        };
+        (done.since(now), level, grant.wait)
+    }
+
+    fn write_through_line(
+        &mut self,
+        cpu: usize,
+        addr: u64,
+        bytes: u32,
+        now: Time,
+    ) -> (Duration, HitLevel, Duration) {
+        let l1_hit = self.cfg.l1d.hit_latency;
+        let hit = self.stacks[cpu].l1d.lookup(addr).is_valid();
+        if hit {
+            // Posted write-through; remote copies are invalidated
+            // (write-invalidate snooping).
+            let grant = self.bus.transact(now + l1_hit, bytes, Duration::ZERO);
+            self.dram.access(grant.start, true);
+            self.snoop_invalidate_remote(cpu, addr);
+            return (l1_hit, HitLevel::L1, Duration::ZERO);
+        }
+        if self.cfg.l1d.write_allocate {
+            // Fill like a read, then write through.
+            let (lat, level, wait) = self.read_line(cpu, addr, now);
+            let grant = self.bus.transact(now + lat, bytes, Duration::ZERO);
+            self.dram.access(grant.start, true);
+            self.snoop_invalidate_remote(cpu, addr);
+            (lat, level, wait)
+        } else {
+            // Write-around: post to memory only.
+            let grant = self.bus.transact(now + l1_hit, bytes, Duration::ZERO);
+            self.dram.access(grant.start, true);
+            self.snoop_invalidate_remote(cpu, addr);
+            (l1_hit, HitLevel::Dram, Duration::ZERO)
+        }
+    }
+
+    /// Snoop for a remote read (BusRd): downgrade M/E holders to S.
+    /// Returns `(any_sharer, dirty_supplied)`.
+    fn snoop_read(&mut self, cpu: usize, addr: u64) -> (bool, bool) {
+        let mut sharer = false;
+        let mut dirty = false;
+        for (q, stack) in self.stacks.iter_mut().enumerate() {
+            if q == cpu {
+                continue;
+            }
+            let d = stack.l1d.snoop_downgrade(addr);
+            if d.is_valid() {
+                sharer = true;
+            }
+            if d.is_dirty() {
+                dirty = true;
+            }
+            if let Some(l2) = stack.l2.as_mut() {
+                let d2 = l2.snoop_downgrade(addr);
+                if d2.is_valid() {
+                    sharer = true;
+                }
+                if d2.is_dirty() {
+                    dirty = true;
+                }
+            }
+        }
+        (sharer, dirty)
+    }
+
+    /// Snoop for a remote write miss (BusRdX): invalidate all remote
+    /// copies. Returns whether a dirty copy was flushed.
+    fn snoop_rdx(&mut self, cpu: usize, addr: u64) -> bool {
+        let mut dirty = false;
+        for (q, stack) in self.stacks.iter_mut().enumerate() {
+            if q == cpu {
+                continue;
+            }
+            if stack.l1d.snoop_invalidate(addr).is_dirty() {
+                dirty = true;
+            }
+            if let Some(l2) = stack.l2.as_mut() {
+                if l2.snoop_invalidate(addr).is_dirty() {
+                    dirty = true;
+                }
+            }
+        }
+        dirty
+    }
+
+    /// Invalidate remote copies without expecting dirty data (BusUpgr and
+    /// write-through invalidations).
+    fn snoop_invalidate_remote(&mut self, cpu: usize, addr: u64) {
+        let _ = self.snoop_rdx(cpu, addr);
+    }
+
+    /// True when any other CPU holds the line (L1D or L2).
+    fn has_remote_copy(&self, cpu: usize, addr: u64) -> bool {
+        self.stacks.iter().enumerate().any(|(q, stack)| {
+            q != cpu
+                && (stack.l1d.probe(addr).is_valid()
+                    || stack
+                        .l2
+                        .as_ref()
+                        .is_some_and(|l2| l2.probe(addr).is_valid()))
+        })
+    }
+
+    fn fill_l1i(&mut self, cpu: usize, addr: u64) {
+        // Instruction lines are never dirty; victims vanish silently.
+        let _ = self.stacks[cpu].l1i.fill(addr, Mesi::Shared);
+    }
+
+    /// Fill the L1D, handling a dirty victim's writeback into the L2 (or a
+    /// posted bus writeback without an L2).
+    fn fill_l1d(&mut self, cpu: usize, addr: u64, state: Mesi, now: Time) {
+        if self.stacks[cpu].l1d.probe(addr).is_valid() {
+            // Already present (e.g. refilled by an inclusive path); just
+            // upgrade the state if needed.
+            self.stacks[cpu].l1d.set_state(addr, state);
+            return;
+        }
+        if let Some(victim) = self.stacks[cpu].l1d.fill(addr, state) {
+            self.writeback_l1_victim(cpu, victim, now);
+        }
+    }
+
+    fn writeback_l1_victim(&mut self, cpu: usize, victim: Victim, now: Time) {
+        if !victim.state.is_dirty() {
+            return;
+        }
+        if self.stacks[cpu].l2.is_some() {
+            // Inclusion guarantees the L2 still holds the line.
+            let present = self.stacks[cpu]
+                .l2
+                .as_ref()
+                .unwrap()
+                .probe(victim.line_addr)
+                .is_valid();
+            if present {
+                self.stacks[cpu]
+                    .l2
+                    .as_mut()
+                    .unwrap()
+                    .set_state(victim.line_addr, Mesi::Modified);
+                return;
+            }
+        }
+        // Posted writeback to memory.
+        let line = self.cfg.l1d.line_bytes;
+        let grant = self.bus.transact(now, line, Duration::ZERO);
+        self.dram.access(grant.start, true);
+    }
+
+    /// Fill the L2 (when configured), enforcing inclusion on eviction.
+    fn fill_l2(&mut self, cpu: usize, addr: u64, state: Mesi, now: Time) {
+        let Some(l2_params) = self.cfg.l2 else {
+            return;
+        };
+        if self.stacks[cpu].l2.as_ref().unwrap().probe(addr).is_valid() {
+            return;
+        }
+        let victim = self.stacks[cpu].l2.as_mut().unwrap().fill(addr, state);
+        let Some(victim) = victim else {
+            return;
+        };
+        // Inclusion: purge all L1 lines contained in the evicted L2 line.
+        let mut dirty = victim.state.is_dirty();
+        let l1d_line = self.cfg.l1d.line_bytes as u64;
+        let l1i_line = self.cfg.l1i.line_bytes as u64;
+        let span = l2_params.line_bytes as u64;
+        let mut a = victim.line_addr;
+        while a < victim.line_addr + span {
+            if self.stacks[cpu].l1d.snoop_invalidate(a).is_dirty() {
+                dirty = true;
+            }
+            a += l1d_line;
+        }
+        let mut a = victim.line_addr;
+        while a < victim.line_addr + span {
+            let _ = self.stacks[cpu].l1i.snoop_invalidate(a);
+            a += l1i_line;
+        }
+        if dirty {
+            let grant = self.bus.transact(now, l2_params.line_bytes, Duration::ZERO);
+            self.dram.access(grant.start, true);
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> MemStats {
+        let bus = self.bus.stats();
+        let dram = self.dram.stats();
+        MemStats {
+            l1i: self.stacks.iter().map(|s| s.l1i.stats()).collect(),
+            l1d: self.stacks.iter().map(|s| s.l1d.stats()).collect(),
+            l2: self
+                .stacks
+                .iter()
+                .filter_map(|s| s.l2.as_ref().map(Cache::stats))
+                .collect(),
+            bus_transactions: bus.transactions,
+            bus_bytes: bus.bytes,
+            bus_wait: bus.wait,
+            bus_busy: bus.busy,
+            dram_reads: dram.reads,
+            dram_writes: dram.writes,
+        }
+    }
+
+    /// Simulator-side memory footprint of the model in bytes — the quantity
+    /// of experiment E3 (paper Section 6: tags only, no data).
+    pub fn footprint_bytes(&self) -> usize {
+        let caches: usize = self
+            .stacks
+            .iter()
+            .map(|s| {
+                s.l1i.footprint_bytes()
+                    + s.l1d.footprint_bytes()
+                    + s.l2.as_ref().map_or(0, Cache::footprint_bytes)
+            })
+            .sum();
+        caches + std::mem::size_of::<Self>()
+    }
+
+    /// Verify the system-wide coherence invariant for `addr`: at most one
+    /// M/E owner across L1Ds, and M/E excludes any other valid copy.
+    /// Panics (with a description) on violation. Test/diagnostic hook.
+    pub fn check_coherence(&self, addr: u64) {
+        let states: Vec<Mesi> = self.stacks.iter().map(|s| s.l1d.probe(addr)).collect();
+        let owners = states
+            .iter()
+            .filter(|s| matches!(s, Mesi::Modified | Mesi::Exclusive))
+            .count();
+        let valids = states.iter().filter(|s| s.is_valid()).count();
+        assert!(
+            owners <= 1,
+            "coherence violation at {addr:#x}: {owners} M/E owners ({states:?})"
+        );
+        if owners == 1 {
+            assert!(
+                valids == 1,
+                "coherence violation at {addr:#x}: owner coexists with sharers ({states:?})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheParams, Replacement};
+
+    fn cfg(cpus: usize) -> MemSystemConfig {
+        MemSystemConfig::small(cpus)
+    }
+
+    fn sys(cpus: usize) -> MemorySystem {
+        MemorySystem::new(cfg(cpus))
+    }
+
+    #[test]
+    fn cold_read_misses_then_hits() {
+        let mut m = sys(1);
+        let r1 = m.access(0, Access::Read, 0x1000, 4, Time::ZERO);
+        assert_eq!(r1.level, HitLevel::Dram);
+        let r2 = m.access(0, Access::Read, 0x1000, 4, Time::from_ps(r1.latency.as_ps()));
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(r2.latency, Duration::from_ns(10));
+        let s = m.stats();
+        assert_eq!(s.l1d[0].misses, 1);
+        assert_eq!(s.l1d[0].hits, 1);
+        assert_eq!(s.dram_reads, 1);
+    }
+
+    #[test]
+    fn miss_latency_is_probes_plus_bus_plus_dram() {
+        let mut m = sys(1);
+        let r = m.access(0, Access::Read, 0x1000, 4, Time::ZERO);
+        // l1 probe 10ns + bus (1 arb + 4 beats @ 20ns = 100ns) + dram 200ns.
+        assert_eq!(r.latency, Duration::from_ns(10 + 100 + 200));
+    }
+
+    #[test]
+    fn ifetch_uses_the_instruction_cache() {
+        let mut m = sys(1);
+        let r1 = m.access(0, Access::IFetch, 0x40, 4, Time::ZERO);
+        assert_eq!(r1.level, HitLevel::Dram);
+        let r2 = m.access(0, Access::IFetch, 0x44, 4, Time::from_ps(r1.latency.as_ps()));
+        assert_eq!(r2.level, HitLevel::L1);
+        // Data cache untouched.
+        assert_eq!(m.stats().l1d[0].misses, 0);
+        assert_eq!(m.stats().l1i[0].misses, 1);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut m = sys(1);
+        // 32-byte lines; an 8-byte access at offset 28 straddles.
+        let r = m.access(0, Access::Read, 0x101c, 8, Time::ZERO);
+        assert_eq!(r.lines, 2);
+        assert_eq!(m.stats().l1d[0].misses, 2);
+    }
+
+    #[test]
+    fn mesi_grants_exclusive_on_sole_read() {
+        let mut m = sys(2);
+        m.access(0, Access::Read, 0x2000, 4, Time::ZERO);
+        // CPU0 now holds E; a write is a silent upgrade (no bus traffic).
+        let tx_before = m.stats().bus_transactions;
+        let w = m.access(0, Access::Write, 0x2000, 4, Time::from_us(1));
+        assert_eq!(w.level, HitLevel::L1);
+        assert_eq!(m.stats().bus_transactions, tx_before);
+        m.check_coherence(0x2000);
+    }
+
+    #[test]
+    fn msi_always_grants_shared() {
+        let mut c = cfg(2);
+        c.protocol = CoherenceProtocol::Msi;
+        let mut m = MemorySystem::new(c);
+        m.access(0, Access::Read, 0x2000, 4, Time::ZERO);
+        // Under MSI the write needs an upgrade transaction.
+        let tx_before = m.stats().bus_transactions;
+        m.access(0, Access::Write, 0x2000, 4, Time::from_us(1));
+        assert_eq!(m.stats().bus_transactions, tx_before + 1);
+    }
+
+    #[test]
+    fn read_read_write_invalidates_sharer() {
+        let mut m = sys(2);
+        m.access(0, Access::Read, 0x3000, 4, Time::ZERO);
+        m.access(1, Access::Read, 0x3000, 4, Time::from_us(1));
+        m.check_coherence(0x3000);
+        // Both S now; CPU0 writes → upgrade, CPU1 invalidated.
+        m.access(0, Access::Write, 0x3000, 4, Time::from_us(2));
+        m.check_coherence(0x3000);
+        let r = m.access(1, Access::Read, 0x3000, 4, Time::from_us(3));
+        // CPU0 holds it Modified → cache-to-cache supply.
+        assert_eq!(r.level, HitLevel::CacheToCache);
+        m.check_coherence(0x3000);
+        assert_eq!(m.stats().l1d[1].snoop_invalidations, 1);
+    }
+
+    #[test]
+    fn write_write_ping_pong() {
+        let mut m = sys(2);
+        let mut t = Time::ZERO;
+        for i in 0..6 {
+            let cpu = i % 2;
+            let r = m.access(cpu, Access::Write, 0x4000, 4, t);
+            t += r.latency + Duration::from_ns(1);
+            m.check_coherence(0x4000);
+        }
+        let s = m.stats();
+        // After the first write, every write misses and is supplied c2c.
+        assert!(s.l1d[0].snoop_invalidations >= 2);
+        assert!(s.l1d[1].snoop_invalidations >= 2);
+    }
+
+    #[test]
+    fn second_sharer_gets_shared_not_exclusive() {
+        let mut m = sys(2);
+        m.access(0, Access::Read, 0x5000, 4, Time::ZERO);
+        m.access(1, Access::Read, 0x5000, 4, Time::from_us(1));
+        // CPU1 writing must generate an upgrade (it holds S, not E).
+        let tx_before = m.stats().bus_transactions;
+        m.access(1, Access::Write, 0x5000, 4, Time::from_us(2));
+        assert!(m.stats().bus_transactions > tx_before);
+        m.check_coherence(0x5000);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut m = sys(1);
+        // Fill both ways of one set with modified lines, then evict.
+        // 4 KiB, 2-way, 32-byte lines → 64 sets; same set every 2 KiB.
+        let mut t = Time::ZERO;
+        for addr in [0x0u64, 0x800, 0x1000] {
+            let r = m.access(0, Access::Write, addr, 4, t);
+            t += r.latency + Duration::from_ns(1);
+        }
+        assert_eq!(m.stats().l1d[0].writebacks, 1);
+        assert_eq!(m.stats().dram_writes, 1);
+    }
+
+    #[test]
+    fn bus_contention_shows_up_as_wait() {
+        let mut m = sys(2);
+        // Two CPUs miss at the same instant → the second waits.
+        let r0 = m.access(0, Access::Read, 0x6000, 4, Time::ZERO);
+        let r1 = m.access(1, Access::Read, 0x7000, 4, Time::ZERO);
+        assert_eq!(r0.bus_wait, Duration::ZERO);
+        assert!(r1.bus_wait > Duration::ZERO);
+        assert!(r1.latency > r0.latency);
+    }
+
+    #[test]
+    fn write_through_posts_stores_to_the_bus() {
+        let mut c = cfg(1);
+        c.l1d.write_policy = WritePolicy::WriteThrough;
+        c.l1d.write_allocate = false;
+        let mut m = MemorySystem::new(c);
+        // Read fills the line, then a WT store hits L1 but posts the write.
+        let r = m.access(0, Access::Read, 0x100, 4, Time::ZERO);
+        let t = Time::ZERO + r.latency;
+        let tx_before = m.stats().bus_transactions;
+        let w = m.access(0, Access::Write, 0x100, 4, t);
+        assert_eq!(w.level, HitLevel::L1);
+        assert_eq!(w.latency, Duration::from_ns(10)); // posted: hit latency only
+        assert_eq!(m.stats().bus_transactions, tx_before + 1);
+        assert_eq!(m.stats().dram_writes, 1);
+    }
+
+    #[test]
+    fn write_no_allocate_leaves_cache_cold() {
+        let mut c = cfg(1);
+        c.l1d.write_allocate = false;
+        let mut m = MemorySystem::new(c);
+        let w = m.access(0, Access::Write, 0x100, 4, Time::ZERO);
+        assert_eq!(w.level, HitLevel::Dram);
+        // The following read still misses.
+        let r = m.access(0, Access::Read, 0x100, 4, Time::from_us(1));
+        assert_eq!(r.level, HitLevel::Dram);
+    }
+
+    fn cfg_with_l2(cpus: usize) -> MemSystemConfig {
+        let mut c = cfg(cpus);
+        c.l2 = Some(CacheParams {
+            size_bytes: 32 * 1024,
+            line_bytes: 32,
+            assoc: 4,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: Duration::from_ns(40),
+        });
+        c
+    }
+
+    #[test]
+    fn l2_hits_after_l1_eviction() {
+        let mut m = MemorySystem::new(cfg_with_l2(1));
+        let mut t = Time::ZERO;
+        // Load 0x0, then evict it from L1 (2-way set, 64 sets → conflict at
+        // 2 KiB stride) while L2 (4-way, 256 sets → 8 KiB stride) keeps all.
+        for addr in [0x0u64, 0x800, 0x1000] {
+            let r = m.access(0, Access::Read, addr, 4, t);
+            t += r.latency + Duration::from_ns(1);
+        }
+        let r = m.access(0, Access::Read, 0x0, 4, t);
+        assert_eq!(r.level, HitLevel::L2);
+        // l1 probe + l2 hit.
+        assert_eq!(r.latency, Duration::from_ns(50));
+    }
+
+    #[test]
+    fn l2_inclusion_purges_l1_on_l2_eviction() {
+        let mut c = cfg_with_l2(1);
+        // Tiny L2: 2 sets × 1 way × 32 B = direct-mapped 64 B, so two
+        // conflicting lines exist at 64-byte stride.
+        c.l2 = Some(CacheParams {
+            size_bytes: 64,
+            line_bytes: 32,
+            assoc: 1,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+            hit_latency: Duration::from_ns(40),
+        });
+        let mut m = MemorySystem::new(c);
+        let mut t = Time::ZERO;
+        let r = m.access(0, Access::Write, 0x0, 4, t); // L1D: M, L2: present
+        t += r.latency + Duration::from_ns(1);
+        let r = m.access(0, Access::Read, 0x40, 4, t); // evicts L2 line 0x0
+        t += r.latency + Duration::from_ns(1);
+        // Inclusion forced 0x0 out of L1D too (flushing the dirty line).
+        let r = m.access(0, Access::Read, 0x0, 4, t);
+        assert!(matches!(r.level, HitLevel::Dram));
+        assert!(m.stats().dram_writes >= 1);
+    }
+
+    #[test]
+    fn footprint_grows_with_cpu_count_but_not_memory_size() {
+        let f1 = sys(1).footprint_bytes();
+        let f4 = sys(4).footprint_bytes();
+        assert!(f4 > f1);
+        assert!(f4 < 4 * 1024 * 1024, "tags-only model should be small");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown CPU")]
+    fn out_of_range_cpu_panics() {
+        sys(1).access(1, Access::Read, 0, 4, Time::ZERO);
+    }
+
+    #[test]
+    fn check_coherence_passes_on_fresh_system() {
+        let m = sys(4);
+        m.check_coherence(0x1234);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the cache and coherence invariants.
+
+use proptest::prelude::*;
+
+use mermaid_memory::{
+    Access, Cache, CacheParams, CoherenceProtocol, MemSystemConfig, MemorySystem, Mesi,
+    Replacement, WritePolicy,
+};
+use pearl::{Duration, Time};
+
+fn params(assoc: u32, repl: Replacement) -> CacheParams {
+    CacheParams {
+        size_bytes: 1024,
+        line_bytes: 32,
+        assoc,
+        write_policy: WritePolicy::WriteBack,
+        write_allocate: true,
+        replacement: repl,
+        hit_latency: Duration::from_ns(1),
+    }
+}
+
+proptest! {
+    /// A cache never holds the same line twice, never exceeds its
+    /// capacity, and `probe` agrees with the `fill`/`invalidate` history.
+    #[test]
+    fn cache_capacity_and_uniqueness(
+        assoc in prop::sample::select(vec![1u32, 2, 4, 8]),
+        repl in prop::sample::select(vec![Replacement::Lru, Replacement::Fifo, Replacement::Random]),
+        addrs in prop::collection::vec(0u64..0x4000, 1..300),
+    ) {
+        let p = params(assoc, repl);
+        let capacity = (p.size_bytes / p.line_bytes as u64) as usize;
+        let mut c = Cache::new(p);
+        for &addr in &addrs {
+            if !c.lookup(addr).is_valid() {
+                c.fill(addr, Mesi::Shared);
+            }
+            // Uniqueness: every valid line address appears exactly once.
+            let mut lines: Vec<u64> = c.iter_valid().map(|(a, _)| a).collect();
+            let total = lines.len();
+            lines.sort_unstable();
+            lines.dedup();
+            prop_assert_eq!(lines.len(), total, "duplicate line after {:#x}", addr);
+            prop_assert!(total <= capacity, "capacity exceeded");
+            // The just-touched line is resident.
+            prop_assert!(c.probe(addr).is_valid());
+        }
+    }
+
+    /// Fill/evict accounting: evictions only happen at full sets, and the
+    /// hit+miss count equals the lookups issued.
+    #[test]
+    fn cache_stats_are_consistent(
+        addrs in prop::collection::vec(0u64..0x2000, 1..200),
+    ) {
+        let mut c = Cache::new(params(2, Replacement::Lru));
+        for &addr in &addrs {
+            if !c.lookup(addr).is_valid() {
+                c.fill(addr, Mesi::Exclusive);
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        // Fills = misses; evictions can never exceed fills.
+        prop_assert!(s.evictions <= s.misses);
+        prop_assert_eq!(s.writebacks, 0, "clean lines never write back");
+    }
+
+    /// Under arbitrary interleavings across four CPUs, the memory system
+    /// preserves MESI exclusivity, and hit rates stay within [0, 1].
+    #[test]
+    fn memory_system_invariants(
+        ops in prop::collection::vec((0usize..4, any::<bool>(), 0u64..128), 1..250),
+    ) {
+        let mut cfg = MemSystemConfig::small(4);
+        cfg.protocol = CoherenceProtocol::Mesi;
+        let mut sys = MemorySystem::new(cfg);
+        let mut now = Time::ZERO;
+        for &(cpu, write, slot) in &ops {
+            let kind = if write { Access::Write } else { Access::Read };
+            let r = sys.access(cpu, kind, 0x8000 + slot * 4, 4, now);
+            now = now + r.latency + Duration::from_ps(1);
+        }
+        for slot in 0..128u64 {
+            sys.check_coherence(0x8000 + slot * 4);
+        }
+        let stats = sys.stats();
+        for s in &stats.l1d {
+            let rate = s.hit_rate();
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+        // Conservation: every DRAM write stems from a writeback/flush path.
+        prop_assert!(stats.dram_writes <= stats.bus_transactions);
+    }
+
+    /// MSI never grants Exclusive.
+    #[test]
+    fn msi_never_grants_exclusive(
+        reads in prop::collection::vec((0usize..2, 0u64..64), 1..100),
+    ) {
+        let mut cfg = MemSystemConfig::small(2);
+        cfg.protocol = CoherenceProtocol::Msi;
+        let mut sys = MemorySystem::new(cfg);
+        let mut now = Time::ZERO;
+        for &(cpu, slot) in &reads {
+            let r = sys.access(cpu, Access::Read, slot * 32, 4, now);
+            now += r.latency;
+            // After a read, no line is in E state anywhere (MSI).
+            // check_coherence allows E, so verify via a write: a write to a
+            // just-read line must generate a bus transaction under MSI.
+        }
+        let before = sys.stats().bus_transactions;
+        let r = sys.access(0, Access::Read, 0x9000, 4, now);
+        now += r.latency;
+        sys.access(0, Access::Write, 0x9000, 4, now);
+        prop_assert!(sys.stats().bus_transactions > before + 1, "MSI write after read must upgrade on the bus");
+    }
+}

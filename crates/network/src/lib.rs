@@ -1,0 +1,37 @@
+//! # mermaid-network — the multi-node communication model
+//!
+//! Models the communication side of Mermaid (paper, Fig. 3b): every node
+//! has an **abstract processor**, a **router**, and **communication links**;
+//! nodes are connected in a topology reflecting the physical interconnect
+//! of the multicomputer. The abstract processor reads an incoming
+//! (task-level) operation trace, processes the `compute` operations and
+//! dispatches communication requests to the router, which packetises
+//! messages and routes them through the network with a configurable routing
+//! and switching strategy.
+//!
+//! The model is built on the [`pearl`] discrete-event kernel: routers and
+//! abstract processors are components; packets travel as events; link
+//! occupancy serialises transfers.
+//!
+//! * [`Topology`] — ring, 2-D mesh, 2-D torus, hypercube, fully-connected,
+//!   star; deterministic minimal routing (dimension-order / e-cube).
+//! * [`Switching`] — store-and-forward, virtual cut-through, wormhole
+//!   (modelled at packet granularity; see DESIGN.md for the approximation).
+//! * Synchronous `send`/`recv` implement a rendezvous: the sender blocks
+//!   until the receiver has consumed the message (acknowledged by a control
+//!   packet travelling back through the network). `asend`/`arecv` are
+//!   non-blocking.
+//!
+//! The entry point is [`CommSim`]: build it from a [`NetworkConfig`] and a
+//! task-level [`mermaid_ops::TraceSet`], run it, and read a [`CommResult`].
+
+pub mod config;
+pub mod packet;
+pub mod processor;
+pub mod router;
+pub mod sim;
+pub mod topology;
+
+pub use config::{LinkParams, NetworkConfig, RouterParams, Switching};
+pub use sim::{CommResult, CommSim, NodeCommStats};
+pub use topology::Topology;

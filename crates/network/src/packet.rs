@@ -1,0 +1,95 @@
+//! Packets and the network-message event type.
+
+use mermaid_ops::NodeId;
+use pearl::Time;
+
+/// Identifies a message uniquely within a simulation: source node plus a
+/// source-local sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgId {
+    /// Sending node.
+    pub src: NodeId,
+    /// Source-local message sequence number.
+    pub seq: u64,
+}
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Part of a data message.
+    Data {
+        /// Whether the message was sent with blocking `send` (the receiver
+        /// must return an acknowledgement on consumption).
+        sync: bool,
+    },
+    /// A rendezvous acknowledgement for a blocking send.
+    Ack,
+    /// A one-sided `put`: consumed automatically at the target, no receive
+    /// operation involved.
+    OneWay,
+    /// A one-sided `get` request: the target services it automatically by
+    /// returning `bytes` of data as a [`PacketKind::GetReply`] message.
+    GetRequest {
+        /// Payload size the requester wants back.
+        bytes: u32,
+    },
+    /// The data half of a one-sided `get`.
+    GetReply,
+}
+
+/// One packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// The message this packet belongs to.
+    pub msg: MsgId,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Packet index within the message (0-based).
+    pub index: u32,
+    /// Total packets in the message.
+    pub count: u32,
+    /// Payload bytes in this packet (headers are accounted separately).
+    pub payload: u32,
+    /// Total payload bytes of the whole message.
+    pub msg_bytes: u32,
+    /// Data or acknowledgement.
+    pub kind: PacketKind,
+    /// When the message's send operation was issued (for latency stats).
+    pub sent_at: Time,
+}
+
+/// Events exchanged between the components of the communication model.
+#[derive(Debug, Clone)]
+pub enum NetMsg {
+    /// Processor self-event: resume after a `compute` or an overhead.
+    Resume,
+    /// Processor → its router: inject a packet into the network.
+    Inject(Packet),
+    /// Router → router (or router → itself for multi-hop): packet header
+    /// arrival.
+    Forward(Packet),
+    /// Router → its processor: a packet has fully arrived at the
+    /// destination node.
+    Deliver(Packet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_ids_are_value_types() {
+        let a = MsgId { src: 1, seq: 9 };
+        let b = MsgId { src: 1, seq: 9 };
+        assert_eq!(a, b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn packet_kinds_distinguish_sync() {
+        assert_ne!(PacketKind::Data { sync: true }, PacketKind::Data { sync: false });
+        assert_ne!(PacketKind::Data { sync: true }, PacketKind::Ack);
+    }
+}

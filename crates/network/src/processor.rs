@@ -1,0 +1,489 @@
+//! The abstract processor (paper, Fig. 3b): reads an incoming task-level
+//! operation trace, executes `compute` operations by advancing virtual
+//! time, and dispatches communication requests to its router.
+//!
+//! Blocking semantics:
+//!
+//! * `send` is a rendezvous: the sender blocks until the receiver has
+//!   consumed the message, signalled by an acknowledgement control packet
+//!   travelling back through the network.
+//! * `recv` blocks until a message from the named source has fully arrived.
+//! * `asend` returns after the send overhead; `arecv` posts the receive and
+//!   returns immediately (the message is consumed on arrival).
+
+use std::collections::HashMap;
+
+use mermaid_ops::{NodeId, Operation};
+use mermaid_stats::Histogram;
+use pearl::sync::MatchBox;
+use pearl::{CompId, Component, Ctx, Duration, Event, Time};
+
+use crate::config::NetworkConfig;
+use crate::packet::{MsgId, NetMsg, Packet, PacketKind};
+
+/// Statistics of one abstract processor.
+#[derive(Debug, Clone)]
+pub struct ProcStats {
+    /// Time spent in `compute` operations.
+    pub compute: Duration,
+    /// Time spent blocked in synchronous sends (waiting for the ack).
+    pub send_block: Duration,
+    /// Time spent blocked in synchronous receives.
+    pub recv_block: Duration,
+    /// Messages sent (sync + async).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received (consumed).
+    pub msgs_received: u64,
+    /// End-to-end message latencies (send issue → last byte delivered), ps.
+    pub msg_latency: Histogram,
+    /// Time spent blocked in one-sided `get` operations.
+    pub get_block: Duration,
+    /// `get` operations issued by this node.
+    pub gets_issued: u64,
+    /// `get` requests this node serviced for others.
+    pub gets_served: u64,
+    /// One-sided `put` messages consumed at this node.
+    pub puts_received: u64,
+    /// Round-trip latencies of this node's `get` operations (ps).
+    pub get_latency: Histogram,
+    /// When this processor finished its trace (None ⇒ blocked forever:
+    /// deadlock or mismatched communication).
+    pub finished_at: Option<Time>,
+}
+
+impl Default for ProcStats {
+    fn default() -> Self {
+        ProcStats {
+            compute: Duration::ZERO,
+            send_block: Duration::ZERO,
+            recv_block: Duration::ZERO,
+            msgs_sent: 0,
+            bytes_sent: 0,
+            msgs_received: 0,
+            msg_latency: Histogram::log2(),
+            get_block: Duration::ZERO,
+            gets_issued: 0,
+            gets_served: 0,
+            puts_received: 0,
+            get_latency: Histogram::log2(),
+            finished_at: None,
+        }
+    }
+}
+
+/// A message fully arrived at this node, waiting to be consumed.
+#[derive(Debug, Clone, Copy)]
+struct CompletedMsg {
+    id: MsgId,
+    arrived: Time,
+    sent_at: Time,
+    sync: bool,
+}
+
+/// A posted asynchronous receive (blocking receives are represented by the
+/// processor state instead, so the matcher only ever queues `Async`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Waiter {
+    /// An `arecv`: consume silently on arrival.
+    Async,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// Processing trace operations (inside `advance`).
+    Running,
+    /// Waiting for a `compute` timer.
+    Computing,
+    /// Blocked in a synchronous send since the given time.
+    AwaitAck { since: Time },
+    /// Blocked in a synchronous receive since the given time.
+    AwaitRecv { src: NodeId, since: Time },
+    /// Blocked in a one-sided `get` since the given time.
+    AwaitGet { since: Time },
+    /// Trace exhausted.
+    Done,
+}
+
+/// In-progress reassembly of a multi-packet message.
+#[derive(Debug, Clone, Copy)]
+struct Assembly {
+    got: u32,
+    total: u32,
+}
+
+/// The abstract processor of one node.
+pub struct AbstractProcessor {
+    node: NodeId,
+    trace: Vec<Operation>,
+    cursor: usize,
+    router_comp: CompId,
+    cfg: NetworkConfig,
+    state: ProcState,
+    send_seq: u64,
+    assembling: HashMap<MsgId, Assembly>,
+    matcher: MatchBox<NodeId, CompletedMsg, Waiter>,
+    /// Statistics.
+    pub stats: ProcStats,
+}
+
+impl AbstractProcessor {
+    /// Build the processor of `node` with its task-level trace.
+    pub fn new(node: NodeId, trace: Vec<Operation>, router_comp: CompId, cfg: NetworkConfig) -> Self {
+        AbstractProcessor {
+            node,
+            trace,
+            cursor: 0,
+            router_comp,
+            cfg,
+            state: ProcState::Running,
+            send_seq: 0,
+            assembling: HashMap::new(),
+            matcher: MatchBox::new(),
+            stats: ProcStats::default(),
+        }
+    }
+
+    /// True when the processor has completed its trace.
+    pub fn is_done(&self) -> bool {
+        self.state == ProcState::Done
+    }
+
+    /// The node this processor models.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Split a message into packets and inject them after `delay`.
+    /// Returns the message id (used to correlate `get` replies).
+    fn inject_message_kind(
+        &mut self,
+        dst: NodeId,
+        bytes: u32,
+        kind: PacketKind,
+        delay: Duration,
+        ctx: &mut Ctx<'_, NetMsg>,
+    ) -> MsgId {
+        let id = MsgId {
+            src: self.node,
+            seq: self.send_seq,
+        };
+        self.send_seq += 1;
+        self.inject_message_as(id, dst, bytes, kind, delay, ctx);
+        id
+    }
+
+    /// Inject a message under an explicit id (used for `get` replies, which
+    /// carry the *requester's* message id back).
+    fn inject_message_as(
+        &mut self,
+        id: MsgId,
+        dst: NodeId,
+        bytes: u32,
+        kind: PacketKind,
+        delay: Duration,
+        ctx: &mut Ctx<'_, NetMsg>,
+    ) {
+        if matches!(kind, PacketKind::Data { .. } | PacketKind::OneWay) {
+            self.stats.msgs_sent += 1;
+            self.stats.bytes_sent += bytes as u64;
+        }
+        let count = self.cfg.packets_for(bytes);
+        let payload_max = self.cfg.router.max_packet_payload;
+        let mut remaining = bytes;
+        for index in 0..count {
+            let payload = remaining.min(payload_max);
+            remaining -= payload;
+            let pkt = Packet {
+                msg: id,
+                dst,
+                index,
+                count,
+                payload,
+                msg_bytes: bytes,
+                kind,
+                sent_at: ctx.now(),
+            };
+            ctx.send_after(delay, self.router_comp, NetMsg::Inject(pkt));
+        }
+    }
+
+    /// Split a data message into packets and inject them after `delay`.
+    fn inject_message(
+        &mut self,
+        dst: NodeId,
+        bytes: u32,
+        sync: bool,
+        delay: Duration,
+        ctx: &mut Ctx<'_, NetMsg>,
+    ) {
+        self.inject_message_kind(dst, bytes, PacketKind::Data { sync }, delay, ctx);
+    }
+
+    /// Send the rendezvous acknowledgement for a consumed sync message.
+    fn inject_ack(&mut self, msg: CompletedMsg, delay: Duration, ctx: &mut Ctx<'_, NetMsg>) {
+        let pkt = Packet {
+            msg: msg.id,
+            dst: msg.id.src,
+            index: 0,
+            count: 1,
+            payload: 0,
+            msg_bytes: 0,
+            kind: PacketKind::Ack,
+            sent_at: ctx.now(),
+        };
+        ctx.send_after(delay, self.router_comp, NetMsg::Inject(pkt));
+    }
+
+    /// Consume a completed message (statistics + ack).
+    fn consume(&mut self, msg: CompletedMsg, ack_delay: Duration, ctx: &mut Ctx<'_, NetMsg>) {
+        self.stats.msgs_received += 1;
+        self.stats
+            .msg_latency
+            .record(msg.arrived.since(msg.sent_at).as_ps());
+        if msg.sync {
+            self.inject_ack(msg, ack_delay, ctx);
+        }
+    }
+
+    /// Process trace operations until the processor blocks or finishes.
+    fn advance(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        self.state = ProcState::Running;
+        while self.cursor < self.trace.len() {
+            let op = self.trace[self.cursor];
+            self.cursor += 1;
+            match op {
+                Operation::Compute { ps } => {
+                    let d = Duration::from_ps(ps);
+                    self.stats.compute += d;
+                    self.state = ProcState::Computing;
+                    ctx.timer(d, NetMsg::Resume);
+                    return;
+                }
+                Operation::Send { bytes, dst } => {
+                    let overhead = self.cfg.software.send_overhead;
+                    self.inject_message(dst, bytes, true, overhead, ctx);
+                    self.state = ProcState::AwaitAck { since: ctx.now() };
+                    return;
+                }
+                Operation::ASend { bytes, dst } => {
+                    let overhead = self.cfg.software.send_overhead;
+                    self.inject_message(dst, bytes, false, overhead, ctx);
+                    if overhead.is_zero() {
+                        continue;
+                    }
+                    self.state = ProcState::Computing;
+                    ctx.timer(overhead, NetMsg::Resume);
+                    return;
+                }
+                Operation::Recv { src } => {
+                    // Blocking receives are represented by the processor
+                    // state, not by a queued waiter (only `arecv` posts
+                    // waiters into the matcher).
+                    match self.matcher.take_arrival(&src) {
+                        Some(msg) => {
+                            // Message already here: pay the receive overhead
+                            // and continue.
+                            let overhead = self.cfg.software.recv_overhead;
+                            self.consume(msg, overhead, ctx);
+                            if overhead.is_zero() {
+                                continue;
+                            }
+                            self.state = ProcState::Computing;
+                            ctx.timer(overhead, NetMsg::Resume);
+                            return;
+                        }
+                        None => {
+                            self.state = ProcState::AwaitRecv {
+                                src,
+                                since: ctx.now(),
+                            };
+                            return;
+                        }
+                    }
+                }
+                Operation::ARecv { src } => {
+                    if let Some(msg) = self.matcher.wait(src, Waiter::Async) {
+                        self.consume(msg, Duration::ZERO, ctx);
+                    }
+                    // Non-blocking either way.
+                }
+                Operation::Put { bytes, to } => {
+                    let overhead = self.cfg.software.send_overhead;
+                    self.inject_message_kind(to, bytes, PacketKind::OneWay, overhead, ctx);
+                    if overhead.is_zero() {
+                        continue;
+                    }
+                    self.state = ProcState::Computing;
+                    ctx.timer(overhead, NetMsg::Resume);
+                    return;
+                }
+                Operation::Get { bytes, from } => {
+                    if from == self.node {
+                        // A local fetch: free at this abstraction level.
+                        continue;
+                    }
+                    let overhead = self.cfg.software.send_overhead;
+                    self.stats.gets_issued += 1;
+                    self.inject_message_kind(
+                        from,
+                        0,
+                        PacketKind::GetRequest { bytes },
+                        overhead,
+                        ctx,
+                    );
+                    self.state = ProcState::AwaitGet { since: ctx.now() };
+                    return;
+                }
+                other => panic!(
+                    "node {}: instruction-level operation {other} in a task-level trace \
+                     (run it through the computational model first)",
+                    self.node
+                ),
+            }
+        }
+        self.state = ProcState::Done;
+        self.stats.finished_at = Some(ctx.now());
+    }
+
+    /// A data packet arrived; returns the completed message when it was the
+    /// last packet.
+    fn assemble(&mut self, pkt: &Packet, now: Time) -> Option<CompletedMsg> {
+        let sync = match pkt.kind {
+            PacketKind::Data { sync } => sync,
+            PacketKind::OneWay | PacketKind::GetReply => false,
+            PacketKind::Ack | PacketKind::GetRequest { .. } => {
+                unreachable!("assemble() on a control packet")
+            }
+        };
+        let asm = self.assembling.entry(pkt.msg).or_insert(Assembly {
+            got: 0,
+            total: pkt.count,
+        });
+        asm.got += 1;
+        if asm.got < asm.total {
+            return None;
+        }
+        self.assembling.remove(&pkt.msg);
+        Some(CompletedMsg {
+            id: pkt.msg,
+            arrived: now,
+            sent_at: pkt.sent_at,
+            sync,
+        })
+    }
+
+    fn on_deliver(&mut self, pkt: Packet, ctx: &mut Ctx<'_, NetMsg>) {
+        match pkt.kind {
+            PacketKind::GetRequest { bytes } => {
+                // Service the one-sided read: reply with the data after the
+                // software service cost, without touching our own trace
+                // progress (DMA-like).
+                self.stats.gets_served += 1;
+                let requester = pkt.msg.src;
+                self.inject_message_as(
+                    pkt.msg,
+                    requester,
+                    bytes,
+                    PacketKind::GetReply,
+                    self.cfg.software.recv_overhead,
+                    ctx,
+                );
+            }
+            PacketKind::GetReply => {
+                if self.assemble(&pkt, ctx.now()).is_none() {
+                    return;
+                }
+                let ProcState::AwaitGet { since } = self.state else {
+                    panic!(
+                        "node {}: get reply {:?} while not waiting (state {:?})",
+                        self.node, pkt.msg, self.state
+                    );
+                };
+                let now = ctx.now();
+                self.stats.get_block += now.since(since);
+                self.stats.get_latency.record(now.since(pkt.sent_at).as_ps());
+                self.advance(ctx);
+            }
+            PacketKind::OneWay => {
+                if self.assemble(&pkt, ctx.now()).is_some() {
+                    self.stats.puts_received += 1;
+                }
+            }
+            PacketKind::Ack => {
+                let ProcState::AwaitAck { since } = self.state else {
+                    panic!(
+                        "node {}: unexpected ack for message {:?} in state {:?}",
+                        self.node, pkt.msg, self.state
+                    );
+                };
+                self.stats.send_block += ctx.now().since(since);
+                self.advance(ctx);
+            }
+            PacketKind::Data { .. } => {
+                let Some(msg) = self.assemble(&pkt, ctx.now()) else {
+                    return;
+                };
+                // Async receives posted earlier claim the message first.
+                if self.matcher.has_waiter(&msg.id.src) {
+                    let w = self
+                        .matcher
+                        .arrive(msg.id.src, msg)
+                        .expect("has_waiter implies a match");
+                    debug_assert_eq!(w, Waiter::Async);
+                    self.consume(msg, Duration::ZERO, ctx);
+                    return;
+                }
+                // A blocked recv on this source?
+                if let ProcState::AwaitRecv { src, since } = self.state {
+                    if src == msg.id.src {
+                        self.stats.recv_block += ctx.now().since(since);
+                        let overhead = self.cfg.software.recv_overhead;
+                        self.consume(msg, overhead, ctx);
+                        if overhead.is_zero() {
+                            self.advance(ctx);
+                        } else {
+                            self.state = ProcState::Computing;
+                            ctx.timer(overhead, NetMsg::Resume);
+                        }
+                        return;
+                    }
+                }
+                // Otherwise queue it for a future recv/arecv.
+                let matched = self.matcher.arrive(msg.id.src, msg);
+                debug_assert!(matched.is_none());
+            }
+        }
+    }
+}
+
+impl Component<NetMsg> for AbstractProcessor {
+    fn init(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        self.advance(ctx);
+    }
+
+    fn handle(&mut self, ev: Event<NetMsg>, ctx: &mut Ctx<'_, NetMsg>) {
+        match ev.payload {
+            NetMsg::Resume => self.advance(ctx),
+            NetMsg::Deliver(pkt) => self.on_deliver(pkt, ctx),
+            other => panic!("processor {} received unexpected event {other:?}", self.node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stats_are_empty() {
+        let s = ProcStats::default();
+        assert_eq!(s.msgs_sent, 0);
+        assert_eq!(s.finished_at, None);
+        assert_eq!(s.msg_latency.count(), 0);
+    }
+
+    // Behavioural tests for the processor live in `sim.rs`, where a full
+    // network exists to carry its packets.
+}

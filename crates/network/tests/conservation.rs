@@ -1,0 +1,83 @@
+//! Conservation laws of the communication model: nothing the network
+//! carries is created or destroyed.
+
+use proptest::prelude::*;
+
+use mermaid_network::{CommSim, NetworkConfig, Switching, Topology};
+use mermaid_ops::{Operation, TraceSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Message conservation: every payload byte sent is received; every
+    /// message sent is consumed; packet forwarding hop counts equal the
+    /// sum of route distances.
+    #[test]
+    fn bytes_and_messages_are_conserved(
+        flows in prop::collection::vec((0u32..8, 0u32..8, 1u32..20_000), 1..30),
+        saf in any::<bool>(),
+    ) {
+        let topo = Topology::Hypercube { dim: 3 };
+        let mut cfg = NetworkConfig::test(topo);
+        cfg.router.switching = if saf {
+            Switching::StoreAndForward
+        } else {
+            Switching::VirtualCutThrough
+        };
+        let mut ts = TraceSet::new(8);
+        let mut expected_bytes = 0u64;
+        let mut expected_msgs = 0u64;
+        for &(src, dst, bytes) in &flows {
+            ts.trace_mut(src).push(Operation::ASend { bytes, dst });
+            expected_bytes += bytes as u64;
+            expected_msgs += 1;
+        }
+        for &(src, dst, _) in &flows {
+            ts.trace_mut(dst).push(Operation::Recv { src });
+        }
+        let r = CommSim::new(cfg, &ts).run();
+        prop_assert!(r.all_done, "deadlocked: {:?}", r.deadlocked);
+        prop_assert_eq!(r.total_messages, expected_msgs);
+        prop_assert_eq!(r.total_bytes, expected_bytes);
+        // Per-node: sent == consumed somewhere; received == consumed here.
+        let sent: u64 = r.nodes.iter().map(|n| n.proc.msgs_sent).sum();
+        let recvd: u64 = r.nodes.iter().map(|n| n.proc.msgs_received).sum();
+        prop_assert_eq!(sent, recvd);
+        // Hop conservation: data packets forwarded = Σ per-packet distance
+        // (self-sends don't enter the network; every flow here has
+        // src != dst contributing distance ≥ 1, == contributing 0).
+        let per_msg_packets = |bytes: u32| bytes.div_ceil(1024).max(1) as u64;
+        let expected_hops: u64 = flows
+            .iter()
+            .filter(|&&(s, d, _)| s != d)
+            .map(|&(s, d, b)| topo.distance(s, d) as u64 * per_msg_packets(b))
+            .sum();
+        let forwarded: u64 = r.nodes.iter().map(|n| n.router.forwarded).sum();
+        prop_assert_eq!(forwarded, expected_hops);
+    }
+
+    /// Latency sanity: every measured message latency is at least the pure
+    /// wire+serialisation lower bound for its path, and finite.
+    #[test]
+    fn latencies_respect_physical_lower_bounds(
+        bytes in 1u32..100_000,
+        dst in 1u32..8,
+    ) {
+        let topo = Topology::Ring(8);
+        let cfg = NetworkConfig::test(topo);
+        let mut ts = TraceSet::new(8);
+        ts.trace_mut(0).push(Operation::ASend { bytes, dst });
+        ts.trace_mut(dst).push(Operation::Recv { src: 0 });
+        let r = CommSim::new(cfg, &ts).run();
+        prop_assert!(r.all_done);
+        let measured = r.msg_latency.max().unwrap();
+        // Lower bound: serialising the payload once at full link speed.
+        let serialise_ps = cfg.link.transfer_time(bytes).as_ps();
+        prop_assert!(
+            measured >= serialise_ps,
+            "latency {} below serialisation bound {}",
+            measured,
+            serialise_ps
+        );
+    }
+}

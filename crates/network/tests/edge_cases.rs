@@ -1,0 +1,155 @@
+//! Edge cases of the communication model: degenerate message sizes,
+//! out-of-order multi-source receives, async-receive ordering, and
+//! saturation behaviour.
+
+use mermaid_network::{CommSim, NetworkConfig, Topology};
+use mermaid_ops::{NodeId, Operation, TraceSet};
+use pearl::Time;
+
+fn cfg(n: u32) -> NetworkConfig {
+    NetworkConfig::test(Topology::Ring(n))
+}
+
+fn traces(n: u32, f: impl Fn(NodeId) -> Vec<Operation>) -> TraceSet {
+    let mut ts = TraceSet::new(n as usize);
+    for node in 0..n {
+        ts.trace_mut(node).ops = f(node);
+    }
+    ts
+}
+
+#[test]
+fn zero_byte_messages_complete() {
+    // Pure synchronisation messages (header-only packets).
+    let ts = traces(2, |node| match node {
+        0 => vec![Operation::Send { bytes: 0, dst: 1 }],
+        _ => vec![Operation::Recv { src: 0 }],
+    });
+    let r = CommSim::new(cfg(2), &ts).run();
+    assert!(r.all_done);
+    assert_eq!(r.total_messages, 1);
+    assert_eq!(r.total_bytes, 0);
+    // Still takes real time (headers, routing).
+    assert!(r.finish > Time::ZERO);
+}
+
+#[test]
+fn maximum_size_messages_complete() {
+    // 64 MiB message → 65536 packets of 1 KiB.
+    let bytes = 64 * 1024 * 1024u32;
+    let ts = traces(2, |node| match node {
+        0 => vec![Operation::ASend { bytes, dst: 1 }],
+        _ => vec![Operation::Recv { src: 0 }],
+    });
+    let r = CommSim::new(cfg(2), &ts).run();
+    assert!(r.all_done);
+    assert_eq!(r.total_bytes, bytes as u64);
+    // At 1 GB/s the transfer alone is ≥ 64 ms of virtual time.
+    assert!(r.finish >= Time::from_ms(64));
+}
+
+#[test]
+fn receives_from_distinct_sources_match_by_source() {
+    // Node 2 receives from 0 and 1 in the *opposite* order of arrival:
+    // source-keyed matching must hold the early message.
+    let ts = traces(3, |node| match node {
+        0 => vec![Operation::ASend { bytes: 8, dst: 2 }], // arrives first
+        1 => vec![
+            Operation::Compute { ps: 1_000_000 },
+            Operation::ASend { bytes: 8, dst: 2 },
+        ],
+        _ => vec![
+            Operation::Recv { src: 1 }, // waits for the late sender
+            Operation::Recv { src: 0 }, // then consumes the early one
+        ],
+    });
+    let r = CommSim::new(cfg(3), &ts).run();
+    assert!(r.all_done, "deadlocked: {:?}", r.deadlocked);
+    assert!(r.nodes[2].proc.recv_block >= pearl::Duration::from_us(1) / 2);
+}
+
+#[test]
+fn multiple_messages_from_one_source_are_fifo() {
+    let ts = traces(2, |node| match node {
+        0 => vec![
+            Operation::ASend { bytes: 100, dst: 1 },
+            Operation::ASend { bytes: 200, dst: 1 },
+            Operation::ASend { bytes: 300, dst: 1 },
+        ],
+        _ => vec![
+            Operation::Recv { src: 0 },
+            Operation::Recv { src: 0 },
+            Operation::Recv { src: 0 },
+        ],
+    });
+    let r = CommSim::new(cfg(2), &ts).run();
+    assert!(r.all_done);
+    assert_eq!(r.nodes[1].proc.msgs_received, 3);
+}
+
+#[test]
+fn arecv_before_and_after_arrival_both_consume() {
+    let ts = traces(2, |node| match node {
+        0 => vec![
+            Operation::ASend { bytes: 8, dst: 1 },
+            Operation::ASend { bytes: 8, dst: 1 },
+        ],
+        _ => vec![
+            Operation::ARecv { src: 0 },            // posted before arrival
+            Operation::Compute { ps: 10_000_000 },  // let both arrive
+            Operation::ARecv { src: 0 },            // posted after arrival
+        ],
+    });
+    let r = CommSim::new(cfg(2), &ts).run();
+    assert!(r.all_done);
+    assert_eq!(r.nodes[1].proc.msgs_received, 2);
+}
+
+#[test]
+fn saturating_a_ring_keeps_throughput_finite_and_fair() {
+    // Every node floods its neighbour with 50 messages; all complete, and
+    // per-node service is symmetric (same count everywhere).
+    let n = 6u32;
+    let msgs = 50u32;
+    let ts = traces(n, |node| {
+        let mut ops = Vec::new();
+        for _ in 0..msgs {
+            ops.push(Operation::ASend {
+                bytes: 4096,
+                dst: (node + 1) % n,
+            });
+        }
+        for _ in 0..msgs {
+            ops.push(Operation::Recv {
+                src: (node + n - 1) % n,
+            });
+        }
+        ops
+    });
+    let r = CommSim::new(cfg(n), &ts).run();
+    assert!(r.all_done);
+    assert_eq!(r.total_messages, (n * msgs) as u64);
+    for node in &r.nodes {
+        assert_eq!(node.proc.msgs_received, msgs as u64);
+    }
+    // Aggregate goodput can't exceed the aggregate link bandwidth.
+    let bytes_total = (n * msgs) as u64 * 4096;
+    let min_time_s = bytes_total as f64 / (n as f64 * 1e9);
+    assert!(r.finish.as_secs_f64() >= min_time_s);
+}
+
+#[test]
+fn sync_send_to_a_node_that_uses_arecv_still_gets_its_ack() {
+    // The rendezvous ack must fire when an *async* receive consumes the
+    // message too.
+    let ts = traces(2, |node| match node {
+        0 => vec![Operation::Send { bytes: 64, dst: 1 }],
+        _ => vec![
+            Operation::ARecv { src: 0 },
+            Operation::Compute { ps: 10_000_000 },
+        ],
+    });
+    let r = CommSim::new(cfg(2), &ts).run();
+    assert!(r.all_done, "sender never unblocked: {:?}", r.deadlocked);
+    assert!(r.nodes[0].proc.send_block > pearl::Duration::ZERO);
+}

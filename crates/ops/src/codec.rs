@@ -1,0 +1,438 @@
+//! Compact binary trace codec.
+//!
+//! Traces can be long (every loop iteration is traced individually), so the
+//! on-disk format matters. The codec uses a one-byte opcode followed by
+//! LEB128 varints for addresses, sizes, and durations — sequential address
+//! streams then cost 2–4 bytes per operation.
+//!
+//! Layout:
+//! ```text
+//! trace  := magic(4) version(1) node(varint) count(varint) op*
+//! op     := opcode(1) operands(varint*)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::operation::{Address, ArithOp, DataType, NodeId, Operation};
+use crate::trace::{Trace, TraceSet};
+
+/// File magic: "MMD1" (Mermaid trace, format 1).
+pub const MAGIC: [u8; 4] = *b"MMD1";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Errors produced when decoding a binary trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Input ended in the middle of a structure.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown data-type code.
+    BadType(u8),
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// An operand did not fit its field (e.g. message size > u32).
+    FieldOverflow,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad trace magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => write!(f, "truncated trace"),
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode {b:#x}"),
+            DecodeError::BadType(b) => write!(f, "unknown data-type code {b:#x}"),
+            DecodeError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            DecodeError::FieldOverflow => write!(f, "operand exceeds field width"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space. The data type is folded into the opcode for the typed
+// operations (opcode = base + type index), which keeps every computational
+// operation at 1 byte + operands.
+const TYPES: usize = 6;
+const OP_LOAD: u8 = 0x00; // ..0x05
+const OP_STORE: u8 = 0x06; // ..0x0b
+const OP_LOADC: u8 = 0x0c; // ..0x11
+const OP_ADD: u8 = 0x12; // ..0x17
+const OP_SUB: u8 = 0x18; // ..0x1d
+const OP_MUL: u8 = 0x1e; // ..0x23
+const OP_DIV: u8 = 0x24; // ..0x29
+const OP_IFETCH: u8 = 0x2a;
+const OP_BRANCH: u8 = 0x2b;
+const OP_CALL: u8 = 0x2c;
+const OP_RET: u8 = 0x2d;
+const OP_SEND: u8 = 0x2e;
+const OP_RECV: u8 = 0x2f;
+const OP_ASEND: u8 = 0x30;
+const OP_ARECV: u8 = 0x31;
+const OP_COMPUTE: u8 = 0x32;
+const OP_GET: u8 = 0x33;
+const OP_PUT: u8 = 0x34;
+
+fn type_index(ty: DataType) -> u8 {
+    match ty {
+        DataType::I8 => 0,
+        DataType::I16 => 1,
+        DataType::I32 => 2,
+        DataType::I64 => 3,
+        DataType::F32 => 4,
+        DataType::F64 => 5,
+    }
+}
+
+fn type_from_index(i: u8) -> Result<DataType, DecodeError> {
+    Ok(match i {
+        0 => DataType::I8,
+        1 => DataType::I16,
+        2 => DataType::I32,
+        3 => DataType::I64,
+        4 => DataType::F32,
+        5 => DataType::F64,
+        _ => return Err(DecodeError::BadType(i)),
+    })
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut impl Buf) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(DecodeError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Append the encoding of one operation to `buf`.
+pub fn encode_op(buf: &mut BytesMut, op: Operation) {
+    match op {
+        Operation::Load { ty, addr } => {
+            buf.put_u8(OP_LOAD + type_index(ty));
+            put_varint(buf, addr);
+        }
+        Operation::Store { ty, addr } => {
+            buf.put_u8(OP_STORE + type_index(ty));
+            put_varint(buf, addr);
+        }
+        Operation::LoadConst { ty } => buf.put_u8(OP_LOADC + type_index(ty)),
+        Operation::Arith { op: a, ty } => {
+            let base = match a {
+                ArithOp::Add => OP_ADD,
+                ArithOp::Sub => OP_SUB,
+                ArithOp::Mul => OP_MUL,
+                ArithOp::Div => OP_DIV,
+            };
+            buf.put_u8(base + type_index(ty));
+        }
+        Operation::IFetch { addr } => {
+            buf.put_u8(OP_IFETCH);
+            put_varint(buf, addr);
+        }
+        Operation::Branch { addr } => {
+            buf.put_u8(OP_BRANCH);
+            put_varint(buf, addr);
+        }
+        Operation::Call { addr } => {
+            buf.put_u8(OP_CALL);
+            put_varint(buf, addr);
+        }
+        Operation::Ret { addr } => {
+            buf.put_u8(OP_RET);
+            put_varint(buf, addr);
+        }
+        Operation::Send { bytes, dst } => {
+            buf.put_u8(OP_SEND);
+            put_varint(buf, bytes as u64);
+            put_varint(buf, dst as u64);
+        }
+        Operation::Recv { src } => {
+            buf.put_u8(OP_RECV);
+            put_varint(buf, src as u64);
+        }
+        Operation::ASend { bytes, dst } => {
+            buf.put_u8(OP_ASEND);
+            put_varint(buf, bytes as u64);
+            put_varint(buf, dst as u64);
+        }
+        Operation::ARecv { src } => {
+            buf.put_u8(OP_ARECV);
+            put_varint(buf, src as u64);
+        }
+        Operation::Compute { ps } => {
+            buf.put_u8(OP_COMPUTE);
+            put_varint(buf, ps);
+        }
+        Operation::Get { bytes, from } => {
+            buf.put_u8(OP_GET);
+            put_varint(buf, bytes as u64);
+            put_varint(buf, from as u64);
+        }
+        Operation::Put { bytes, to } => {
+            buf.put_u8(OP_PUT);
+            put_varint(buf, bytes as u64);
+            put_varint(buf, to as u64);
+        }
+    }
+}
+
+fn narrow_u32(v: u64) -> Result<u32, DecodeError> {
+    u32::try_from(v).map_err(|_| DecodeError::FieldOverflow)
+}
+
+/// Decode one operation from `buf`.
+pub fn decode_op(buf: &mut impl Buf) -> Result<Operation, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    let code = buf.get_u8();
+    let typed = |base: u8| type_from_index(code - base);
+    Ok(match code {
+        c if c < OP_LOAD + TYPES as u8 => Operation::Load {
+            ty: typed(OP_LOAD)?,
+            addr: get_varint(buf)? as Address,
+        },
+        c if (OP_STORE..OP_STORE + TYPES as u8).contains(&c) => Operation::Store {
+            ty: typed(OP_STORE)?,
+            addr: get_varint(buf)? as Address,
+        },
+        c if (OP_LOADC..OP_LOADC + TYPES as u8).contains(&c) => Operation::LoadConst {
+            ty: typed(OP_LOADC)?,
+        },
+        c if (OP_ADD..OP_ADD + TYPES as u8).contains(&c) => Operation::Arith {
+            op: ArithOp::Add,
+            ty: typed(OP_ADD)?,
+        },
+        c if (OP_SUB..OP_SUB + TYPES as u8).contains(&c) => Operation::Arith {
+            op: ArithOp::Sub,
+            ty: typed(OP_SUB)?,
+        },
+        c if (OP_MUL..OP_MUL + TYPES as u8).contains(&c) => Operation::Arith {
+            op: ArithOp::Mul,
+            ty: typed(OP_MUL)?,
+        },
+        c if (OP_DIV..OP_DIV + TYPES as u8).contains(&c) => Operation::Arith {
+            op: ArithOp::Div,
+            ty: typed(OP_DIV)?,
+        },
+        OP_IFETCH => Operation::IFetch {
+            addr: get_varint(buf)?,
+        },
+        OP_BRANCH => Operation::Branch {
+            addr: get_varint(buf)?,
+        },
+        OP_CALL => Operation::Call {
+            addr: get_varint(buf)?,
+        },
+        OP_RET => Operation::Ret {
+            addr: get_varint(buf)?,
+        },
+        OP_SEND => Operation::Send {
+            bytes: narrow_u32(get_varint(buf)?)?,
+            dst: narrow_u32(get_varint(buf)?)? as NodeId,
+        },
+        OP_RECV => Operation::Recv {
+            src: narrow_u32(get_varint(buf)?)? as NodeId,
+        },
+        OP_ASEND => Operation::ASend {
+            bytes: narrow_u32(get_varint(buf)?)?,
+            dst: narrow_u32(get_varint(buf)?)? as NodeId,
+        },
+        OP_ARECV => Operation::ARecv {
+            src: narrow_u32(get_varint(buf)?)? as NodeId,
+        },
+        OP_COMPUTE => Operation::Compute {
+            ps: get_varint(buf)?,
+        },
+        OP_GET => Operation::Get {
+            bytes: narrow_u32(get_varint(buf)?)?,
+            from: narrow_u32(get_varint(buf)?)? as NodeId,
+        },
+        OP_PUT => Operation::Put {
+            bytes: narrow_u32(get_varint(buf)?)?,
+            to: narrow_u32(get_varint(buf)?)? as NodeId,
+        },
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+/// Encode a whole per-node trace (with header).
+pub fn encode_trace(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.len() * 3);
+    buf.put_slice(&MAGIC);
+    buf.put_u8(VERSION);
+    put_varint(&mut buf, trace.node as u64);
+    put_varint(&mut buf, trace.len() as u64);
+    for &op in trace.iter() {
+        encode_op(&mut buf, op);
+    }
+    buf.freeze()
+}
+
+/// Decode a whole per-node trace (with header).
+pub fn decode_trace(mut buf: impl Buf) -> Result<Trace, DecodeError> {
+    if buf.remaining() < MAGIC.len() + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let node = narrow_u32(get_varint(&mut buf)?)? as NodeId;
+    let count = get_varint(&mut buf)? as usize;
+    let mut ops = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        ops.push(decode_op(&mut buf)?);
+    }
+    Ok(Trace::from_ops(node, ops))
+}
+
+/// Encode all traces of a multicomputer workload, one header per node.
+pub fn encode_trace_set(set: &TraceSet) -> Vec<Bytes> {
+    set.iter().map(encode_trace).collect()
+}
+
+/// Decode a trace set from per-node buffers.
+pub fn decode_trace_set(bufs: Vec<Bytes>) -> Result<TraceSet, DecodeError> {
+    let traces = bufs
+        .into_iter()
+        .map(decode_trace)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TraceSet::from_traces(traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_operation_roundtrips() {
+        for op in crate::operation::tests::sample_ops() {
+            let mut buf = BytesMut::new();
+            encode_op(&mut buf, op);
+            let mut bytes = buf.freeze();
+            let back = decode_op(&mut bytes).unwrap();
+            assert_eq!(back, op);
+            assert!(!bytes.has_remaining(), "{op} left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn trace_roundtrips_with_header() {
+        let t = Trace::from_ops(7, crate::operation::tests::sample_ops());
+        let enc = encode_trace(&t);
+        let back = decode_trace(enc).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact_for_typical_ops() {
+        // A load at a small address costs 1 opcode + ≤2 varint bytes.
+        let mut buf = BytesMut::new();
+        encode_op(
+            &mut buf,
+            Operation::Load {
+                ty: DataType::I32,
+                addr: 0x1f0,
+            },
+        );
+        assert!(buf.len() <= 3, "load encoded in {} bytes", buf.len());
+        // Arithmetic is a single byte.
+        let mut buf = BytesMut::new();
+        encode_op(
+            &mut buf,
+            Operation::Arith {
+                op: ArithOp::Add,
+                ty: DataType::I32,
+            },
+        );
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let bytes = Bytes::from_static(b"NOPE\x01\x00\x00");
+        assert_eq!(decode_trace(bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC);
+        buf.put_u8(99);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 0);
+        assert_eq!(decode_trace(buf.freeze()), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let t = Trace::from_ops(0, crate::operation::tests::sample_ops());
+        let enc = encode_trace(&t);
+        let cut = enc.slice(0..enc.len() - 1);
+        assert_eq!(decode_trace(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let mut b = Bytes::from_static(&[0xff]);
+        assert_eq!(decode_op(&mut b), Err(DecodeError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn trace_set_roundtrips() {
+        let mut set = TraceSet::new(3);
+        for n in 0..3u32 {
+            for op in crate::operation::tests::sample_ops() {
+                set.trace_mut(n).push(op);
+            }
+        }
+        let enc = encode_trace_set(&set);
+        let back = decode_trace_set(enc).unwrap();
+        assert_eq!(back, set);
+    }
+}

@@ -1,0 +1,178 @@
+//! Trace files: persist traces and trace sets on disk.
+//!
+//! Application descriptions "only have to be made once, after which they
+//! can be used to evaluate a wide range of architectures" (paper,
+//! Section 3) — which implies traces live on disk between workbench
+//! sessions. One file per node (`node-<id>.mmd`, binary codec) under a
+//! directory, plus the text format for human inspection.
+
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+use crate::codec::{self, DecodeError};
+use crate::trace::{Trace, TraceSet};
+
+/// Errors from trace-file I/O.
+#[derive(Debug)]
+pub enum FileError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file contents failed to decode.
+    Decode(DecodeError),
+    /// The directory holds no trace files.
+    Empty,
+    /// Node files are not a dense `0..n` set.
+    MissingNode(u32),
+}
+
+impl std::fmt::Display for FileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileError::Io(e) => write!(f, "I/O error: {e}"),
+            FileError::Decode(e) => write!(f, "decode error: {e}"),
+            FileError::Empty => write!(f, "no trace files found"),
+            FileError::MissingNode(n) => write!(f, "missing trace file for node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+impl From<io::Error> for FileError {
+    fn from(e: io::Error) -> Self {
+        FileError::Io(e)
+    }
+}
+
+impl From<DecodeError> for FileError {
+    fn from(e: DecodeError) -> Self {
+        FileError::Decode(e)
+    }
+}
+
+/// File name of one node's trace within a trace-set directory.
+pub fn node_file_name(node: u32) -> String {
+    format!("node-{node:05}.mmd")
+}
+
+/// Write one trace (binary codec) to `path`.
+pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), FileError> {
+    let bytes = codec::encode_trace(trace);
+    let mut f = fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read one trace (binary codec) from `path`.
+pub fn load_trace(path: &Path) -> Result<Trace, FileError> {
+    let mut buf = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut buf)?;
+    Ok(codec::decode_trace(bytes::Bytes::from(buf))?)
+}
+
+/// Write a trace set as one file per node under `dir` (created if absent).
+pub fn save_trace_set(set: &TraceSet, dir: &Path) -> Result<(), FileError> {
+    fs::create_dir_all(dir)?;
+    for trace in set.iter() {
+        save_trace(trace, &dir.join(node_file_name(trace.node)))?;
+    }
+    Ok(())
+}
+
+/// Load a trace set from `dir`: expects the dense node files written by
+/// [`save_trace_set`].
+pub fn load_trace_set(dir: &Path) -> Result<TraceSet, FileError> {
+    let mut count = 0u32;
+    while dir.join(node_file_name(count)).exists() {
+        count += 1;
+    }
+    if count == 0 {
+        return Err(FileError::Empty);
+    }
+    let mut traces = Vec::with_capacity(count as usize);
+    for node in 0..count {
+        let path = dir.join(node_file_name(node));
+        if !path.exists() {
+            return Err(FileError::MissingNode(node));
+        }
+        let t = load_trace(&path)?;
+        if t.node != node {
+            return Err(FileError::MissingNode(node));
+        }
+        traces.push(t);
+    }
+    Ok(TraceSet::from_traces(traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operation::Operation;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "mermaid-ops-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_set(nodes: u32) -> TraceSet {
+        let mut ts = TraceSet::new(nodes as usize);
+        for n in 0..nodes {
+            for op in crate::operation::tests::sample_ops() {
+                ts.trace_mut(n).push(op);
+            }
+            ts.trace_mut(n).push(Operation::Compute { ps: n as u64 + 1 });
+        }
+        ts
+    }
+
+    #[test]
+    fn single_trace_roundtrips_through_a_file() {
+        let dir = tmpdir("single");
+        let t = sample_set(1).trace(0).clone();
+        let path = dir.join("t.mmd");
+        save_trace(&t, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(back, t);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn trace_set_roundtrips_through_a_directory() {
+        let dir = tmpdir("set");
+        let ts = sample_set(5);
+        save_trace_set(&ts, &dir).unwrap();
+        let back = load_trace_set(&dir).unwrap();
+        assert_eq!(back, ts);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let dir = tmpdir("empty");
+        assert!(matches!(load_trace_set(&dir), Err(FileError::Empty)));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_a_decode_error() {
+        let dir = tmpdir("corrupt");
+        fs::write(dir.join(node_file_name(0)), b"garbage").unwrap();
+        assert!(matches!(
+            load_trace_set(&dir),
+            Err(FileError::Decode(_)) | Err(FileError::Io(_))
+        ));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn node_file_names_are_stable_and_sortable() {
+        assert_eq!(node_file_name(0), "node-00000.mmd");
+        assert_eq!(node_file_name(12345), "node-12345.mmd");
+    }
+}

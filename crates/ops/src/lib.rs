@@ -1,0 +1,33 @@
+//! # mermaid-ops — trace operations and trace containers
+//!
+//! Mermaid simulations are driven by traces of *operations* rather than real
+//! machine instructions (paper, Section 3.3 and Table 1). An operation
+//! represents processor activity, memory I/O, or message passing:
+//!
+//! * **Computational operations** are abstract machine instructions of a
+//!   load-store architecture, in three categories: data transfer between
+//!   registers and the memory hierarchy (`load`, `store`, `load constant`),
+//!   register-only arithmetic (`add`, `sub`, `mul`, `div` over a data type),
+//!   and instruction fetching (`ifetch`, `branch`, `call`, `ret`). Because
+//!   memory *values* are not modelled, the trace generator resolves all
+//!   control flow: every invocation of a loop body appears in the trace.
+//! * **Communication operations** drive the task-level communication model:
+//!   synchronous `send`/`recv`, asynchronous `asend`/`arecv`, and
+//!   `compute(duration)` representing a block of computation collapsed to a
+//!   single task.
+//!
+//! This crate defines the [`Operation`] enum, trace containers
+//! ([`Trace`], [`TraceSet`]), trace statistics, and three interchangeable
+//! codecs (binary, line-text, JSON).
+
+pub mod codec;
+pub mod file;
+pub mod operation;
+pub mod stats;
+pub mod table1;
+pub mod text;
+pub mod trace;
+
+pub use operation::{Address, ArithOp, DataType, NodeId, OpCategory, Operation};
+pub use stats::TraceStats;
+pub use trace::{Trace, TraceSet};

@@ -1,0 +1,451 @@
+//! The operation set of Table 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte address in the simulated (per-node) address space.
+pub type Address = u64;
+
+/// Identifies a node of the multicomputer (0-based).
+pub type NodeId = u32;
+
+/// The data type an operation manipulates — the `type` / `mem-type`
+/// parameter of Table 1. The set mirrors a load-store architecture's
+/// register classes; widths drive memory-access sizes and arithmetic
+/// latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 8-bit integer (byte).
+    I8,
+    /// 16-bit integer (halfword).
+    I16,
+    /// 32-bit integer (word).
+    I32,
+    /// 64-bit integer (doubleword).
+    I64,
+    /// 32-bit IEEE float (single).
+    F32,
+    /// 64-bit IEEE float (double).
+    F64,
+}
+
+impl DataType {
+    /// Access size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            DataType::I8 => 1,
+            DataType::I16 => 2,
+            DataType::I32 => 4,
+            DataType::I64 | DataType::F64 => 8,
+            DataType::F32 => 4,
+        }
+    }
+
+    /// True for the floating-point types.
+    #[inline]
+    pub const fn is_float(self) -> bool {
+        matches!(self, DataType::F32 | DataType::F64)
+    }
+
+    /// All data types, in width order.
+    pub const ALL: [DataType; 6] = [
+        DataType::I8,
+        DataType::I16,
+        DataType::I32,
+        DataType::I64,
+        DataType::F32,
+        DataType::F64,
+    ];
+
+    /// Short mnemonic used by the text codec.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            DataType::I8 => "i8",
+            DataType::I16 => "i16",
+            DataType::I32 => "i32",
+            DataType::I64 => "i64",
+            DataType::F32 => "f32",
+            DataType::F64 => "f64",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Register-only arithmetic functions (Table 1, second category).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// Addition (also stands in for subtraction-like ALU ops of equal cost).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl ArithOp {
+    /// All arithmetic operations.
+    pub const ALL: [ArithOp; 4] = [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div];
+
+    /// Short mnemonic used by the text codec.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            ArithOp::Add => "add",
+            ArithOp::Sub => "sub",
+            ArithOp::Mul => "mul",
+            ArithOp::Div => "div",
+        }
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One trace event — Table 1 of the paper.
+///
+/// The first eight variants are the *computational operations* consumed by
+/// the single-node computational model; the last five are the
+/// *communication operations* consumed by the multi-node communication
+/// model. `Compute` durations are in picoseconds of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operation {
+    /// `load(mem-type, address)` — read memory into a register.
+    Load { ty: DataType, addr: Address },
+    /// `store(mem-type, address)` — write a register to memory.
+    Store { ty: DataType, addr: Address },
+    /// `load([f]constant)` — load an immediate into a register.
+    LoadConst { ty: DataType },
+    /// `add/sub/mul/div(type)` — register-only arithmetic.
+    Arith { op: ArithOp, ty: DataType },
+    /// `ifetch(address)` — fetch the instruction at `address`.
+    IFetch { addr: Address },
+    /// `branch(address)` — transfer control to `address`.
+    Branch { addr: Address },
+    /// `call(address)` — function call to `address`.
+    Call { addr: Address },
+    /// `ret(address)` — return to `address`.
+    Ret { addr: Address },
+    /// `send(message-size, destination)` — synchronous (blocking) send.
+    Send { bytes: u32, dst: NodeId },
+    /// `recv(source)` — synchronous (blocking) receive.
+    Recv { src: NodeId },
+    /// `asend(message-size, destination)` — asynchronous send.
+    ASend { bytes: u32, dst: NodeId },
+    /// `arecv(source)` — asynchronous receive (posts the receive; completion
+    /// is checked at the next synchronising operation).
+    ARecv { src: NodeId },
+    /// `compute(duration)` — a computational task of `duration` picoseconds,
+    /// used by the task-level communication model.
+    Compute { ps: u64 },
+    /// `get(size, source)` — one-sided blocking remote read: fetch `bytes`
+    /// from `from`'s memory. The remote node services the request without a
+    /// trace operation of its own. Extension beyond the paper's Table 1:
+    /// the substrate for the virtual-shared-memory layer its Section 5.1
+    /// names as future work.
+    Get { bytes: u32, from: NodeId },
+    /// `put(size, destination)` — one-sided non-blocking remote write of
+    /// `bytes` into `to`'s memory; consumed automatically at the target.
+    Put { bytes: u32, to: NodeId },
+}
+
+/// The category an operation belongs to; used for statistics and for the
+/// split between the computational and communication models (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Register ↔ memory-hierarchy transfer (Table 1, category 1).
+    MemoryTransfer,
+    /// Register-only arithmetic (category 2).
+    Arithmetic,
+    /// Instruction fetching and control transfer (category 3).
+    InstructionFetch,
+    /// Message-passing communication (`send`/`recv`/`asend`/`arecv`).
+    Communication,
+    /// Task-level computation (`compute`).
+    Task,
+}
+
+impl OpCategory {
+    /// All categories in a fixed order (used for stats tables).
+    pub const ALL: [OpCategory; 5] = [
+        OpCategory::MemoryTransfer,
+        OpCategory::Arithmetic,
+        OpCategory::InstructionFetch,
+        OpCategory::Communication,
+        OpCategory::Task,
+    ];
+
+    /// Human-readable label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            OpCategory::MemoryTransfer => "memory transfer",
+            OpCategory::Arithmetic => "arithmetic",
+            OpCategory::InstructionFetch => "instruction fetch",
+            OpCategory::Communication => "communication",
+            OpCategory::Task => "task",
+        }
+    }
+}
+
+impl Operation {
+    /// The category of this operation.
+    #[inline]
+    pub const fn category(self) -> OpCategory {
+        match self {
+            Operation::Load { .. } | Operation::Store { .. } | Operation::LoadConst { .. } => {
+                OpCategory::MemoryTransfer
+            }
+            Operation::Arith { .. } => OpCategory::Arithmetic,
+            Operation::IFetch { .. }
+            | Operation::Branch { .. }
+            | Operation::Call { .. }
+            | Operation::Ret { .. } => OpCategory::InstructionFetch,
+            Operation::Send { .. }
+            | Operation::Recv { .. }
+            | Operation::ASend { .. }
+            | Operation::ARecv { .. }
+            | Operation::Get { .. }
+            | Operation::Put { .. } => OpCategory::Communication,
+            Operation::Compute { .. } => OpCategory::Task,
+        }
+    }
+
+    /// True for computational operations (consumed by the single-node
+    /// computational model).
+    #[inline]
+    pub const fn is_computational(self) -> bool {
+        !matches!(
+            self.category(),
+            OpCategory::Communication | OpCategory::Task
+        )
+    }
+
+    /// True for *global events*: operations whose timing can be influenced
+    /// by (or can influence) other processors. These are the points at which
+    /// the physical-time-interleaved trace generator must suspend a thread
+    /// (paper, Sections 2 and 3.1).
+    #[inline]
+    pub const fn is_global_event(self) -> bool {
+        matches!(self.category(), OpCategory::Communication)
+    }
+
+    /// True for the blocking (synchronous) communication operations.
+    #[inline]
+    pub const fn is_blocking_comm(self) -> bool {
+        matches!(
+            self,
+            Operation::Send { .. } | Operation::Recv { .. } | Operation::Get { .. }
+        )
+    }
+
+    /// The memory address touched, if this operation accesses memory or
+    /// fetches an instruction.
+    #[inline]
+    pub const fn address(self) -> Option<Address> {
+        match self {
+            Operation::Load { addr, .. }
+            | Operation::Store { addr, .. }
+            | Operation::IFetch { addr }
+            | Operation::Branch { addr }
+            | Operation::Call { addr }
+            | Operation::Ret { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// Message payload size in bytes for the send operations.
+    #[inline]
+    pub const fn message_bytes(self) -> Option<u32> {
+        match self {
+            Operation::Send { bytes, .. }
+            | Operation::ASend { bytes, .. }
+            | Operation::Get { bytes, .. }
+            | Operation::Put { bytes, .. } => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// The peer node for communication operations (destination for sends,
+    /// source for receives).
+    #[inline]
+    pub const fn peer(self) -> Option<NodeId> {
+        match self {
+            Operation::Send { dst, .. }
+            | Operation::ASend { dst, .. }
+            | Operation::Put { to: dst, .. } => Some(dst),
+            Operation::Recv { src }
+            | Operation::ARecv { src }
+            | Operation::Get { from: src, .. } => Some(src),
+            _ => None,
+        }
+    }
+
+    /// Table 1 mnemonic for this operation.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Operation::Load { .. } => "load",
+            Operation::Store { .. } => "store",
+            Operation::LoadConst { .. } => "loadc",
+            Operation::Arith { op, .. } => op.mnemonic(),
+            Operation::IFetch { .. } => "ifetch",
+            Operation::Branch { .. } => "branch",
+            Operation::Call { .. } => "call",
+            Operation::Ret { .. } => "ret",
+            Operation::Send { .. } => "send",
+            Operation::Recv { .. } => "recv",
+            Operation::ASend { .. } => "asend",
+            Operation::ARecv { .. } => "arecv",
+            Operation::Compute { .. } => "compute",
+            Operation::Get { .. } => "get",
+            Operation::Put { .. } => "put",
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operation::Load { ty, addr } => write!(f, "load {ty} {addr:#x}"),
+            Operation::Store { ty, addr } => write!(f, "store {ty} {addr:#x}"),
+            Operation::LoadConst { ty } => write!(f, "loadc {ty}"),
+            Operation::Arith { op, ty } => write!(f, "{op} {ty}"),
+            Operation::IFetch { addr } => write!(f, "ifetch {addr:#x}"),
+            Operation::Branch { addr } => write!(f, "branch {addr:#x}"),
+            Operation::Call { addr } => write!(f, "call {addr:#x}"),
+            Operation::Ret { addr } => write!(f, "ret {addr:#x}"),
+            Operation::Send { bytes, dst } => write!(f, "send {bytes} {dst}"),
+            Operation::Recv { src } => write!(f, "recv {src}"),
+            Operation::ASend { bytes, dst } => write!(f, "asend {bytes} {dst}"),
+            Operation::ARecv { src } => write!(f, "arecv {src}"),
+            Operation::Compute { ps } => write!(f, "compute {ps}"),
+            Operation::Get { bytes, from } => write!(f, "get {bytes} {from}"),
+            Operation::Put { bytes, to } => write!(f, "put {bytes} {to}"),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_partition_the_operation_set() {
+        let samples = sample_ops();
+        for op in &samples {
+            let c = op.category();
+            assert_eq!(
+                op.is_computational(),
+                !matches!(c, OpCategory::Communication | OpCategory::Task),
+                "{op}"
+            );
+            assert_eq!(op.is_global_event(), c == OpCategory::Communication, "{op}");
+        }
+    }
+
+    #[test]
+    fn addresses_only_on_memory_and_fetch_ops() {
+        assert_eq!(
+            Operation::Load {
+                ty: DataType::I32,
+                addr: 0x100
+            }
+            .address(),
+            Some(0x100)
+        );
+        assert_eq!(Operation::IFetch { addr: 4 }.address(), Some(4));
+        assert_eq!(Operation::LoadConst { ty: DataType::F64 }.address(), None);
+        assert_eq!(Operation::Compute { ps: 10 }.address(), None);
+        assert_eq!(Operation::Send { bytes: 8, dst: 1 }.address(), None);
+    }
+
+    #[test]
+    fn peers_and_sizes() {
+        assert_eq!(Operation::Send { bytes: 64, dst: 3 }.peer(), Some(3));
+        assert_eq!(Operation::Recv { src: 2 }.peer(), Some(2));
+        assert_eq!(Operation::ASend { bytes: 1, dst: 0 }.message_bytes(), Some(1));
+        assert_eq!(Operation::Recv { src: 2 }.message_bytes(), None);
+        assert_eq!(
+            Operation::Arith {
+                op: ArithOp::Mul,
+                ty: DataType::F64
+            }
+            .peer(),
+            None
+        );
+    }
+
+    #[test]
+    fn blocking_vs_async_comm() {
+        assert!(Operation::Send { bytes: 4, dst: 1 }.is_blocking_comm());
+        assert!(Operation::Recv { src: 1 }.is_blocking_comm());
+        assert!(!Operation::ASend { bytes: 4, dst: 1 }.is_blocking_comm());
+        assert!(!Operation::ARecv { src: 1 }.is_blocking_comm());
+    }
+
+    #[test]
+    fn data_type_widths() {
+        assert_eq!(DataType::I8.bytes(), 1);
+        assert_eq!(DataType::I16.bytes(), 2);
+        assert_eq!(DataType::I32.bytes(), 4);
+        assert_eq!(DataType::I64.bytes(), 8);
+        assert_eq!(DataType::F32.bytes(), 4);
+        assert_eq!(DataType::F64.bytes(), 8);
+        assert!(DataType::F32.is_float());
+        assert!(!DataType::I64.is_float());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            Operation::Load {
+                ty: DataType::I32,
+                addr: 0x1000
+            }
+            .to_string(),
+            "load i32 0x1000"
+        );
+        assert_eq!(Operation::Compute { ps: 42 }.to_string(), "compute 42");
+        assert_eq!(
+            Operation::Arith {
+                op: ArithOp::Div,
+                ty: DataType::F64
+            }
+            .to_string(),
+            "div f64"
+        );
+    }
+
+    /// One of every operation variant, used by several test modules.
+    pub(crate) fn sample_ops() -> Vec<Operation> {
+        let mut v = Vec::new();
+        for ty in DataType::ALL {
+            v.push(Operation::Load { ty, addr: 0x1000 });
+            v.push(Operation::Store { ty, addr: 0x2008 });
+            v.push(Operation::LoadConst { ty });
+            for op in ArithOp::ALL {
+                v.push(Operation::Arith { op, ty });
+            }
+        }
+        v.push(Operation::IFetch { addr: 0x40 });
+        v.push(Operation::Branch { addr: 0x80 });
+        v.push(Operation::Call { addr: 0xc0 });
+        v.push(Operation::Ret { addr: 0x44 });
+        v.push(Operation::Send { bytes: 256, dst: 5 });
+        v.push(Operation::Recv { src: 5 });
+        v.push(Operation::ASend { bytes: 1024, dst: 0 });
+        v.push(Operation::ARecv { src: 0 });
+        v.push(Operation::Compute { ps: 1_000_000 });
+        v.push(Operation::Get { bytes: 4096, from: 3 });
+        v.push(Operation::Put { bytes: 128, to: 2 });
+        v
+    }
+}

@@ -1,0 +1,266 @@
+//! Trace statistics: the operation mix and communication volume of a trace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::operation::{OpCategory, Operation};
+
+/// Aggregate statistics over a stream of operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total operations seen.
+    pub total: u64,
+    /// `load` count.
+    pub loads: u64,
+    /// `store` count.
+    pub stores: u64,
+    /// `load constant` count.
+    pub load_consts: u64,
+    /// Integer arithmetic count.
+    pub int_arith: u64,
+    /// Floating-point arithmetic count.
+    pub float_arith: u64,
+    /// `ifetch` count.
+    pub ifetches: u64,
+    /// Control transfers (`branch` + `call` + `ret`).
+    pub control: u64,
+    /// Synchronous sends.
+    pub sends: u64,
+    /// Synchronous receives.
+    pub recvs: u64,
+    /// Asynchronous sends.
+    pub asends: u64,
+    /// Asynchronous receives.
+    pub arecvs: u64,
+    /// `compute` tasks.
+    pub computes: u64,
+    /// One-sided remote reads.
+    pub gets: u64,
+    /// One-sided remote writes.
+    pub puts: u64,
+    /// Bytes fetched by `get` operations.
+    pub bytes_fetched: u64,
+    /// Total bytes carried by send operations.
+    pub bytes_sent: u64,
+    /// Total picoseconds of task-level computation.
+    pub compute_ps: u64,
+}
+
+impl TraceStats {
+    /// Gather statistics from an operation stream.
+    pub fn from_ops(ops: impl IntoIterator<Item = Operation>) -> Self {
+        let mut s = TraceStats::default();
+        for op in ops {
+            s.record(op);
+        }
+        s
+    }
+
+    /// Record one operation.
+    #[inline]
+    pub fn record(&mut self, op: Operation) {
+        self.total += 1;
+        match op {
+            Operation::Load { .. } => self.loads += 1,
+            Operation::Store { .. } => self.stores += 1,
+            Operation::LoadConst { .. } => self.load_consts += 1,
+            Operation::Arith { ty, .. } => {
+                if ty.is_float() {
+                    self.float_arith += 1;
+                } else {
+                    self.int_arith += 1;
+                }
+            }
+            Operation::IFetch { .. } => self.ifetches += 1,
+            Operation::Branch { .. } | Operation::Call { .. } | Operation::Ret { .. } => {
+                self.control += 1;
+            }
+            Operation::Send { bytes, .. } => {
+                self.sends += 1;
+                self.bytes_sent = self.bytes_sent.saturating_add(bytes as u64);
+            }
+            Operation::ASend { bytes, .. } => {
+                self.asends += 1;
+                self.bytes_sent = self.bytes_sent.saturating_add(bytes as u64);
+            }
+            Operation::Recv { .. } => self.recvs += 1,
+            Operation::ARecv { .. } => self.arecvs += 1,
+            Operation::Compute { ps } => {
+                self.computes += 1;
+                // Saturate: statistics must stay well-defined even for
+                // adversarial durations.
+                self.compute_ps = self.compute_ps.saturating_add(ps);
+            }
+            Operation::Get { bytes, .. } => {
+                self.gets += 1;
+                self.bytes_fetched = self.bytes_fetched.saturating_add(bytes as u64);
+            }
+            Operation::Put { bytes, .. } => {
+                self.puts += 1;
+                self.bytes_sent = self.bytes_sent.saturating_add(bytes as u64);
+            }
+        }
+    }
+
+    /// Merge another statistics block into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.total += other.total;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.load_consts += other.load_consts;
+        self.int_arith += other.int_arith;
+        self.float_arith += other.float_arith;
+        self.ifetches += other.ifetches;
+        self.control += other.control;
+        self.sends += other.sends;
+        self.recvs += other.recvs;
+        self.asends += other.asends;
+        self.arecvs += other.arecvs;
+        self.computes += other.computes;
+        self.gets += other.gets;
+        self.puts += other.puts;
+        self.bytes_fetched = self.bytes_fetched.saturating_add(other.bytes_fetched);
+        self.bytes_sent = self.bytes_sent.saturating_add(other.bytes_sent);
+        self.compute_ps = self.compute_ps.saturating_add(other.compute_ps);
+    }
+
+    /// Count in a given category.
+    pub fn category(&self, cat: OpCategory) -> u64 {
+        match cat {
+            OpCategory::MemoryTransfer => self.loads + self.stores + self.load_consts,
+            OpCategory::Arithmetic => self.int_arith + self.float_arith,
+            OpCategory::InstructionFetch => self.ifetches + self.control,
+            OpCategory::Communication => {
+                self.sends + self.recvs + self.asends + self.arecvs + self.gets + self.puts
+            }
+            OpCategory::Task => self.computes,
+        }
+    }
+
+    /// Fraction of operations in a category (0 when the trace is empty).
+    pub fn fraction(&self, cat: OpCategory) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.category(cat) as f64 / self.total as f64
+        }
+    }
+
+    /// Number of communication operations.
+    pub fn comm_ops(&self) -> u64 {
+        self.category(OpCategory::Communication)
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "operations: {}", self.total)?;
+        for cat in OpCategory::ALL {
+            writeln!(
+                f,
+                "  {:<18} {:>10}  ({:5.1}%)",
+                cat.label(),
+                self.category(cat),
+                100.0 * self.fraction(cat)
+            )?;
+        }
+        writeln!(f, "  bytes sent         {:>10}", self.bytes_sent)?;
+        write!(f, "  task compute (ps)  {:>10}", self.compute_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operation::{ArithOp, DataType};
+
+    #[test]
+    fn mix_is_counted_per_variant() {
+        let ops = vec![
+            Operation::Load {
+                ty: DataType::I32,
+                addr: 0,
+            },
+            Operation::Store {
+                ty: DataType::I32,
+                addr: 0,
+            },
+            Operation::LoadConst { ty: DataType::F32 },
+            Operation::Arith {
+                op: ArithOp::Add,
+                ty: DataType::I32,
+            },
+            Operation::Arith {
+                op: ArithOp::Mul,
+                ty: DataType::F64,
+            },
+            Operation::IFetch { addr: 0 },
+            Operation::Branch { addr: 0 },
+            Operation::Call { addr: 0 },
+            Operation::Ret { addr: 0 },
+            Operation::Send { bytes: 100, dst: 1 },
+            Operation::Recv { src: 1 },
+            Operation::ASend { bytes: 28, dst: 2 },
+            Operation::ARecv { src: 2 },
+            Operation::Compute { ps: 77 },
+        ];
+        let s = TraceStats::from_ops(ops);
+        assert_eq!(s.total, 14);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.load_consts, 1);
+        assert_eq!(s.int_arith, 1);
+        assert_eq!(s.float_arith, 1);
+        assert_eq!(s.ifetches, 1);
+        assert_eq!(s.control, 3);
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.recvs, 1);
+        assert_eq!(s.asends, 1);
+        assert_eq!(s.arecvs, 1);
+        assert_eq!(s.computes, 1);
+        assert_eq!(s.bytes_sent, 128);
+        assert_eq!(s.compute_ps, 77);
+    }
+
+    #[test]
+    fn categories_sum_to_total() {
+        let ops = crate::operation::tests::sample_ops();
+        let s = TraceStats::from_ops(ops);
+        let by_cat: u64 = OpCategory::ALL.iter().map(|&c| s.category(c)).sum();
+        assert_eq!(by_cat, s.total);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let ops = crate::operation::tests::sample_ops();
+        let s = TraceStats::from_ops(ops);
+        let sum: f64 = OpCategory::ALL.iter().map(|&c| s.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = TraceStats::default();
+        assert_eq!(s.fraction(OpCategory::Arithmetic), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = TraceStats::from_ops([Operation::Send { bytes: 10, dst: 1 }]);
+        let b = TraceStats::from_ops([Operation::Send { bytes: 20, dst: 2 }]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.total, 2);
+        assert_eq!(m.sends, 2);
+        assert_eq!(m.bytes_sent, 30);
+    }
+
+    #[test]
+    fn display_renders_all_categories() {
+        let s = TraceStats::from_ops(crate::operation::tests::sample_ops());
+        let text = s.to_string();
+        for cat in OpCategory::ALL {
+            assert!(text.contains(cat.label()), "missing {}", cat.label());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Regenerates **Table 1** of the paper: the computational and
+//! communication operation sets with their descriptions.
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Operation signature as printed in the paper.
+    pub signature: &'static str,
+    /// The paper's description column.
+    pub description: &'static str,
+    /// Whether the row belongs to the computational or communication set.
+    pub section: Table1Section,
+}
+
+/// Which half of Table 1 a row belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table1Section {
+    /// Computational operations (abstract machine instructions).
+    Computational,
+    /// Communication operations (message passing + task-level compute).
+    Communication,
+}
+
+/// The rows of Table 1, in paper order.
+pub const TABLE1: &[Table1Row] = &[
+    Table1Row {
+        signature: "load(mem-type, address) / store(mem-type, address)",
+        description: "Accessing memory",
+        section: Table1Section::Computational,
+    },
+    Table1Row {
+        signature: "load([f]constant)",
+        description: "Loading an immediate constant",
+        section: Table1Section::Computational,
+    },
+    Table1Row {
+        signature: "add(type) sub(type) mul(type) div(type)",
+        description: "Performing arithmetic",
+        section: Table1Section::Computational,
+    },
+    Table1Row {
+        signature: "ifetch(address) branch(address)",
+        description: "Instruction fetching",
+        section: Table1Section::Computational,
+    },
+    Table1Row {
+        signature: "call(address) ret(address)",
+        description: "Function call / return",
+        section: Table1Section::Computational,
+    },
+    Table1Row {
+        signature: "send(message-size, destination) recv(source)",
+        description: "Synchronous communication",
+        section: Table1Section::Communication,
+    },
+    Table1Row {
+        signature: "asend(message-size, destination) arecv(source)",
+        description: "Asynchronous communication",
+        section: Table1Section::Communication,
+    },
+    Table1Row {
+        signature: "compute(duration)",
+        description: "Computation",
+        section: Table1Section::Communication,
+    },
+];
+
+/// Render Table 1 as ASCII (the shape the paper prints).
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1. Trace events or operations\n\n");
+    for section in [Table1Section::Computational, Table1Section::Communication] {
+        out.push_str(match section {
+            Table1Section::Computational => "Computational operations:\n",
+            Table1Section::Communication => "Communication operations:\n",
+        });
+        for row in TABLE1.iter().filter(|r| r.section == section) {
+            out.push_str(&format!("  {:<52} {}\n", row.signature, row.description));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operation::{ArithOp, DataType, Operation};
+
+    #[test]
+    fn table1_lists_both_sections() {
+        let comp = TABLE1
+            .iter()
+            .filter(|r| r.section == Table1Section::Computational)
+            .count();
+        let comm = TABLE1
+            .iter()
+            .filter(|r| r.section == Table1Section::Communication)
+            .count();
+        assert_eq!(comp, 5);
+        assert_eq!(comm, 3);
+    }
+
+    /// Every mnemonic printed in Table 1 is constructible as an
+    /// [`Operation`] — the enum covers the paper's operation set exactly.
+    #[test]
+    fn every_table1_mnemonic_is_an_operation() {
+        let ops = [
+            Operation::Load {
+                ty: DataType::I32,
+                addr: 0,
+            },
+            Operation::Store {
+                ty: DataType::I32,
+                addr: 0,
+            },
+            Operation::LoadConst { ty: DataType::F64 },
+            Operation::Arith {
+                op: ArithOp::Add,
+                ty: DataType::I32,
+            },
+            Operation::Arith {
+                op: ArithOp::Sub,
+                ty: DataType::I32,
+            },
+            Operation::Arith {
+                op: ArithOp::Mul,
+                ty: DataType::I32,
+            },
+            Operation::Arith {
+                op: ArithOp::Div,
+                ty: DataType::I32,
+            },
+            Operation::IFetch { addr: 0 },
+            Operation::Branch { addr: 0 },
+            Operation::Call { addr: 0 },
+            Operation::Ret { addr: 0 },
+            Operation::Send { bytes: 1, dst: 0 },
+            Operation::Recv { src: 0 },
+            Operation::ASend { bytes: 1, dst: 0 },
+            Operation::ARecv { src: 0 },
+            Operation::Compute { ps: 1 },
+        ];
+        let mnemonics: Vec<&str> = ops.iter().map(|o| o.mnemonic()).collect();
+        let all_sigs: String = TABLE1.iter().map(|r| r.signature).collect::<Vec<_>>().join(" ");
+        for m in ["load", "store", "add", "sub", "mul", "div", "ifetch", "branch", "call", "ret", "send", "recv", "asend", "arecv", "compute"] {
+            assert!(mnemonics.contains(&m), "enum missing {m}");
+            assert!(all_sigs.contains(m), "table missing {m}");
+        }
+    }
+
+    #[test]
+    fn render_prints_the_table() {
+        let text = render();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("Synchronous communication"));
+        assert!(text.contains("ifetch(address)"));
+        println!("{text}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Line-oriented text trace format, for inspection and hand-written tests.
+//!
+//! One operation per line, matching the `Display` output of [`Operation`]:
+//!
+//! ```text
+//! load i32 0x1000
+//! add i32
+//! send 256 3
+//! compute 1000000
+//! ```
+//!
+//! Blank lines and `#` comments are ignored.
+
+use crate::operation::{Address, ArithOp, DataType, NodeId, Operation};
+use crate::trace::Trace;
+
+/// Error from parsing a text trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_type(s: &str) -> Result<DataType, String> {
+    DataType::ALL
+        .into_iter()
+        .find(|t| t.mnemonic() == s)
+        .ok_or_else(|| format!("unknown data type `{s}`"))
+}
+
+fn parse_addr(s: &str) -> Result<Address, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        Address::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("bad address `{s}`"))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what} `{s}`"))
+}
+
+/// Parse a single operation line (without comments).
+pub fn parse_op(line: &str) -> Result<Operation, String> {
+    let mut it = line.split_whitespace();
+    let mnemonic = it.next().ok_or("empty operation")?;
+    let mut next = |what: &str| -> Result<&str, String> {
+        it.next().ok_or_else(|| format!("missing {what}"))
+    };
+    let op = match mnemonic {
+        "load" => Operation::Load {
+            ty: parse_type(next("type")?)?,
+            addr: parse_addr(next("address")?)?,
+        },
+        "store" => Operation::Store {
+            ty: parse_type(next("type")?)?,
+            addr: parse_addr(next("address")?)?,
+        },
+        "loadc" => Operation::LoadConst {
+            ty: parse_type(next("type")?)?,
+        },
+        "add" | "sub" | "mul" | "div" => {
+            let a = match mnemonic {
+                "add" => ArithOp::Add,
+                "sub" => ArithOp::Sub,
+                "mul" => ArithOp::Mul,
+                _ => ArithOp::Div,
+            };
+            Operation::Arith {
+                op: a,
+                ty: parse_type(next("type")?)?,
+            }
+        }
+        "ifetch" => Operation::IFetch {
+            addr: parse_addr(next("address")?)?,
+        },
+        "branch" => Operation::Branch {
+            addr: parse_addr(next("address")?)?,
+        },
+        "call" => Operation::Call {
+            addr: parse_addr(next("address")?)?,
+        },
+        "ret" => Operation::Ret {
+            addr: parse_addr(next("address")?)?,
+        },
+        "send" => Operation::Send {
+            bytes: parse_num(next("message size")?, "message size")?,
+            dst: parse_num::<NodeId>(next("destination")?, "destination")?,
+        },
+        "recv" => Operation::Recv {
+            src: parse_num::<NodeId>(next("source")?, "source")?,
+        },
+        "asend" => Operation::ASend {
+            bytes: parse_num(next("message size")?, "message size")?,
+            dst: parse_num::<NodeId>(next("destination")?, "destination")?,
+        },
+        "arecv" => Operation::ARecv {
+            src: parse_num::<NodeId>(next("source")?, "source")?,
+        },
+        "compute" => Operation::Compute {
+            ps: parse_num(next("duration")?, "duration")?,
+        },
+        "get" => Operation::Get {
+            bytes: parse_num(next("size")?, "size")?,
+            from: parse_num::<NodeId>(next("source")?, "source")?,
+        },
+        "put" => Operation::Put {
+            bytes: parse_num(next("size")?, "size")?,
+            to: parse_num::<NodeId>(next("destination")?, "destination")?,
+        },
+        other => return Err(format!("unknown operation `{other}`")),
+    };
+    if let Some(extra) = it.next() {
+        return Err(format!("trailing token `{extra}`"));
+    }
+    Ok(op)
+}
+
+/// Parse a text trace for `node`.
+pub fn parse_trace(node: NodeId, text: &str) -> Result<Trace, ParseError> {
+    let mut trace = Trace::new(node);
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let op = parse_op(line).map_err(|message| ParseError {
+            line: i + 1,
+            message,
+        })?;
+        trace.push(op);
+    }
+    Ok(trace)
+}
+
+/// Render a trace in the text format (inverse of [`parse_trace`]).
+pub fn format_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 16);
+    out.push_str(&format!("# node {} — {} operations\n", trace.node, trace.len()));
+    for op in trace.iter() {
+        out.push_str(&op.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_operation_roundtrips_through_text() {
+        for op in crate::operation::tests::sample_ops() {
+            let line = op.to_string();
+            let back = parse_op(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, op, "{line}");
+        }
+    }
+
+    #[test]
+    fn trace_roundtrips_with_comments() {
+        let t = Trace::from_ops(2, crate::operation::tests::sample_ops());
+        let text = format_trace(&t);
+        let back = parse_trace(2, &text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "\n# header\nload i32 0x10 # inline comment\n\nadd i32\n";
+        let t = parse_trace(0, text).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn hex_and_decimal_addresses() {
+        assert_eq!(
+            parse_op("load i8 256").unwrap(),
+            parse_op("load i8 0x100").unwrap()
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_trace(0, "add i32\nbogus op\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn missing_and_trailing_operands_are_rejected() {
+        assert!(parse_op("load i32").is_err());
+        assert!(parse_op("add").is_err());
+        assert!(parse_op("add i32 extra").is_err());
+        assert!(parse_op("send 12").is_err());
+        assert!(parse_op("load x32 0x0").is_err());
+    }
+}

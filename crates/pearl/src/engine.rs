@@ -1,0 +1,507 @@
+//! The discrete-event engine: components, events, and the main loop.
+
+use crate::queue::EventQueue;
+use crate::time::{Duration, Time};
+
+/// Identifies a component registered with an [`Engine`].
+pub type CompId = usize;
+
+/// A timestamped message between two components.
+#[derive(Debug, Clone)]
+pub struct Event<M> {
+    /// Virtual time at which the event is delivered.
+    pub time: Time,
+    /// Component that scheduled the event (== `dst` for self-scheduled
+    /// timers).
+    pub src: CompId,
+    /// Component the event is delivered to.
+    pub dst: CompId,
+    /// Model-defined message payload.
+    pub payload: M,
+}
+
+/// A simulation object (a Pearl "object"): receives events addressed to it
+/// and reacts by mutating its state and scheduling further events.
+///
+/// `Any` is a supertrait so that concrete component state can be inspected
+/// after a run via [`Engine::component`].
+pub trait Component<M>: std::any::Any {
+    /// Handle one event delivered to this component.
+    fn handle(&mut self, ev: Event<M>, ctx: &mut Ctx<'_, M>);
+
+    /// Called once before the simulation starts; schedule initial activity
+    /// here. The default does nothing.
+    fn init(&mut self, _ctx: &mut Ctx<'_, M>) {}
+}
+
+/// The engine-side API handed to a component while it runs.
+///
+/// All scheduling is relative to the current virtual time; an event may not
+/// be scheduled in the past (zero delay is allowed and is delivered after
+/// all events already pending at the current instant).
+pub struct Ctx<'e, M> {
+    now: Time,
+    self_id: CompId,
+    queue: &'e mut EventQueue<QueuedEvent<M>>,
+    stop_requested: &'e mut bool,
+}
+
+struct QueuedEvent<M> {
+    src: CompId,
+    dst: CompId,
+    payload: M,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the component currently executing.
+    #[inline]
+    pub fn self_id(&self) -> CompId {
+        self.self_id
+    }
+
+    /// Send `payload` to `dst`, delivered after `delay`.
+    #[inline]
+    pub fn send_after(&mut self, delay: Duration, dst: CompId, payload: M) {
+        let src = self.self_id;
+        self.queue.push(
+            self.now + delay,
+            QueuedEvent { src, dst, payload },
+        );
+    }
+
+    /// Send `payload` to `dst` at the current instant (after events already
+    /// pending now).
+    #[inline]
+    pub fn send_now(&mut self, dst: CompId, payload: M) {
+        self.send_after(Duration::ZERO, dst, payload);
+    }
+
+    /// Schedule a message to *this* component after `delay` — a timer.
+    #[inline]
+    pub fn timer(&mut self, delay: Duration, payload: M) {
+        let me = self.self_id;
+        self.send_after(delay, me, payload);
+    }
+
+    /// Ask the engine to stop after the current event completes.
+    #[inline]
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// Why [`Engine::run`] (or a bounded variant) returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunResult {
+    /// The pending-event set drained completely.
+    Drained,
+    /// A component called [`Ctx::stop`].
+    Stopped,
+    /// The time bound of [`Engine::run_until`] was reached.
+    TimeLimit,
+    /// The event bound of [`Engine::run_events`] was reached.
+    EventLimit,
+}
+
+/// The discrete-event simulation engine.
+///
+/// Generic over the message type `M`, so each subsystem (memory model,
+/// network model) defines its own closed message enum and gets static
+/// dispatch on payload matching while components are dynamically dispatched.
+pub struct Engine<M: 'static> {
+    now: Time,
+    queue: EventQueue<QueuedEvent<M>>,
+    // `Option` so a component can be moved out while its handler runs
+    // (allowing the handler to schedule events through `Ctx` without
+    // aliasing the component storage).
+    components: Vec<Option<Box<dyn Component<M>>>>,
+    names: Vec<String>,
+    events_processed: u64,
+    stop_requested: bool,
+    initialized: bool,
+}
+
+impl<M: 'static> Default for Engine<M> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<M: 'static> Engine<M> {
+    /// Create an engine at time zero with no components.
+    pub fn new() -> Self {
+        Engine {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            components: Vec::new(),
+            names: Vec::new(),
+            events_processed: 0,
+            stop_requested: false,
+            initialized: false,
+        }
+    }
+
+    /// Register a component; returns its id. Ids are dense and assigned in
+    /// registration order.
+    pub fn add_component<C>(&mut self, name: impl Into<String>, comp: C) -> CompId
+    where
+        C: Component<M> + 'static,
+    {
+        let id = self.components.len();
+        self.components.push(Some(Box::new(comp)));
+        self.names.push(name.into());
+        id
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The registered name of a component.
+    pub fn component_name(&self, id: CompId) -> &str {
+        &self.names[id]
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Inject an event from outside the simulation (e.g. the initial
+    /// workload). `time` must not be in the past.
+    pub fn post(&mut self, time: Time, src: CompId, dst: CompId, payload: M) {
+        assert!(time >= self.now, "cannot post an event in the past");
+        assert!(dst < self.components.len(), "unknown destination component");
+        self.queue.push(time, QueuedEvent { src, dst, payload });
+    }
+
+    /// Borrow a component's concrete state (for inspection between runs).
+    ///
+    /// Returns `None` if the component is not of type `C`.
+    pub fn component<C: 'static>(&self, id: CompId) -> Option<&C> {
+        self.components[id].as_ref().and_then(|b| {
+            let any: &dyn std::any::Any = b.as_ref();
+            any.downcast_ref::<C>()
+        })
+    }
+
+    /// Run `init` on every component that has not been initialised yet.
+    fn ensure_init(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for id in 0..self.components.len() {
+            let mut comp = self.components[id].take().expect("component vanished");
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                queue: &mut self.queue,
+                stop_requested: &mut self.stop_requested,
+            };
+            comp.init(&mut ctx);
+            self.components[id] = Some(comp);
+        }
+    }
+
+    /// Deliver exactly one event, if any is pending. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_init();
+        let Some((time, qe)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue returned a past event");
+        self.now = time;
+        self.events_processed += 1;
+        let mut comp = self.components[qe.dst]
+            .take()
+            .unwrap_or_else(|| panic!("component {} re-entered", qe.dst));
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: qe.dst,
+            queue: &mut self.queue,
+            stop_requested: &mut self.stop_requested,
+        };
+        comp.handle(
+            Event {
+                time,
+                src: qe.src,
+                dst: qe.dst,
+                payload: qe.payload,
+            },
+            &mut ctx,
+        );
+        self.components[qe.dst] = Some(comp);
+        true
+    }
+
+    /// Run until the event set drains or a component stops the engine.
+    pub fn run(&mut self) -> RunResult {
+        self.run_until(Time::MAX)
+    }
+
+    /// Run until `deadline` (events *at* the deadline are delivered), the
+    /// event set drains, or a component stops the engine.
+    pub fn run_until(&mut self, deadline: Time) -> RunResult {
+        self.ensure_init();
+        self.stop_requested = false;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunResult::Drained,
+                Some(t) if t > deadline => {
+                    self.now = deadline;
+                    return RunResult::TimeLimit;
+                }
+                Some(_) => {}
+            }
+            self.step();
+            if self.stop_requested {
+                return RunResult::Stopped;
+            }
+        }
+    }
+
+    /// Run at most `max_events` events.
+    pub fn run_events(&mut self, max_events: u64) -> RunResult {
+        self.ensure_init();
+        self.stop_requested = false;
+        for _ in 0..max_events {
+            if !self.step() {
+                return RunResult::Drained;
+            }
+            if self.stop_requested {
+                return RunResult::Stopped;
+            }
+        }
+        RunResult::EventLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Tick,
+        Value(u64),
+    }
+
+    /// Counts ticks; reschedules itself `n` times.
+    struct Ticker {
+        period: Duration,
+        remaining: u32,
+        fired_at: Vec<Time>,
+    }
+
+    impl Component<Msg> for Ticker {
+        fn init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            if self.remaining > 0 {
+                ctx.timer(self.period, Msg::Tick);
+            }
+        }
+        fn handle(&mut self, ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            assert_eq!(ev.payload, Msg::Tick);
+            self.fired_at.push(ctx.now());
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.timer(self.period, Msg::Tick);
+            }
+        }
+    }
+
+    #[test]
+    fn timer_fires_periodically() {
+        let mut e = Engine::new();
+        let id = e.add_component(
+            "ticker",
+            Ticker {
+                period: Duration::from_ns(5),
+                remaining: 3,
+                fired_at: Vec::new(),
+            },
+        );
+        assert_eq!(e.run(), RunResult::Drained);
+        let t = e.component::<Ticker>(id).unwrap();
+        assert_eq!(
+            t.fired_at,
+            vec![
+                Time::from_ps(5_000),
+                Time::from_ps(10_000),
+                Time::from_ps(15_000)
+            ]
+        );
+        assert_eq!(e.events_processed(), 3);
+    }
+
+    struct Forwarder {
+        next: CompId,
+        hop_delay: Duration,
+        received: Vec<u64>,
+    }
+
+    impl Component<Msg> for Forwarder {
+        fn handle(&mut self, ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            if let Msg::Value(v) = ev.payload {
+                self.received.push(v);
+                if v > 0 {
+                    ctx.send_after(self.hop_delay, self.next, Msg::Value(v - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_of_forwarders_decrements_to_zero() {
+        let mut e = Engine::new();
+        let n = 4;
+        let ids: Vec<CompId> = (0..n)
+            .map(|i| {
+                e.add_component(
+                    format!("f{i}"),
+                    Forwarder {
+                        next: (i + 1) % n,
+                        hop_delay: Duration::from_ns(1),
+                        received: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        e.post(Time::ZERO, ids[0], ids[0], Msg::Value(9));
+        assert_eq!(e.run(), RunResult::Drained);
+        // 10 deliveries total (values 9..=0), spread round the ring.
+        assert_eq!(e.events_processed(), 10);
+        assert_eq!(e.now(), Time::from_ps(9_000));
+        let f0 = e.component::<Forwarder>(ids[0]).unwrap();
+        assert_eq!(f0.received, vec![9, 5, 1]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut e = Engine::new();
+        e.add_component(
+            "ticker",
+            Ticker {
+                period: Duration::from_ns(10),
+                remaining: 100,
+                fired_at: Vec::new(),
+            },
+        );
+        assert_eq!(e.run_until(Time::from_ps(35_000)), RunResult::TimeLimit);
+        assert_eq!(e.events_processed(), 3);
+        assert_eq!(e.now(), Time::from_ps(35_000));
+        // Resume to completion.
+        assert_eq!(e.run(), RunResult::Drained);
+        assert_eq!(e.events_processed(), 100);
+    }
+
+    #[test]
+    fn run_events_bounds_work() {
+        let mut e = Engine::new();
+        e.add_component(
+            "ticker",
+            Ticker {
+                period: Duration::from_ns(1),
+                remaining: 50,
+                fired_at: Vec::new(),
+            },
+        );
+        assert_eq!(e.run_events(20), RunResult::EventLimit);
+        assert_eq!(e.events_processed(), 20);
+        assert_eq!(e.run_events(1_000), RunResult::Drained);
+        assert_eq!(e.events_processed(), 50);
+    }
+
+    struct Stopper;
+    impl Component<Msg> for Stopper {
+        fn init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.timer(Duration::from_ns(1), Msg::Tick);
+        }
+        fn handle(&mut self, _ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            ctx.stop();
+        }
+    }
+
+    #[test]
+    fn stop_halts_the_engine() {
+        let mut e = Engine::new();
+        e.add_component("s", Stopper);
+        e.add_component(
+            "ticker",
+            Ticker {
+                period: Duration::from_ns(1),
+                remaining: 1000,
+                fired_at: Vec::new(),
+            },
+        );
+        assert_eq!(e.run(), RunResult::Stopped);
+        assert!(e.events_processed() < 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn posting_in_the_past_panics() {
+        let mut e: Engine<Msg> = Engine::new();
+        let id = e.add_component(
+            "ticker",
+            Ticker {
+                period: Duration::from_ns(1),
+                remaining: 1,
+                fired_at: Vec::new(),
+            },
+        );
+        e.run();
+        e.post(Time::ZERO, id, id, Msg::Tick);
+    }
+
+    #[test]
+    fn component_names_are_kept() {
+        let mut e: Engine<Msg> = Engine::new();
+        let id = e.add_component("alpha", Stopper);
+        assert_eq!(e.component_name(id), "alpha");
+        assert_eq!(e.component_count(), 1);
+    }
+
+    #[test]
+    fn same_instant_events_deliver_in_schedule_order() {
+        struct Recorder {
+            seen: Vec<u64>,
+        }
+        impl Component<Msg> for Recorder {
+            fn handle(&mut self, ev: Event<Msg>, _ctx: &mut Ctx<'_, Msg>) {
+                if let Msg::Value(v) = ev.payload {
+                    self.seen.push(v);
+                }
+            }
+        }
+        let mut e = Engine::new();
+        let id = e.add_component("r", Recorder { seen: Vec::new() });
+        for v in 0..10 {
+            e.post(Time::from_ps(42), id, id, Msg::Value(v));
+        }
+        e.run();
+        let r = e.component::<Recorder>(id).unwrap();
+        assert_eq!(r.seen, (0..10).collect::<Vec<_>>());
+    }
+}

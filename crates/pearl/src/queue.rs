@@ -1,0 +1,170 @@
+//! The pending-event set: a stable priority queue ordered by virtual time.
+//!
+//! Events scheduled for the same instant are delivered in the order they
+//! were scheduled (FIFO), which makes every simulation deterministic — a
+//! property the Mermaid trace-validity argument (physical-time interleaving)
+//! relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An entry in the queue: an opaque payload tagged with its delivery time
+/// and a monotone sequence number for stable ordering.
+struct Entry<T> {
+    time: Time,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A stable min-priority queue of timestamped items.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Create an empty queue with room for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Insert `item` for delivery at `time`.
+    #[inline]
+    pub fn push(&mut self, time: Time, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, item });
+    }
+
+    /// Remove and return the earliest item together with its delivery time.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|e| (e.time, e.item))
+    }
+
+    /// Delivery time of the earliest pending item, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no items are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending items.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Total number of items ever pushed (monotone; used by engine stats).
+    #[inline]
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(30), "c");
+        q.push(Time::from_ps(10), "a");
+        q.push(Time::from_ps(20), "b");
+        assert_eq!(q.pop(), Some((Time::from_ps(10), "a")));
+        assert_eq!(q.pop(), Some((Time::from_ps(20), "b")));
+        assert_eq!(q.pop(), Some((Time::from_ps(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ps(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_stable() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ps(1);
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(t, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ps(7), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ps(7)));
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.total_pushed(), 1);
+    }
+}

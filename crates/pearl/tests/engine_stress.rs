@@ -1,0 +1,131 @@
+//! Stress and determinism tests of the discrete-event kernel.
+
+use pearl::{CompId, Component, Ctx, Duration, Engine, Event, Time};
+
+/// A node in a random message web: forwards each token `hops` more times
+/// to a pseudo-randomly chosen peer with a pseudo-random delay.
+struct Web {
+    peers: usize,
+    state: u64,
+    received: u64,
+    log: Vec<(u64, CompId)>,
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    hops: u32,
+    id: u64,
+}
+
+impl Web {
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+}
+
+impl Component<Token> for Web {
+    fn handle(&mut self, ev: Event<Token>, ctx: &mut Ctx<'_, Token>) {
+        self.received += 1;
+        self.log.push((ev.payload.id, ev.src));
+        if ev.payload.hops > 0 {
+            let r = self.next_rand();
+            let dst = (r % self.peers as u64) as CompId;
+            let delay = Duration::from_ps(1 + r % 1000);
+            ctx.send_after(
+                delay,
+                dst,
+                Token {
+                    hops: ev.payload.hops - 1,
+                    id: ev.payload.id,
+                },
+            );
+        }
+    }
+}
+
+fn run_web(comps: usize, tokens: u64, hops: u32) -> (Time, u64, Vec<Vec<(u64, CompId)>>) {
+    let mut e = Engine::new();
+    for i in 0..comps {
+        e.add_component(
+            format!("web{i}"),
+            Web {
+                peers: comps,
+                state: 0x1234_5678_9abc_def0 ^ (i as u64) << 32 | 1,
+                received: 0,
+                log: Vec::new(),
+            },
+        );
+    }
+    for id in 0..tokens {
+        e.post(
+            Time::ZERO,
+            (id as usize) % comps,
+            (id as usize) % comps,
+            Token { hops, id },
+        );
+    }
+    e.run();
+    let logs = (0..comps)
+        .map(|i| e.component::<Web>(i).unwrap().log.clone())
+        .collect();
+    (e.now(), e.events_processed(), logs)
+}
+
+#[test]
+fn large_event_webs_conserve_messages() {
+    let comps = 50;
+    let tokens = 200;
+    let hops = 40;
+    let (_, events, _) = run_web(comps, tokens, hops);
+    // Every token is delivered exactly hops+1 times.
+    assert_eq!(events, tokens * (hops as u64 + 1));
+}
+
+#[test]
+fn simulation_is_bit_for_bit_deterministic() {
+    let a = run_web(20, 50, 30);
+    let b = run_web(20, 50, 30);
+    assert_eq!(a.0, b.0, "final virtual time");
+    assert_eq!(a.1, b.1, "event count");
+    assert_eq!(a.2, b.2, "per-component delivery logs");
+}
+
+#[test]
+fn hundred_thousand_events_run_quickly() {
+    let start = std::time::Instant::now();
+    let (_, events, _) = run_web(100, 500, 200);
+    assert_eq!(events, 500 * 201);
+    // Generous bound: the kernel must push > 100k events/s even in debug.
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "kernel too slow: {events} events in {:?}",
+        start.elapsed()
+    );
+}
+
+/// A component that schedules zero-delay events to itself, bounded.
+struct ZeroDelay {
+    remaining: u32,
+}
+impl Component<Token> for ZeroDelay {
+    fn handle(&mut self, _ev: Event<Token>, ctx: &mut Ctx<'_, Token>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_now(ctx.self_id(), Token { hops: 0, id: 0 });
+        }
+    }
+}
+
+#[test]
+fn zero_delay_self_messages_make_progress_at_constant_time() {
+    let mut e = Engine::new();
+    let id = e.add_component("z", ZeroDelay { remaining: 10_000 });
+    e.post(Time::ZERO, id, id, Token { hops: 0, id: 0 });
+    e.run();
+    assert_eq!(e.now(), Time::ZERO, "zero delays must not advance time");
+    assert_eq!(e.events_processed(), 10_001);
+}

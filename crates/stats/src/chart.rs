@@ -1,0 +1,113 @@
+//! ASCII charts for run-time and post-mortem visualisation.
+
+use crate::histogram::Histogram;
+use crate::timeseries::TimeSeries;
+
+/// Render a horizontal bar chart of `(label, value)` pairs, `width` columns
+/// wide at the longest bar.
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    assert!(width >= 1);
+    let max = items.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{:<label_w$} |{:<width$}| {:.3}\n",
+            label,
+            "#".repeat(bar),
+            value,
+        ));
+    }
+    out
+}
+
+/// Render a histogram as a bar chart of its non-empty buckets.
+pub fn histogram_chart(h: &Histogram, width: usize) -> String {
+    let items: Vec<(String, f64)> = h
+        .iter_nonempty()
+        .map(|(lo, c)| (format!("≥{lo}"), c as f64))
+        .collect();
+    bar_chart(&items, width)
+}
+
+/// Render a time series as a sparkline of `width` characters.
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let s = series.downsample(width.max(2));
+    let Some((lo, hi)) = s.value_range() else {
+        return String::new();
+    };
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    s.samples()
+        .iter()
+        .map(|&(_, v)| {
+            let idx = (((v - lo) / span) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let items = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let s = bar_chart(&items, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("#####"));
+        assert!(!lines[0].contains("######"));
+        assert!(lines[1].contains("##########"));
+    }
+
+    #[test]
+    fn zero_values_draw_empty_bars() {
+        let items = vec![("z".to_string(), 0.0)];
+        let s = bar_chart(&items, 5);
+        assert!(s.contains("|     |"));
+    }
+
+    #[test]
+    fn histogram_chart_shows_buckets() {
+        let mut h = Histogram::log2();
+        h.record(3);
+        h.record(100);
+        let s = histogram_chart(&h, 8);
+        assert!(s.contains("≥2"));
+        assert!(s.contains("≥64"));
+    }
+
+    #[test]
+    fn sparkline_spans_levels() {
+        let mut ts = TimeSeries::new("s");
+        for i in 0..8u64 {
+            ts.push(i, i as f64);
+        }
+        let sl = sparkline(&ts, 8);
+        assert_eq!(sl.chars().count(), 8);
+        assert!(sl.starts_with('▁'));
+        assert!(sl.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_of_empty_series_is_empty() {
+        let ts = TimeSeries::new("s");
+        assert_eq!(sparkline(&ts, 10), "");
+    }
+
+    #[test]
+    fn sparkline_of_constant_series_is_flat() {
+        let mut ts = TimeSeries::new("s");
+        ts.push(0, 5.0);
+        ts.push(1, 5.0);
+        let sl = sparkline(&ts, 4);
+        assert!(sl.chars().all(|c| c == '▁'));
+    }
+}

@@ -1,0 +1,151 @@
+//! Named event counters.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Ratio of this counter to another (0 when the denominator is zero).
+    pub fn ratio(self, denom: Counter) -> f64 {
+        if denom.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+}
+
+/// A registry of named counters with stable (sorted) iteration order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counters {
+    map: BTreeMap<String, Counter>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Increment counter `name` by one, creating it at zero if absent.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Add `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.map.entry(name.to_string()).or_default().add(n);
+    }
+
+    /// Value of counter `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or_default().get()
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no counter exists.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merge another registry into this one (summing shared names).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.map {
+            self.map.entry(k.clone()).or_default().add(v.get());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut a = Counter::new();
+        a.add(3);
+        let b = Counter::new();
+        assert_eq!(a.ratio(b), 0.0);
+        let mut b = Counter::new();
+        b.add(6);
+        assert!((a.ratio(b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_creates_on_demand() {
+        let mut cs = Counters::new();
+        assert_eq!(cs.get("hits"), 0);
+        cs.incr("hits");
+        cs.add("hits", 2);
+        cs.incr("misses");
+        assert_eq!(cs.get("hits"), 3);
+        assert_eq!(cs.get("misses"), 1);
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut cs = Counters::new();
+        cs.incr("zebra");
+        cs.incr("alpha");
+        let names: Vec<&str> = cs.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zebra"]);
+    }
+
+    #[test]
+    fn merge_sums_shared_names() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Counters::new();
+        b.add("y", 3);
+        b.add("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Gnuplot script generation for post-mortem visualisation.
+//!
+//! Emits a self-contained `.gp` script with inline data blocks, so a
+//! simulation report can be turned into figures with a single
+//! `gnuplot report.gp` — the workbench's post-mortem path.
+
+use crate::timeseries::TimeSeries;
+
+/// Options for a generated plot.
+#[derive(Debug, Clone)]
+pub struct PlotSpec {
+    /// Plot title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// Output PNG file name written by the script.
+    pub output: String,
+    /// Use a logarithmic y axis.
+    pub logy: bool,
+}
+
+impl Default for PlotSpec {
+    fn default() -> Self {
+        PlotSpec {
+            title: "Mermaid simulation".to_string(),
+            xlabel: "virtual time (s)".to_string(),
+            ylabel: "value".to_string(),
+            output: "plot.png".to_string(),
+            logy: false,
+        }
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Render several time series as one gnuplot script with inline data.
+/// Times are plotted in seconds of virtual time.
+pub fn series_script(spec: &PlotSpec, series: &[&TimeSeries]) -> String {
+    let mut out = String::new();
+    out.push_str("set terminal pngcairo size 900,540\n");
+    out.push_str(&format!("set output '{}'\n", spec.output));
+    out.push_str(&format!("set title '{}'\n", spec.title.replace('\'', "")));
+    out.push_str(&format!("set xlabel '{}'\n", spec.xlabel.replace('\'', "")));
+    out.push_str(&format!("set ylabel '{}'\n", spec.ylabel.replace('\'', "")));
+    out.push_str("set key left top\nset grid\n");
+    if spec.logy {
+        out.push_str("set logscale y\n");
+    }
+    for s in series {
+        out.push_str(&format!("${} << EOD\n", sanitize(&s.name)));
+        for &(t, v) in s.samples() {
+            out.push_str(&format!("{} {}\n", t as f64 / 1e12, v));
+        }
+        out.push_str("EOD\n");
+    }
+    let plots: Vec<String> = series
+        .iter()
+        .map(|s| {
+            format!(
+                "${} using 1:2 with steps lw 2 title '{}'",
+                sanitize(&s.name),
+                s.name.replace('\'', "")
+            )
+        })
+        .collect();
+    out.push_str(&format!("plot {}\n", plots.join(", \\\n     ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, pts: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for &(t, v) in pts {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn script_contains_data_and_plot_commands() {
+        let a = series("msgs", &[(0, 0.0), (1_000_000_000_000, 5.0)]);
+        let b = series("done nodes", &[(0, 0.0)]);
+        let script = series_script(&PlotSpec::default(), &[&a, &b]);
+        assert!(script.contains("set output 'plot.png'"));
+        assert!(script.contains("$msgs << EOD"));
+        assert!(script.contains("$done_nodes << EOD"));
+        assert!(script.contains("1 5\n")); // 1e12 ps = 1 s
+        assert!(script.contains("plot $msgs"));
+        assert!(script.contains("title 'done nodes'"));
+    }
+
+    #[test]
+    fn logscale_and_quoting() {
+        let spec = PlotSpec {
+            title: "it's log".to_string(),
+            logy: true,
+            ..PlotSpec::default()
+        };
+        let s = series("x", &[(0, 1.0)]);
+        let script = series_script(&spec, &[&s]);
+        assert!(script.contains("set logscale y"));
+        assert!(!script.contains("it's"), "quotes must be stripped");
+    }
+}

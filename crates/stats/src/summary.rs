@@ -1,0 +1,176 @@
+//! Streaming summary statistics (Welford's algorithm) for repeated-run
+//! measurements — host-time numbers like slowdown are noisy, so reports
+//! over several runs should carry mean, spread, and a confidence interval.
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming mean/variance accumulator (numerically stable).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Build from an iterator of samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Summary::new();
+        for x in samples {
+            s.record(x);
+        }
+        s
+    }
+
+    /// Add one sample.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sample variance (Bessel-corrected; `None` for fewer than 2 samples).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n >= 2).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> Option<f64> {
+        self.stddev().map(|s| s / (self.n as f64).sqrt())
+    }
+
+    /// Approximate 95% confidence half-width of the mean (normal
+    /// approximation, 1.96·SE — adequate for the ≥10-run reports the
+    /// workbench produces).
+    pub fn ci95_half_width(&self) -> Option<f64> {
+        self.std_error().map(|se| 1.96 * se)
+    }
+
+    /// Render as `mean ± ci95 (n=N)`.
+    pub fn display(&self, unit: &str) -> String {
+        match (self.mean(), self.ci95_half_width()) {
+            (Some(m), Some(ci)) => format!("{m:.3} ± {ci:.3} {unit} (n={})", self.n),
+            (Some(m), None) => format!("{m:.3} {unit} (n=1)"),
+            _ => "no samples".to_string(),
+        }
+    }
+
+    /// Merge another accumulator (parallel-update formula).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_closed_form() {
+        let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let e = Summary::new();
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.variance(), None);
+        assert_eq!(e.display("ms"), "no samples");
+        let s = Summary::from_samples([3.5]);
+        assert_eq!(s.mean(), Some(3.5));
+        assert_eq!(s.variance(), None);
+        assert!(s.display("ms").contains("n=1"));
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_samples() {
+        let few = Summary::from_samples((0..10).map(|i| (i % 3) as f64));
+        let many = Summary::from_samples((0..1000).map(|i| (i % 3) as f64));
+        assert!(many.ci95_half_width().unwrap() < few.ci95_half_width().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = Summary::from_samples(all.iter().copied());
+        let mut a = Summary::from_samples(all[..37].iter().copied());
+        let b = Summary::from_samples(all[37..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+        // Merging an empty set is a no-op.
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_samples_are_rejected() {
+        Summary::new().record(f64::NAN);
+    }
+}

@@ -1,0 +1,181 @@
+//! ASCII table rendering for post-mortem reports — the paper's evaluation
+//! tables are regenerated through this.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple ASCII table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers; all columns right-aligned
+    /// except the first.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        let aligns = std::iter::once(Align::Left)
+            .chain(std::iter::repeat(Align::Right))
+            .take(headers.len())
+            .collect();
+        Table {
+            title: None,
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Override column alignments. Panics if the count mismatches.
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a row. Panics if the cell count mismatches the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to an ASCII string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                match self.aligns[i] {
+                    Align::Left => line.push_str(&format!("{:<width$}", cell, width = widths[i])),
+                    Align::Right => line.push_str(&format!("{:>width$}", cell, width = widths[i])),
+                }
+            }
+            while line.ends_with(' ') {
+                line.pop();
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&crate::csv::csv_line(&self.headers));
+        for row in &self.rows {
+            out.push_str(&crate::csv::csv_line(row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["machine", "slowdown"]).with_title("Slowdown");
+        t.row(["t805", "750"]);
+        t.row(["ppc601", "4000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "Slowdown");
+        assert!(lines[1].starts_with("machine"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("t805"));
+        assert!(lines[3].ends_with("750"));
+        assert!(lines[4].ends_with("4000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn csv_output_matches_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert!(s.contains('x'));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = Table::new(["n", "label"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.row(["5", "abc"]);
+        t.row(["500", "d"]);
+        let s = t.render();
+        assert!(s.lines().nth(2).unwrap().starts_with("  5"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Sampled time series for run-time visualisation of simulation progress.
+
+use serde::{Deserialize, Serialize};
+
+/// A `(time, value)` series sampled during a simulation run. Time is in
+/// picoseconds of virtual time (matching `pearl::Time`), values are `f64`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series name (used as the CSV column header).
+    pub name: String,
+    samples: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Append a sample. Time must be non-decreasing; out-of-order samples
+    /// panic (simulators observe in virtual-time order by construction).
+    pub fn push(&mut self, time_ps: u64, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(time_ps >= last, "time series sample out of order");
+        }
+        self.samples.push((time_ps, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples as `(time_ps, value)` pairs.
+    pub fn samples(&self) -> &[(u64, f64)] {
+        &self.samples
+    }
+
+    /// Last sample value, if any.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        self.samples.last().copied()
+    }
+
+    /// Minimum and maximum value over the series.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(_, v) in &self.samples {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Average rate of change between the first and last sample, per second
+    /// of virtual time. `None` for fewer than two samples or zero elapsed
+    /// time.
+    pub fn mean_rate_per_sec(&self) -> Option<f64> {
+        let (&(t0, v0), &(t1, v1)) = (self.samples.first()?, self.samples.last()?);
+        if t1 == t0 {
+            return None;
+        }
+        let dt_secs = (t1 - t0) as f64 / 1e12;
+        Some((v1 - v0) / dt_secs)
+    }
+
+    /// Value at `time_ps` by step interpolation (the most recent sample at
+    /// or before the query). `None` before the first sample.
+    pub fn value_at(&self, time_ps: u64) -> Option<f64> {
+        match self.samples.binary_search_by_key(&time_ps, |&(t, _)| t) {
+            Ok(i) => {
+                // Several samples may share a timestamp; take the last one.
+                let mut i = i;
+                while i + 1 < self.samples.len() && self.samples[i + 1].0 == time_ps {
+                    i += 1;
+                }
+                Some(self.samples[i].1)
+            }
+            Err(0) => None,
+            Err(i) => Some(self.samples[i - 1].1),
+        }
+    }
+
+    /// Downsample to at most `max_points` by keeping every k-th sample
+    /// (always keeps the last). Used before rendering large runs.
+    pub fn downsample(&self, max_points: usize) -> TimeSeries {
+        assert!(max_points >= 2, "need at least two points");
+        if self.samples.len() <= max_points {
+            return self.clone();
+        }
+        let stride = self.samples.len().div_ceil(max_points);
+        let mut out = TimeSeries::new(self.name.clone());
+        for (i, &(t, v)) in self.samples.iter().enumerate() {
+            if i % stride == 0 {
+                out.samples.push((t, v));
+            }
+        }
+        if out.samples.last() != self.samples.last() {
+            out.samples.push(*self.samples.last().unwrap());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pts: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new("s");
+        for &(t, v) in pts {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_inspect() {
+        let s = series(&[(0, 1.0), (10, 2.0), (20, 4.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last(), Some((20, 4.0)));
+        assert_eq!(s.value_range(), Some((1.0, 4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_samples_panic() {
+        let mut s = TimeSeries::new("s");
+        s.push(10, 1.0);
+        s.push(5, 2.0);
+    }
+
+    #[test]
+    fn mean_rate_uses_virtual_seconds() {
+        // 3 units over 2e12 ps = 2 virtual seconds -> 1.5 per second.
+        let s = series(&[(0, 0.0), (2_000_000_000_000, 3.0)]);
+        assert!((s.mean_rate_per_sec().unwrap() - 1.5).abs() < 1e-12);
+        assert_eq!(series(&[(5, 1.0)]).mean_rate_per_sec(), None);
+        assert_eq!(series(&[(5, 1.0), (5, 2.0)]).mean_rate_per_sec(), None);
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let s = series(&[(10, 1.0), (20, 2.0), (20, 3.0), (30, 4.0)]);
+        assert_eq!(s.value_at(5), None);
+        assert_eq!(s.value_at(10), Some(1.0));
+        assert_eq!(s.value_at(15), Some(1.0));
+        assert_eq!(s.value_at(20), Some(3.0)); // last sample at t=20
+        assert_eq!(s.value_at(29), Some(3.0));
+        assert_eq!(s.value_at(100), Some(4.0));
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let mut s = TimeSeries::new("s");
+        for i in 0..1000u64 {
+            s.push(i, i as f64);
+        }
+        let d = s.downsample(10);
+        assert!(d.len() <= 11);
+        assert_eq!(d.samples().first(), Some(&(0, 0.0)));
+        assert_eq!(d.samples().last(), Some(&(999, 999.0)));
+        // Small series pass through unchanged.
+        let small = series(&[(0, 1.0), (1, 2.0)]);
+        assert_eq!(small.downsample(10), small);
+    }
+}

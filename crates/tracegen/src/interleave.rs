@@ -1,0 +1,439 @@
+//! Physical-time-interleaved, threaded trace generation (Section 3.1).
+//!
+//! "To produce the multiple operation traces that are needed for
+//! simulation, both trace generators model concurrent execution by means of
+//! threads. Each thread accounts for the behaviour of one processor within
+//! the parallel machine. Whenever a thread encounters a global event, it is
+//! suspended until explicitly resumed by the simulator. […] This
+//! thread-scheduling scheme, under the control of the simulator, guarantees
+//! the validity of the multiprocessor traces at all times."
+//!
+//! [`InterleavedTraceGen`] spawns one OS thread per simulated node. Each
+//! thread runs the instrumented program against a [`NodeCtx`] (the same
+//! [`Annotator`] API as the batch translator). Operations stream to the
+//! simulator through a bounded channel; when the program issues a *global
+//! event* (any communication operation), the thread parks until the
+//! simulator calls [`InterleavedTraceGen::resume`] — which the simulator
+//! does only once every other node has reached the same point in simulated
+//! time, exactly the feedback arrow of Fig. 1.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use mermaid_ops::{ArithOp, DataType, NodeId, Operation, Trace, TraceSet};
+
+use crate::annotate::{Annotator, LoopLabel, TargetLayout, Translator, VarId};
+
+/// Capacity of the per-node operation channel. Bounded so that a
+/// free-running computation phase cannot buffer unbounded trace data —
+/// simulator back-pressure suspends the generating thread instead, keeping
+/// memory consumption flat (the paper's Section 6 argument).
+const OP_CHANNEL_CAP: usize = 4096;
+
+/// The per-thread annotation context: an [`Annotator`] whose operations
+/// stream to the simulator, suspending at global events.
+pub struct NodeCtx {
+    inner: Translator,
+    op_tx: Sender<Operation>,
+    resume_rx: Receiver<()>,
+    /// Set when the consumer went away; generation continues silently so
+    /// the program thread can finish.
+    detached: bool,
+}
+
+impl NodeCtx {
+    fn flush(&mut self) {
+        if self.detached {
+            self.inner.drain_ops();
+            return;
+        }
+        for op in self.inner.drain_ops() {
+            if self.op_tx.send(op).is_err() {
+                self.detached = true;
+                return;
+            }
+        }
+    }
+
+    /// Park until the simulator resumes this node (or the simulator is
+    /// gone, in which case generation free-runs to completion).
+    fn suspend(&mut self) {
+        if self.detached {
+            return;
+        }
+        if self.resume_rx.recv().is_err() {
+            self.detached = true;
+        }
+    }
+
+    fn emit_global(&mut self, op: Operation) {
+        debug_assert!(op.is_global_event());
+        self.flush();
+        if !self.detached && self.op_tx.send(op).is_err() {
+            self.detached = true;
+        }
+        // Physical-time interleaving: wait for the simulator's feedback.
+        self.suspend();
+    }
+}
+
+impl Annotator for NodeCtx {
+    fn node(&self) -> NodeId {
+        self.inner.node()
+    }
+
+    fn global(&mut self, name: &str, ty: DataType, elems: u64) -> VarId {
+        self.inner.global(name, ty, elems)
+    }
+
+    fn local(&mut self, name: &str, ty: DataType, elems: u64) -> VarId {
+        self.inner.local(name, ty, elems)
+    }
+
+    fn arg(&mut self, name: &str, ty: DataType) -> VarId {
+        self.inner.arg(name, ty)
+    }
+
+    fn load(&mut self, v: VarId) {
+        self.inner.load(v);
+        self.flush();
+    }
+
+    fn load_idx(&mut self, v: VarId, idx: u64) {
+        self.inner.load_idx(v, idx);
+        self.flush();
+    }
+
+    fn store(&mut self, v: VarId) {
+        self.inner.store(v);
+        self.flush();
+    }
+
+    fn store_idx(&mut self, v: VarId, idx: u64) {
+        self.inner.store_idx(v, idx);
+        self.flush();
+    }
+
+    fn loadc(&mut self, ty: DataType) {
+        self.inner.loadc(ty);
+        self.flush();
+    }
+
+    fn arith(&mut self, op: ArithOp, ty: DataType) {
+        self.inner.arith(op, ty);
+        self.flush();
+    }
+
+    fn loop_head(&mut self) -> LoopLabel {
+        self.inner.loop_head()
+    }
+
+    fn loop_back(&mut self, label: LoopLabel) {
+        self.inner.loop_back(label);
+        self.flush();
+    }
+
+    fn branch_fwd(&mut self) {
+        self.inner.branch_fwd();
+        self.flush();
+    }
+
+    fn call(&mut self) {
+        self.inner.call();
+        self.flush();
+    }
+
+    fn ret(&mut self) {
+        self.inner.ret();
+        self.flush();
+    }
+
+    fn send(&mut self, bytes: u32, dst: NodeId) {
+        self.emit_global(Operation::Send { bytes, dst });
+    }
+
+    fn recv(&mut self, src: NodeId) {
+        self.emit_global(Operation::Recv { src });
+    }
+
+    fn asend(&mut self, bytes: u32, dst: NodeId) {
+        self.emit_global(Operation::ASend { bytes, dst });
+    }
+
+    fn arecv(&mut self, src: NodeId) {
+        self.emit_global(Operation::ARecv { src });
+    }
+
+    fn get(&mut self, bytes: u32, from: NodeId) {
+        self.emit_global(Operation::Get { bytes, from });
+    }
+
+    fn put(&mut self, bytes: u32, to: NodeId) {
+        self.emit_global(Operation::Put { bytes, to });
+    }
+}
+
+/// Handle to one node's generator thread.
+struct NodeHandle {
+    op_rx: Receiver<Operation>,
+    resume_tx: Sender<()>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The execution-driven trace generator: one thread per node, interleaved
+/// with the simulator.
+pub struct InterleavedTraceGen {
+    nodes: Vec<NodeHandle>,
+}
+
+impl InterleavedTraceGen {
+    /// Spawn `nodes` generator threads, each running `program(node_ctx)`.
+    /// The program receives its node id through [`Annotator::node`].
+    pub fn spawn<F>(nodes: u32, layout: TargetLayout, program: F) -> Self
+    where
+        F: Fn(&mut NodeCtx) + Send + Clone + 'static,
+    {
+        let handles = (0..nodes)
+            .map(|node| {
+                let (op_tx, op_rx) = bounded(OP_CHANNEL_CAP);
+                let (resume_tx, resume_rx) = bounded(1);
+                let program = program.clone();
+                let join = std::thread::Builder::new()
+                    .name(format!("mermaid-node-{node}"))
+                    .spawn(move || {
+                        let mut ctx = NodeCtx {
+                            inner: Translator::new(node, layout),
+                            op_tx,
+                            resume_rx,
+                            detached: false,
+                        };
+                        program(&mut ctx);
+                        ctx.flush();
+                        // Channel closes on drop → consumer sees end of trace.
+                    })
+                    .expect("failed to spawn trace-generator thread");
+                NodeHandle {
+                    op_rx,
+                    resume_tx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        InterleavedTraceGen { nodes: handles }
+    }
+
+    /// Number of node threads.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Pull the next operation of `node`, blocking until the generator
+    /// produces one. Returns `None` when the node's program has finished.
+    ///
+    /// After receiving a *global event*, the caller must not pull from this
+    /// node again until it has called [`InterleavedTraceGen::resume`] — the
+    /// generator thread is suspended and no operation will arrive.
+    pub fn next_op(&mut self, node: NodeId) -> Option<Operation> {
+        self.nodes[node as usize].op_rx.recv().ok()
+    }
+
+    /// Resume `node` past its pending global event (the simulator has
+    /// determined that no other event can affect it any more).
+    pub fn resume(&mut self, node: NodeId) {
+        // A send can only fail when the thread already exited — harmless.
+        let _ = self.nodes[node as usize].resume_tx.send(());
+    }
+
+    /// Free-run all nodes to completion and collect the full traces
+    /// (resuming every global event immediately). Useful when the traces
+    /// are wanted as artefacts rather than interleaved with a simulator.
+    pub fn collect_all(mut self) -> TraceSet {
+        let n = self.nodes.len();
+        let mut traces: Vec<Trace> = (0..n as u32).map(Trace::new).collect();
+        for node in 0..n as u32 {
+            while let Some(op) = self.next_op(node) {
+                let global = op.is_global_event();
+                traces[node as usize].push(op);
+                if global {
+                    self.resume(node);
+                }
+            }
+        }
+        TraceSet::from_traces(traces)
+    }
+}
+
+impl Drop for InterleavedTraceGen {
+    fn drop(&mut self) {
+        for h in &mut self.nodes {
+            // Unblock a suspended thread, then detach channels and join.
+            let _ = h.resume_tx.send(());
+            // Drain so a thread blocked on a full op channel can proceed.
+            while h.op_rx.try_recv().is_ok() {}
+        }
+        for h in &mut self.nodes {
+            loop {
+                // Keep draining until the thread exits (its op channel
+                // disconnects), so bounded-channel back-pressure can't
+                // deadlock the join.
+                match h.op_rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                    Ok(_) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        let _ = h.resume_tx.try_send(());
+                        continue;
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            if let Some(j) = h.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+/// A ready-made address/register layout matching the stochastic
+/// generator's segments (handy for mixing generated and instrumented
+/// workloads on one machine model).
+pub fn default_layout() -> TargetLayout {
+    TargetLayout::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-phase program: compute, exchange with the ring neighbour,
+    /// compute again.
+    fn ring_program(nodes: u32) -> impl Fn(&mut NodeCtx) + Send + Clone + 'static {
+        move |ctx: &mut NodeCtx| {
+            let me = ctx.node();
+            let x = ctx.local("x", DataType::F64, 1);
+            for _ in 0..3 {
+                ctx.load(x);
+                ctx.arith(ArithOp::Mul, DataType::F64);
+                ctx.store(x);
+            }
+            ctx.asend(64, (me + 1) % nodes);
+            ctx.recv((me + nodes - 1) % nodes);
+            ctx.arith(ArithOp::Add, DataType::F64);
+        }
+    }
+
+    #[test]
+    fn collect_all_produces_balanced_traces() {
+        let gen = InterleavedTraceGen::spawn(4, TargetLayout::default(), ring_program(4));
+        let ts = gen.collect_all();
+        assert_eq!(ts.nodes(), 4);
+        assert!(ts.comm_imbalances().is_empty());
+        for t in ts.iter() {
+            assert!(t.stats().sends + t.stats().asends == 1);
+            assert!(t.stats().recvs == 1);
+        }
+    }
+
+    #[test]
+    fn threads_suspend_at_global_events() {
+        let mut gen = InterleavedTraceGen::spawn(2, TargetLayout::default(), ring_program(2));
+        // Pull node 0's operations up to its global event.
+        let mut got_global = false;
+        let mut before = 0;
+        while let Some(op) = gen.next_op(0) {
+            if op.is_global_event() {
+                got_global = true;
+                break;
+            }
+            before += 1;
+        }
+        assert!(got_global);
+        assert!(before > 0);
+        // The thread is now suspended: no more operations may arrive until
+        // resume. (Observable via try_recv staying empty.)
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(gen.nodes[0].op_rx.try_recv().is_err());
+        // Resume; the next global event (recv) eventually arrives.
+        gen.resume(0);
+        let mut saw_recv = false;
+        while let Some(op) = gen.next_op(0) {
+            if matches!(op, Operation::Recv { .. }) {
+                saw_recv = true;
+                gen.resume(0);
+            }
+        }
+        assert!(saw_recv);
+    }
+
+    #[test]
+    fn interleaved_equals_batch_translation() {
+        // The same program through the batch translator and the threaded
+        // generator must produce identical traces.
+        let batch = {
+            let mut t = Translator::with_defaults(0);
+            let x = t.local("x", DataType::F64, 1);
+            for _ in 0..3 {
+                t.load(x);
+                t.arith(ArithOp::Mul, DataType::F64);
+                t.store(x);
+            }
+            t.asend(64, 1);
+            t.recv(1);
+            t.arith(ArithOp::Add, DataType::F64);
+            t.finish()
+        };
+        let gen = InterleavedTraceGen::spawn(2, TargetLayout::default(), ring_program(2));
+        let ts = gen.collect_all();
+        assert_eq!(ts.trace(0).ops, batch.ops);
+    }
+
+    #[test]
+    fn dropping_the_generator_does_not_hang() {
+        // Program with lots of output and a suspend point; drop mid-way.
+        let gen = InterleavedTraceGen::spawn(2, TargetLayout::default(), |ctx| {
+            let x = ctx.local("x", DataType::I32, 1);
+            for _ in 0..10_000 {
+                ctx.load(x);
+                ctx.arith(ArithOp::Add, DataType::I32);
+            }
+            ctx.send(8, (ctx.node() + 1) % 2);
+            ctx.recv((ctx.node() + 1) % 2);
+        });
+        drop(gen); // must join cleanly
+    }
+
+    #[test]
+    fn back_pressure_bounds_memory() {
+        // A program generating far more operations than the channel holds;
+        // the consumer pulls slowly. The thread must block on the channel
+        // rather than buffer everything.
+        let mut gen = InterleavedTraceGen::spawn(1, TargetLayout::default(), |ctx| {
+            let x = ctx.local("x", DataType::I32, 1);
+            for _ in 0..OP_CHANNEL_CAP * 4 {
+                ctx.load(x);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Channel holds at most its capacity even though the program wants
+        // to emit 4× that.
+        assert!(gen.nodes[0].op_rx.len() <= OP_CHANNEL_CAP);
+        // Drain everything; the program finishes.
+        let mut count = 0;
+        while gen.next_op(0).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, OP_CHANNEL_CAP * 4);
+    }
+
+    #[test]
+    fn node_ids_reach_the_programs() {
+        let gen = InterleavedTraceGen::spawn(3, TargetLayout::default(), |ctx| {
+            // Emit node-id-many arithmetic ops.
+            for _ in 0..ctx.node() {
+                ctx.arith(ArithOp::Add, DataType::I32);
+            }
+        });
+        let ts = gen.collect_all();
+        assert_eq!(ts.trace(0).len(), 0);
+        assert_eq!(ts.trace(1).len(), 2); // ifetch + add
+        assert_eq!(ts.trace(2).len(), 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Cache design-space study — the workbench doing exactly what the paper
+//! built it for: "supporting the performance evaluation of a wide range of
+//! architectural design options by means of parameterization", including
+//! the cache evaluations that direct-execution simulators cannot do
+//! (Section 2).
+//!
+//! We fix the PowerPC-601-class core and sweep the L1 data cache over
+//! size × associativity × line size, running the same instruction-level
+//! workload through the detailed computational model each time (in
+//! parallel across host cores). The output is the designer's grid: hit
+//! rate and execution time per configuration.
+//!
+//! Run with: `cargo run --release --example cache_design_study`
+
+use mermaid::prelude::*;
+use mermaid::parallel_sweep;
+use mermaid_memory::CacheParams;
+use mermaid_stats::table::Align;
+use mermaid_stats::Table;
+
+fn main() {
+    // A scientific workload with a ~48 KiB working set and mixed locality:
+    // big enough to punish small caches, local enough to reward bigger ones.
+    let app = StochasticApp {
+        nodes: 1,
+        phases: 1,
+        ops_per_phase: SizeDist::Fixed(120_000),
+        working_set: 48 * 1024,
+        seq_permille: 700,
+        pattern: CommPattern::None,
+        ..StochasticApp::scientific(1)
+    };
+    let traces = StochasticGenerator::new(app, 4242).generate();
+    let trace = traces.trace(0).clone();
+
+    let sizes = [8u64 * 1024, 16 * 1024, 32 * 1024, 64 * 1024];
+    let assocs = [1u32, 2, 8];
+    let lines = [32u32, 64]; // L2 uses 64 B lines; inclusion caps L1 at 64 B
+
+    let mut grid: Vec<(u64, u32, u32)> = Vec::new();
+    for &s in &sizes {
+        for &a in &assocs {
+            for &l in &lines {
+                grid.push((s, a, l));
+            }
+        }
+    }
+    println!(
+        "PowerPC 601 core, {} ops, 48 KiB working set — {} cache designs\n",
+        trace.len(),
+        grid.len()
+    );
+
+    let results = parallel_sweep(grid, |&(size, assoc, line)| {
+        let mut machine = MachineConfig::powerpc601_node(1);
+        machine.node_mem.l1d = CacheParams {
+            size_bytes: size,
+            line_bytes: line,
+            assoc,
+            ..machine.node_mem.l1d
+        };
+        let mut sim = mermaid_cpu::SingleNodeSim::new(machine.cpu, machine.node_mem.clone());
+        let r = sim.run(&[&trace]);
+        let hit = r.mem_stats.l1d[0].hit_rate();
+        (size, assoc, line, hit, r.finish)
+    });
+
+    let mut table = Table::new(["L1D size", "ways", "line", "hit%", "exec time", "vs best"])
+        .with_aligns(vec![
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    let best = results
+        .iter()
+        .map(|&(_, _, _, _, t)| t)
+        .min()
+        .unwrap();
+    for (size, assoc, line, hit, t) in &results {
+        table.row([
+            format!("{} KiB", size / 1024),
+            assoc.to_string(),
+            format!("{line} B"),
+            format!("{:.1}", hit * 100.0),
+            format!("{t}"),
+            format!("{:+.1}%", 100.0 * (t.as_ps() as f64 / best.as_ps() as f64 - 1.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shapes: hit rate rises with size until the working set fits (~98%");
+    println!("at 64 KiB); longer lines help this sequential-leaning workload; associativity");
+    println!("matters little here because the uniform address stream causes few conflicts.");
+    println!("A direct-execution simulator would print the same number for all {} rows.", results.len());
+}

@@ -1,0 +1,69 @@
+//! Machine-parameter calibration and validation (paper Section 3: models
+//! are "calibrated with published information or by benchmarking").
+//!
+//! Runs the lmbench-style probes of `mermaid::microbench` against the two
+//! calibrated machine presets and checks that the measured curves recover
+//! the configured parameters — the validation loop a workbench user runs
+//! after parameterising a new machine.
+//!
+//! Run with: `cargo run --release --example calibrate`
+
+use mermaid::prelude::*;
+use mermaid::{detect_capacity_edges, memory_stride_probe, ping_pong};
+use mermaid_stats::chart::bar_chart;
+
+fn main() {
+    // ── Memory hierarchy: PowerPC 601 node ─────────────────────────────
+    let ppc = MachineConfig::powerpc601_node(1);
+    println!("=== {} ===\n", ppc.name);
+    let footprints: Vec<u64> = (0..10).map(|i| (4u64 << 10) << i).collect();
+    let curve = memory_stride_probe(&ppc, &footprints, 64);
+    let items: Vec<(String, f64)> = curve
+        .iter()
+        .map(|p| {
+            (
+                format!("{:>5} KiB", p.array_bytes / 1024),
+                p.per_access.as_nanos_f64(),
+            )
+        })
+        .collect();
+    println!("load latency vs footprint (ns/access):");
+    println!("{}", bar_chart(&items, 40));
+    let edges = detect_capacity_edges(&curve, 0.5);
+    println!("detected capacity edges at: {:?} KiB", edges.iter().map(|e| e / 1024).collect::<Vec<_>>());
+    println!(
+        "configured: L1 {} KiB, L2 {} KiB — edges appear one step past each capacity\n",
+        ppc.node_mem.l1d.size_bytes / 1024,
+        ppc.node_mem.l2.unwrap().size_bytes / 1024
+    );
+
+    // ── Network: T805 links ────────────────────────────────────────────
+    let t805 = MachineConfig::t805_multicomputer(Topology::Ring(4));
+    println!("=== {} ===\n", t805.name);
+    println!("ping-pong (node 0 ↔ 1):");
+    println!("{:>10}  {:>14}  {:>12}", "bytes", "one-way", "bandwidth");
+    let sizes = [16u32, 256, 4_096, 65_536, 1_048_576];
+    let pp = ping_pong(&t805, &sizes, 3);
+    for p in &pp {
+        println!(
+            "{:>10}  {:>14}  {:>9.3} MB/s",
+            p.bytes,
+            format!("{}", p.one_way),
+            p.bandwidth / 1e6
+        );
+    }
+    let asymptote = pp.last().unwrap().bandwidth;
+    let link = t805.network.link.bandwidth_bytes_per_sec as f64;
+    println!(
+        "\nbandwidth asymptote {:.2} MB/s of configured {:.2} MB/s ({:.0}% — headers+hops absorb the rest)",
+        asymptote / 1e6,
+        link / 1e6,
+        100.0 * asymptote / link
+    );
+    println!(
+        "small-message latency {} ≈ software overheads ({} + {}) + routing + wire",
+        pp[0].one_way,
+        t805.network.software.send_overhead,
+        t805.network.software.recv_overhead,
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: one walk through the whole Mermaid pipeline (paper Fig. 1).
+//!
+//! Application level → trace generator → architecture models → analysis:
+//! we describe an application stochastically, generate operation traces,
+//! simulate them in detail on a T805 transputer multicomputer, and print
+//! the analysis tables.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mermaid::prelude::*;
+use mermaid::{report, SlowdownMeter};
+use mermaid_ops::table1;
+
+fn main() {
+    // ── Application level ──────────────────────────────────────────────
+    // A stochastic application description: 8 processes alternating dense
+    // floating-point phases with nearest-neighbour exchanges.
+    let nodes = 8;
+    let app = StochasticApp {
+        phases: 6,
+        ops_per_phase: SizeDist::Uniform(3_000, 6_000),
+        pattern: CommPattern::NearestNeighborRing,
+        msg_bytes: SizeDist::Fixed(8 * 1024),
+        ..StochasticApp::scientific(nodes)
+    };
+    let traces = StochasticGenerator::new(app, 2024).generate();
+    println!("generated {} operations over {} nodes\n", traces.total_ops(), traces.nodes());
+    println!("{}", traces.stats());
+    println!();
+
+    // The operation vocabulary driving everything (paper Table 1):
+    println!("{}", table1::render());
+
+    // ── Architecture level ─────────────────────────────────────────────
+    // A T805 transputer multicomputer on a ring — the class of machine the
+    // paper's evaluation simulates.
+    let machine = MachineConfig::t805_multicomputer(Topology::Ring(nodes));
+    println!("machine: {}\n", machine.name);
+
+    // ── Detailed (hybrid) simulation ───────────────────────────────────
+    let meter = SlowdownMeter::start(nodes, machine.cpu.clock);
+    let result = HybridSim::new(machine).run(&traces);
+    let slowdown = meter.finish(result.predicted_time);
+
+    assert!(result.comm.all_done, "application deadlocked: {:?}", result.comm.deadlocked);
+
+    // ── Analysis level ─────────────────────────────────────────────────
+    println!("predicted execution time: {}", result.predicted_time);
+    println!(
+        "messages delivered: {}  ({} payload bytes)",
+        result.comm.total_messages, result.comm.total_bytes
+    );
+    println!();
+    println!("{}", report::hybrid_table(&result).render());
+    println!(
+        "host wall time: {:.1} ms — slowdown {:.0}× per processor ({:.0} target cycles/s)",
+        slowdown.host_wall.as_secs_f64() * 1e3,
+        slowdown.slowdown_per_processor(),
+        slowdown.target_cycles_per_host_second(),
+    );
+}

@@ -1,0 +1,95 @@
+//! Regenerates the paper's Section 6 evaluation rows (experiments E1/E2):
+//! per-processor slowdown of detailed and task-level simulation.
+//!
+//! The paper reports, on a 143 MHz UltraSPARC host:
+//!   * detailed mode: slowdown ≈ 750–4 000 per processor
+//!     (30 000–200 000 simulated cycles per host second);
+//!   * task-level mode: slowdown ≈ 0.5–4 per processor.
+//!
+//! Absolute numbers on a modern host and a compiled simulator differ (the
+//! paper itself blames Pearl's "moderately efficient code"); the *shape* to
+//! check is detailed ≫ task-level, with the task-level slowdown within a
+//! few host cycles per target cycle. Set `MERMAID_HOST_HZ` to your CPU's
+//! clock for calibrated numbers.
+//!
+//! Run with: `cargo run --release --example slowdown_report`
+
+use mermaid::prelude::*;
+use mermaid::{report, SlowdownMeter};
+
+fn main() {
+    let mut rows = Vec::new();
+
+    // ── Detailed mode: T805 multicomputer (mix of application loads) ──
+    for (label, pattern, msg) in [
+        ("t805×16 detailed, nn-ring", CommPattern::NearestNeighborRing, 4096),
+        ("t805×16 detailed, all-to-all", CommPattern::AllToAll, 1024),
+    ] {
+        let nodes = 16;
+        let app = StochasticApp {
+            phases: 4,
+            ops_per_phase: SizeDist::Fixed(20_000),
+            pattern,
+            msg_bytes: SizeDist::Fixed(msg),
+            ..StochasticApp::scientific(nodes)
+        };
+        let traces = StochasticGenerator::new(app, 5).generate();
+        let machine = MachineConfig::t805_multicomputer(Topology::Mesh2D { w: 4, h: 4 });
+        let meter = SlowdownMeter::start(nodes, machine.cpu.clock);
+        let r = HybridSim::new(machine).run(&traces);
+        assert!(r.comm.all_done);
+        rows.push((label.to_string(), meter.finish(r.predicted_time)));
+    }
+
+    // ── Detailed mode: PowerPC 601 single node, two cache levels ──────
+    {
+        let app = StochasticApp {
+            nodes: 1,
+            phases: 1,
+            ops_per_phase: SizeDist::Fixed(400_000),
+            pattern: CommPattern::None,
+            ..StochasticApp::scientific(1)
+        };
+        let traces = StochasticGenerator::new(app, 6).generate();
+        let machine = MachineConfig::powerpc601_node(1);
+        let mut sim = mermaid_cpu::SingleNodeSim::new(machine.cpu, machine.node_mem.clone());
+        let meter = SlowdownMeter::start(1, machine.cpu.clock);
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let r = sim.run(&refs);
+        rows.push(("ppc601×1 detailed, 2-level cache".to_string(), meter.finish(r.finish)));
+    }
+
+    // ── Task-level mode: compute-heavy vs communication-heavy ─────────
+    for (label, compute_ps, msg) in [
+        ("t805×16 task-level, compute-heavy", 10_000_000u64, 512u64),
+        ("t805×16 task-level, comm-heavy", 100_000u64, 65_536u64),
+    ] {
+        let nodes = 16;
+        let app = StochasticApp {
+            phases: 50,
+            pattern: CommPattern::NearestNeighborRing,
+            msg_bytes: SizeDist::Fixed(msg),
+            task_ps: SizeDist::Fixed(compute_ps),
+            ..StochasticApp::scientific(nodes)
+        };
+        let traces = StochasticGenerator::new(app, 7).generate_task_level();
+        let machine = MachineConfig::t805_multicomputer(Topology::Mesh2D { w: 4, h: 4 });
+        let meter = SlowdownMeter::start(nodes, machine.cpu.clock);
+        let r = TaskLevelSim::new(machine.network).run(&traces);
+        assert!(r.comm.all_done);
+        rows.push((label.to_string(), meter.finish(r.predicted_time)));
+    }
+
+    println!("{}", report::slowdown_table(&rows).render());
+    println!("paper (143 MHz UltraSPARC host): detailed 750–4000×/proc; task-level 0.5–4×/proc.");
+    println!("expected shape: detailed rows orders of magnitude above task-level rows.");
+    let detailed_max = rows[..3]
+        .iter()
+        .map(|(_, r)| r.slowdown_per_processor())
+        .fold(f64::NAN, f64::max);
+    let task_max = rows[3..]
+        .iter()
+        .map(|(_, r)| r.slowdown_per_processor())
+        .fold(f64::NAN, f64::max);
+    println!("\nmeasured: detailed ≤ {detailed_max:.1}×/proc, task-level ≤ {task_max:.2}×/proc");
+}

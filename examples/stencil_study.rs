@@ -1,0 +1,83 @@
+//! Design-space exploration with an instrumented program: a 1-D Jacobi
+//! stencil (annotation translator + physical-time-interleaved generation)
+//! across interconnect topologies and link speeds.
+//!
+//! This is the workbench used the way the paper intends: one
+//! architecture-independent application description, many architectures
+//! (Fig. 1's "Architecture X / Architecture Y").
+//!
+//! Run with: `cargo run --release --example stencil_study`
+
+use mermaid::prelude::*;
+use mermaid_stats::table::Align;
+use mermaid_stats::Table;
+use mermaid_tracegen::annotate::TargetLayout;
+use mermaid_tracegen::programs::jacobi1d;
+use mermaid_tracegen::InterleavedTraceGen;
+
+fn main() {
+    let nodes = 8u32;
+    let cells = 64u64;
+    let iters = 10u32;
+
+    // The instrumented program, generated once per architecture through the
+    // threaded, physical-time-interleaved generator (Section 3.1). The
+    // description itself is architecture-independent.
+    let generate = move || {
+        InterleavedTraceGen::spawn(nodes, TargetLayout::default(), move |ctx| {
+            jacobi1d(ctx, nodes, cells, iters)
+        })
+        .collect_all()
+    };
+    let traces = generate();
+    println!(
+        "jacobi1d: {nodes} nodes × {cells} cells × {iters} sweeps — {} operations\n",
+        traces.total_ops()
+    );
+
+    let topologies = [
+        Topology::Ring(nodes),
+        Topology::Mesh2D { w: 4, h: 2 },
+        Topology::Torus2D { w: 4, h: 2 },
+        Topology::Hypercube { dim: 3 },
+        Topology::FullyConnected(nodes),
+    ];
+
+    let mut table = Table::new([
+        "topology",
+        "links",
+        "diameter",
+        "t805 predicted",
+        "hw-routed predicted",
+    ])
+    .with_aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+
+    for topo in topologies {
+        // Transputer-class machine.
+        let mut m_t805 = MachineConfig::t805_multicomputer(topo);
+        let r_t805 = HybridSim::new(m_t805.clone()).run(&traces);
+        assert!(r_t805.comm.all_done, "deadlock on {}", topo.label());
+
+        // Same nodes, hardware-routed network.
+        m_t805.network = mermaid_network::NetworkConfig::hw_routed(topo);
+        let r_hw = HybridSim::new(m_t805).run(&traces);
+
+        table.row([
+            topo.label(),
+            topo.link_count().to_string(),
+            topo.diameter().to_string(),
+            format!("{}", r_t805.predicted_time),
+            format!("{}", r_hw.predicted_time),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Nearest-neighbour halo traffic barely distinguishes topologies —");
+    println!("the stencil only talks to adjacent ranks, which every topology keeps close;");
+    println!("link technology (transputer vs hardware routing) dominates instead.");
+}

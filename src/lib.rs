@@ -1,0 +1,13 @@
+//! Workspace umbrella package: hosts the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. The library surface
+//! simply re-exports the member crates for convenience.
+
+pub use mermaid;
+pub use mermaid_cpu;
+pub use mermaid_dsm;
+pub use mermaid_memory;
+pub use mermaid_network;
+pub use mermaid_ops;
+pub use mermaid_stats;
+pub use mermaid_tracegen;
+pub use pearl;

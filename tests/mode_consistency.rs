@@ -1,0 +1,113 @@
+//! Experiment V1: consistency between the workbench's abstraction levels.
+//!
+//! The paper validates its detailed mode against real hardware (reference
+//! [10]); the task-level mode was not yet validated. Here we validate the
+//! levels against each other: replaying the hybrid mode's *measured* task
+//! traces through the task-level simulator must reproduce the hybrid
+//! prediction exactly, and synthetic task-level runs must land in the same
+//! regime when their task durations match the measured ones.
+
+use mermaid::prelude::*;
+use mermaid::TaskLevelSim;
+
+fn traces(nodes: u32, seed: u64, pattern: CommPattern) -> TraceSet {
+    let app = StochasticApp {
+        phases: 5,
+        ops_per_phase: SizeDist::Uniform(1_000, 3_000),
+        pattern,
+        msg_bytes: SizeDist::Fixed(4096),
+        ..StochasticApp::scientific(nodes)
+    };
+    StochasticGenerator::new(app, seed).generate()
+}
+
+#[test]
+fn replaying_measured_tasks_reproduces_the_hybrid_prediction() {
+    for (nodes, topo) in [
+        (4u32, Topology::Ring(4)),
+        (8, Topology::Hypercube { dim: 3 }),
+        (6, Topology::Mesh2D { w: 3, h: 2 }),
+    ] {
+        let machine = MachineConfig::t805_multicomputer(topo);
+        let ts = traces(nodes, 31, CommPattern::NearestNeighborRing);
+        let hybrid = HybridSim::new(machine.clone()).run(&ts);
+        assert!(hybrid.comm.all_done);
+        let replay = TaskLevelSim::new(machine.network).run(&hybrid.task_traces);
+        assert_eq!(
+            replay.predicted_time, hybrid.predicted_time,
+            "task-level replay must be exact on {}",
+            topo.label()
+        );
+        assert_eq!(replay.comm.total_messages, hybrid.comm.total_messages);
+    }
+}
+
+#[test]
+fn both_modes_rank_architectures_identically() {
+    // The fast mode's raison d'être: it must *rank* design alternatives the
+    // same way the detailed mode does, even if absolute numbers differ.
+    let ts = traces(8, 32, CommPattern::AllToAll);
+    let mut detailed = Vec::new();
+    let mut fast = Vec::new();
+    for topo in [
+        Topology::Ring(8),
+        Topology::Hypercube { dim: 3 },
+        Topology::FullyConnected(8),
+    ] {
+        let machine = MachineConfig::t805_multicomputer(topo);
+        let h = HybridSim::new(machine.clone()).run(&ts);
+        detailed.push((topo.label(), h.predicted_time));
+        let replay = TaskLevelSim::new(machine.network).run(&h.task_traces);
+        fast.push((topo.label(), replay.predicted_time));
+    }
+    let order = |v: &[(String, pearl::Time)]| {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by_key(|&i| v[i].1);
+        idx
+    };
+    assert_eq!(order(&detailed), order(&fast));
+}
+
+#[test]
+fn hybrid_prediction_dominates_pure_compute_time() {
+    // Sanity bound: total predicted time ≥ the busiest node's compute time,
+    // and ≥ the time any single message needs to cross the network.
+    let machine = MachineConfig::t805_multicomputer(Topology::Ring(4));
+    let ts = traces(4, 33, CommPattern::NearestNeighborRing);
+    let r = HybridSim::new(machine).run(&ts);
+    let max_compute = r
+        .nodes
+        .iter()
+        .map(|n| n.compute_total)
+        .max()
+        .unwrap();
+    assert!(r.predicted_time >= pearl::Time::ZERO + max_compute);
+}
+
+#[test]
+fn detailed_mode_sees_cache_pressure_that_task_level_cannot() {
+    // Same communication structure, two working sets: only the detailed
+    // mode's prediction responds to the cache-hostile one.
+    let machine = MachineConfig::t805_multicomputer(Topology::Ring(4));
+    let small_ws = StochasticApp {
+        phases: 3,
+        ops_per_phase: SizeDist::Fixed(2_000),
+        working_set: 2 * 1024, // fits the 4 KiB on-chip RAM
+        pattern: CommPattern::NearestNeighborRing,
+        ..StochasticApp::scientific(4)
+    };
+    let large_ws = StochasticApp {
+        working_set: 1024 * 1024, // blows it
+        ..small_ws
+    };
+    let fast = HybridSim::new(machine.clone())
+        .run(&StochasticGenerator::new(small_ws, 9).generate());
+    let slow = HybridSim::new(machine)
+        .run(&StochasticGenerator::new(large_ws, 9).generate());
+    assert!(
+        slow.predicted_time > fast.predicted_time,
+        "cache-hostile working set must cost time: {} vs {}",
+        slow.predicted_time,
+        fast.predicted_time
+    );
+}

@@ -1,0 +1,204 @@
+//! Property-based tests over the workbench's core invariants.
+
+use proptest::prelude::*;
+
+use mermaid_memory::{Access, MemSystemConfig, MemorySystem};
+use mermaid_network::Topology;
+use mermaid_ops::{codec, text, ArithOp, DataType, Operation, Trace};
+use pearl::{EventQueue, Time};
+
+/// Strategy for one arbitrary operation.
+fn op_strategy() -> impl Strategy<Value = Operation> {
+    let ty = prop_oneof![
+        Just(DataType::I8),
+        Just(DataType::I16),
+        Just(DataType::I32),
+        Just(DataType::I64),
+        Just(DataType::F32),
+        Just(DataType::F64),
+    ];
+    let arith = prop_oneof![
+        Just(ArithOp::Add),
+        Just(ArithOp::Sub),
+        Just(ArithOp::Mul),
+        Just(ArithOp::Div),
+    ];
+    prop_oneof![
+        (ty.clone(), any::<u64>()).prop_map(|(ty, addr)| Operation::Load { ty, addr }),
+        (ty.clone(), any::<u64>()).prop_map(|(ty, addr)| Operation::Store { ty, addr }),
+        ty.clone().prop_map(|ty| Operation::LoadConst { ty }),
+        (arith, ty).prop_map(|(op, ty)| Operation::Arith { op, ty }),
+        any::<u64>().prop_map(|addr| Operation::IFetch { addr }),
+        any::<u64>().prop_map(|addr| Operation::Branch { addr }),
+        any::<u64>().prop_map(|addr| Operation::Call { addr }),
+        any::<u64>().prop_map(|addr| Operation::Ret { addr }),
+        (any::<u32>(), 0u32..64).prop_map(|(bytes, dst)| Operation::Send { bytes, dst }),
+        (0u32..64).prop_map(|src| Operation::Recv { src }),
+        (any::<u32>(), 0u32..64).prop_map(|(bytes, dst)| Operation::ASend { bytes, dst }),
+        (0u32..64).prop_map(|src| Operation::ARecv { src }),
+        any::<u64>().prop_map(|ps| Operation::Compute { ps }),
+    ]
+}
+
+proptest! {
+    /// Binary codec: decode(encode(x)) == x for arbitrary traces.
+    #[test]
+    fn binary_codec_roundtrips(ops in prop::collection::vec(op_strategy(), 0..200), node in 0u32..1024) {
+        let trace = Trace::from_ops(node, ops);
+        let encoded = codec::encode_trace(&trace);
+        let decoded = codec::decode_trace(encoded).unwrap();
+        prop_assert_eq!(decoded, trace);
+    }
+
+    /// Text codec: parse(format(x)) == x for arbitrary traces.
+    #[test]
+    fn text_codec_roundtrips(ops in prop::collection::vec(op_strategy(), 0..100)) {
+        let trace = Trace::from_ops(0, ops);
+        let rendered = text::format_trace(&trace);
+        let parsed = text::parse_trace(0, &rendered).unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// Splitting a trace at global events loses nothing and keeps order.
+    #[test]
+    fn trace_splitting_partitions_exactly(ops in prop::collection::vec(op_strategy(), 0..150)) {
+        let trace = Trace::from_ops(0, ops.clone());
+        let segments = trace.split_at_global_events();
+        let mut rebuilt = Vec::new();
+        for seg in &segments {
+            rebuilt.extend_from_slice(seg.computation);
+            if let Some(c) = seg.comm {
+                rebuilt.push(c);
+            }
+        }
+        prop_assert_eq!(rebuilt, ops);
+        // Every terminator is a global event; no segment body contains one.
+        for seg in &segments {
+            prop_assert!(seg.computation.iter().all(|o| !o.is_global_event()));
+            if let Some(c) = seg.comm {
+                prop_assert!(c.is_global_event());
+            }
+        }
+    }
+
+    /// The event queue is a stable priority queue: pops are sorted by time,
+    /// FIFO within a timestamp.
+    #[test]
+    fn event_queue_is_stable(times in prop::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_ps(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO order violated at equal times");
+            }
+        }
+    }
+
+    /// Random access interleavings never violate the MESI single-owner
+    /// invariant, and the caches never hold more valid lines than capacity.
+    #[test]
+    fn coherence_invariant_under_random_access(
+        accesses in prop::collection::vec(
+            (0usize..4, 0u8..3, 0u64..64, 1u64..1000), 1..300
+        )
+    ) {
+        let mut sys = MemorySystem::new(MemSystemConfig::small(4));
+        let mut now = Time::ZERO;
+        // A small set of hot lines so CPUs genuinely share data.
+        for (cpu, kind, slot, dt) in accesses {
+            let kind = match kind {
+                0 => Access::Read,
+                1 => Access::Write,
+                _ => Access::IFetch,
+            };
+            let addr = 0x1000 + slot * 8;
+            now += pearl::Duration::from_ps(dt);
+            let r = sys.access(cpu, kind, addr, 4, now);
+            now += r.latency;
+            sys.check_coherence(addr);
+        }
+        // Spot-check the whole hot range at the end.
+        for slot in 0..64u64 {
+            sys.check_coherence(0x1000 + slot * 8);
+        }
+    }
+
+    /// Deterministic minimal routing reaches every destination within the
+    /// topology's diameter, on arbitrary valid topologies.
+    #[test]
+    fn routing_always_terminates(kind in 0u8..6, size in 2u32..17, src_raw in 0u32..1000, dst_raw in 0u32..1000) {
+        let topo = match kind {
+            0 => Topology::Ring(size),
+            1 => Topology::Mesh2D { w: size, h: 3 },
+            2 => Topology::Torus2D { w: size, h: 4 },
+            3 => Topology::Hypercube { dim: 1 + size % 6 },
+            4 => Topology::FullyConnected(size),
+            _ => Topology::Star(size),
+        };
+        let n = topo.nodes();
+        let src = src_raw % n;
+        let dst = dst_raw % n;
+        prop_assume!(src != dst);
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            cur = topo.route_next(cur, dst);
+            hops += 1;
+            prop_assert!(hops <= topo.diameter(), "route exceeded diameter");
+        }
+        prop_assert_eq!(hops, topo.distance(src, dst));
+    }
+
+    /// Statistics category counts always partition the total.
+    #[test]
+    fn stats_categories_partition(ops in prop::collection::vec(op_strategy(), 0..300)) {
+        use mermaid_ops::{OpCategory, TraceStats};
+        let stats = TraceStats::from_ops(ops.iter().copied());
+        let sum: u64 = OpCategory::ALL.iter().map(|&c| stats.category(c)).sum();
+        prop_assert_eq!(sum, stats.total);
+        prop_assert_eq!(stats.total, ops.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary balanced communication patterns never deadlock the
+    /// communication model (async sends + matching blocking receives).
+    #[test]
+    fn balanced_async_patterns_never_deadlock(
+        pairs in prop::collection::vec((0u32..6, 0u32..6, 1u32..10_000), 1..40)
+    ) {
+        use mermaid_network::{CommSim, NetworkConfig};
+        use mermaid_ops::TraceSet;
+        let n = 6u32;
+        let mut ts = TraceSet::new(n as usize);
+        // Sends first (async), then receives in the same global order —
+        // always satisfiable.
+        for &(src, dst, bytes) in &pairs {
+            ts.trace_mut(src).push(Operation::ASend { bytes, dst });
+        }
+        for &(src, dst, _) in &pairs {
+            ts.trace_mut(dst).push(Operation::Recv { src });
+        }
+        let r = CommSim::new(NetworkConfig::test(Topology::Hypercube { dim: 3 }), &{
+            // Hypercube(3) has 8 nodes; extend the trace set.
+            let mut big = TraceSet::new(8);
+            for node in 0..n {
+                *big.trace_mut(node) = ts.trace(node).clone();
+            }
+            big
+        })
+        .run();
+        prop_assert!(r.all_done, "deadlocked: {:?}", r.deadlocked);
+        prop_assert_eq!(r.total_messages, pairs.len() as u64);
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the workbench tooling: trace files feeding
+//! simulations, observer output feeding the post-mortem renderers, and
+//! report artefacts.
+
+use mermaid::prelude::*;
+use mermaid::{observer, report};
+use mermaid_ops::file as trace_file;
+use mermaid_stats::gnuplot::{series_script, PlotSpec};
+
+fn workload(nodes: u32) -> TraceSet {
+    let app = StochasticApp {
+        phases: 3,
+        ops_per_phase: SizeDist::Fixed(800),
+        pattern: CommPattern::NearestNeighborRing,
+        ..StochasticApp::scientific(nodes)
+    };
+    StochasticGenerator::new(app, 99).generate()
+}
+
+#[test]
+fn traces_saved_to_disk_simulate_identically() {
+    let dir = std::env::temp_dir().join(format!("mermaid-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let traces = workload(4);
+    trace_file::save_trace_set(&traces, &dir).unwrap();
+    let loaded = trace_file::load_trace_set(&dir).unwrap();
+    assert_eq!(loaded, traces);
+
+    let machine = MachineConfig::t805_multicomputer(Topology::Ring(4));
+    let a = HybridSim::new(machine.clone()).run(&traces);
+    let b = HybridSim::new(machine).run(&loaded);
+    assert_eq!(a.predicted_time, b.predicted_time);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn observer_output_renders_to_every_postmortem_format() {
+    let machine = MachineConfig::test_machine(Topology::Ring(4));
+    let traces = StochasticGenerator::new(
+        StochasticApp {
+            phases: 6,
+            ..StochasticApp::scientific(4)
+        },
+        1,
+    )
+    .generate_task_level();
+    let (result, run) = observer::observe_task_level(machine.network, &traces, 32, |_| {});
+    assert!(result.all_done);
+
+    // Sparkline.
+    let sl = mermaid_stats::chart::sparkline(&run.messages, 24);
+    assert!(!sl.is_empty());
+
+    // CSV with a shared time axis.
+    let csv = mermaid_stats::csv::series_to_csv(&[&run.messages, &run.nodes_done]);
+    assert!(csv.starts_with("time_ps,messages,nodes_done"));
+    assert!(csv.lines().count() > 2);
+
+    // Gnuplot script.
+    let script = series_script(&PlotSpec::default(), &[&run.messages, &run.nodes_done]);
+    assert!(script.contains("$messages << EOD"));
+    assert!(script.contains("plot $messages"));
+}
+
+#[test]
+fn report_tables_export_to_csv_consistently() {
+    let machine = MachineConfig::t805_multicomputer(Topology::Ring(3));
+    let r = HybridSim::new(machine).run(&workload(3));
+    let table = report::hybrid_table(&r);
+    let csv = table.to_csv();
+    // Header + one row per node; every row has the header's column count.
+    let mut lines = csv.lines();
+    let header_cols = lines.next().unwrap().split(',').count();
+    let mut rows = 0;
+    for line in lines {
+        assert_eq!(line.split(',').count(), header_cols);
+        rows += 1;
+    }
+    assert_eq!(rows, 3);
+}
+
+#[test]
+fn run_time_watching_does_not_perturb_results() {
+    // Fig. 1's run-time visualisation must be a pure observer: watching at
+    // different sampling granularities yields identical simulations.
+    let machine = MachineConfig::test_machine(Topology::Ring(4));
+    let traces = StochasticGenerator::new(
+        StochasticApp {
+            phases: 5,
+            ..StochasticApp::scientific(4)
+        },
+        2,
+    )
+    .generate_task_level();
+    let (fine, _) = observer::observe_task_level(machine.network, &traces, 8, |_| {});
+    let (coarse, _) = observer::observe_task_level(machine.network, &traces, 10_000, |_| {});
+    assert_eq!(fine.finish, coarse.finish);
+    assert_eq!(fine.total_messages, coarse.total_messages);
+    assert_eq!(fine.events, coarse.events);
+}
