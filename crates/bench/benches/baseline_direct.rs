@@ -56,8 +56,8 @@ fn print_e4_rows() {
 fn bench(c: &mut Criterion) {
     print_e4_rows();
 
-    let traces =
-        StochasticGenerator::new(e1_app(16, CommPattern::NearestNeighborRing, 5_000), 13).generate();
+    let traces = StochasticGenerator::new(e1_app(16, CommPattern::NearestNeighborRing, 5_000), 13)
+        .generate();
     let mut g = c.benchmark_group("e4_baseline");
     g.sample_size(10);
     g.bench_function("hybrid_detailed", |b| {

@@ -61,9 +61,7 @@ fn bench(c: &mut Criterion) {
                 // state) as a full detailed simulation would.
                 let machine = MachineConfig::powerpc601_cluster(Topology::Ring(nodes), 1);
                 let sims: Vec<_> = (0..nodes)
-                    .map(|_| {
-                        mermaid_cpu::SingleNodeSim::new(machine.cpu, machine.node_mem.clone())
-                    })
+                    .map(|_| mermaid_cpu::SingleNodeSim::new(machine.cpu, machine.node_mem.clone()))
                     .collect();
                 sims.len()
             })

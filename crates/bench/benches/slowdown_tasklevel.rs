@@ -28,8 +28,8 @@ fn print_e2_rows() {
         ("task-level, 1:1 comp:comm", 500_000, 8_192),
         ("task-level, 1:10 comp:comm", 50_000, 32_768),
     ] {
-        let traces =
-            StochasticGenerator::new(e2_app(16, compute_ps, msg_bytes, 100), 7).generate_task_level();
+        let traces = StochasticGenerator::new(e2_app(16, compute_ps, msg_bytes, 100), 7)
+            .generate_task_level();
         let machine = t805_16();
         let meter = SlowdownMeter::start(16, machine.cpu.clock);
         let r = TaskLevelSim::new(machine.network).run(&traces);
@@ -51,8 +51,8 @@ fn bench(c: &mut Criterion) {
         ("balanced", 500_000, 8_192),
         ("comm_heavy", 50_000, 32_768),
     ] {
-        let traces =
-            StochasticGenerator::new(e2_app(16, compute_ps, msg_bytes, 50), 7).generate_task_level();
+        let traces = StochasticGenerator::new(e2_app(16, compute_ps, msg_bytes, 50), 7)
+            .generate_task_level();
         g.bench_function(name, |b| {
             b.iter_batched(
                 || traces.clone(),

@@ -31,22 +31,20 @@ fn quadrants() -> [Quadrant; 4] {
         (
             "reality-based × instruction-level (paper's shaded path)",
             Box::new(move || {
-                let traces =
-                    InterleavedTraceGen::spawn(16, TargetLayout::default(), move |ctx| {
-                        jacobi1d(ctx, 16, 32, 4)
-                    })
-                    .collect_all();
+                let traces = InterleavedTraceGen::spawn(16, TargetLayout::default(), move |ctx| {
+                    jacobi1d(ctx, 16, 32, 4)
+                })
+                .collect_all();
                 HybridSim::new(m1.clone()).run(&traces).predicted_time
             }),
         ),
         (
             "reality-based × task-level (measured tasks replayed)",
             Box::new(move || {
-                let traces =
-                    InterleavedTraceGen::spawn(16, TargetLayout::default(), move |ctx| {
-                        jacobi1d(ctx, 16, 32, 4)
-                    })
-                    .collect_all();
+                let traces = InterleavedTraceGen::spawn(16, TargetLayout::default(), move |ctx| {
+                    jacobi1d(ctx, 16, 32, 4)
+                })
+                .collect_all();
                 let hybrid = HybridSim::new(m2.clone()).run(&traces);
                 TaskLevelSim::new(m2.network)
                     .run(&hybrid.task_traces)

@@ -44,8 +44,8 @@ mod tests {
         let r = HybridSim::new(t805_16()).run(&ts);
         assert!(r.comm.all_done);
 
-        let task = StochasticGenerator::new(e2_app(16, 1_000_000, 1024, 5), 2)
-            .generate_task_level();
+        let task =
+            StochasticGenerator::new(e2_app(16, 1_000_000, 1024, 5), 2).generate_task_level();
         let r = TaskLevelSim::new(t805_16().network).run(&task);
         assert!(r.comm.all_done);
     }

@@ -69,9 +69,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--topology" => o.topology = Some(value("--topology")?),
             "--app" => o.app = Some(value("--app")?),
             "--pattern" => o.pattern = Some(value("--pattern")?),
-            "--phases" => {
-                o.phases = Some(value("--phases")?.parse().map_err(|_| "bad --phases")?)
-            }
+            "--phases" => o.phases = Some(value("--phases")?.parse().map_err(|_| "bad --phases")?),
             "--ops" => o.ops = Some(value("--ops")?.parse().map_err(|_| "bad --ops")?),
             "--seed" => o.seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--mode" => o.mode = Some(value("--mode")?),
@@ -88,7 +86,8 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
         .split_once(':')
         .ok_or_else(|| format!("topology spec `{spec}` needs kind:params"))?;
     let num = |s: &str| -> Result<u32, String> {
-        s.parse().map_err(|_| format!("bad number `{s}` in `{spec}`"))
+        s.parse()
+            .map_err(|_| format!("bad number `{s}` in `{spec}`"))
     };
     let topo = match kind {
         "ring" => Topology::Ring(num(params)?),
@@ -123,7 +122,11 @@ fn parse_machine(name: &str, topo: Topology) -> Result<MachineConfig, String> {
             m
         }
         "test" => MachineConfig::test_machine(topo),
-        other => return Err(format!("unknown machine `{other}` (t805|ppc601|paragon|test)")),
+        other => {
+            return Err(format!(
+                "unknown machine `{other}` (t805|ppc601|paragon|test)"
+            ))
+        }
     })
 }
 
@@ -162,11 +165,13 @@ fn run(args: &[String]) -> Result<String, String> {
             ));
             Ok(out)
         }
-        "machines" => Ok("t805     Inmos T805 transputer multicomputer (30 MHz, SAF links)\n\
+        "machines" => Ok(
+            "t805     Inmos T805 transputer multicomputer (30 MHz, SAF links)\n\
                           ppc601   Motorola PowerPC 601 nodes, two cache levels, hw-routed net\n\
                           paragon  Intel Paragon XP/S-class (i860 XP, wormhole mesh links)\n\
                           test     fast round-number test machine\n"
-            .to_string()),
+                .to_string(),
+        ),
         "simulate" => {
             let o = parse_opts(&args[1..])?;
             let topo = parse_topology(o.topology.as_deref().unwrap_or("ring:8"))?;
@@ -204,17 +209,13 @@ fn run(args: &[String]) -> Result<String, String> {
                 "task" => {
                     let traces = gen.generate_task_level();
                     if o.watch {
-                        let (r, run) = observer::observe_task_level(
-                            machine.network,
-                            &traces,
-                            500,
-                            |s| {
+                        let (r, run) =
+                            observer::observe_task_level(machine.network, &traces, 500, |s| {
                                 eprintln!(
                                     "t={:>14}ps  events={:>8}  msgs={:>6}  done={}/{}",
                                     s.virtual_ps, s.events, s.messages, s.nodes_done, nodes
                                 );
-                            },
-                        );
+                            });
                         out.push_str(&format!("predicted time: {}\n", r.finish));
                         out.push_str(&format!(
                             "messages over time: {}\n",
@@ -242,9 +243,11 @@ fn run(args: &[String]) -> Result<String, String> {
             let o = parse_opts(&args[1..])?;
             let topo = parse_topology(o.topology.as_deref().unwrap_or("ring:4"))?;
             let machine = parse_machine(o.machine.as_deref().unwrap_or("ppc601"), topo)?;
-            let mut out = format!("machine: {}\n\nmemory-latency curve (64 B stride):\n", machine.name);
-            let footprints: Vec<u64> =
-                (0..10).map(|i| (4 << 10) << i).collect(); // 4 KiB … 2 MiB
+            let mut out = format!(
+                "machine: {}\n\nmemory-latency curve (64 B stride):\n",
+                machine.name
+            );
+            let footprints: Vec<u64> = (0..10).map(|i| (4 << 10) << i).collect(); // 4 KiB … 2 MiB
             for p in mermaid::memory_stride_probe(&machine, &footprints, 64) {
                 out.push_str(&format!(
                     "  {:>8} KiB  {:>8.1} ns/access\n",

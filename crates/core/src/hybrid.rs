@@ -300,6 +300,10 @@ mod tests {
         // The transputer at 30 MHz doing thousands of float ops plus
         // software-routed messaging: predicted time must be substantial
         // (≥ 100 µs).
-        assert!(r.predicted_time >= Time::from_us(100), "{}", r.predicted_time);
+        assert!(
+            r.predicted_time >= Time::from_us(100),
+            "{}",
+            r.predicted_time
+        );
     }
 }

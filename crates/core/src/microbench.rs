@@ -169,8 +169,8 @@ mod tests {
         );
         // In-cache latency matches the configured L1 hit + issue cost.
         let l1 = &curve[0];
-        let expect = machine.cpu.clock.cycles(machine.cpu.load_cycles)
-            + machine.node_mem.l1d.hit_latency;
+        let expect =
+            machine.cpu.clock.cycles(machine.cpu.load_cycles) + machine.node_mem.l1d.hit_latency;
         assert_eq!(l1.per_access, expect);
     }
 
@@ -185,7 +185,10 @@ mod tests {
             16,
         );
         let edges = detect_capacity_edges(&curve, 0.5);
-        assert!(edges.len() <= 1, "T805 should show at most one edge: {edges:?}");
+        assert!(
+            edges.len() <= 1,
+            "T805 should show at most one edge: {edges:?}"
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub fn observe_task_level(
             virtual_ps: sim.now().as_ps(),
             events: snapshot.events,
             messages: snapshot.total_messages,
-            nodes_done: (traces.nodes() - snapshot.deadlocked.len()) as u32,
+            // Derived from per-node completion state; `deadlocked` is no
+            // substitute mid-run (a node that has not finished *yet* is
+            // not deadlocked).
+            nodes_done: snapshot.nodes_done(),
         };
         run.messages.push(sample.virtual_ps, sample.messages as f64);
         run.nodes_done
@@ -125,6 +128,38 @@ mod tests {
         assert!(mid_messages
             .iter()
             .any(|&m| m > 0 && m < result.total_messages));
+    }
+
+    /// Regression: intermediate samples must track per-node completion —
+    /// `nodes_done` climbs monotonically through strictly intermediate
+    /// counts as staggered nodes finish, and no mid-run sample reports a
+    /// deadlock.
+    #[test]
+    fn nodes_done_tracks_per_node_completion_mid_run() {
+        let n = 4u32;
+        let mut ts = TraceSet::new(n as usize);
+        for node in 0..n {
+            // Strongly staggered compute-only traces: nodes finish one by
+            // one, far apart in virtual time.
+            ts.trace_mut(node).push(Operation::Compute {
+                ps: 10_000 * (node as u64 + 1),
+            });
+        }
+        let net = NetworkConfig::test(Topology::Ring(4));
+        let mut done_counts = Vec::new();
+        let (result, run) = observe_task_level(net, &ts, 1, |s| done_counts.push(s.nodes_done));
+        assert!(result.all_done);
+        assert!(
+            done_counts.windows(2).all(|w| w[1] >= w[0]),
+            "nodes_done not monotone: {done_counts:?}"
+        );
+        assert_eq!(*done_counts.last().unwrap(), n);
+        assert!(
+            done_counts.iter().any(|&d| d > 0 && d < n),
+            "no strictly intermediate completion count: {done_counts:?}"
+        );
+        let series: Vec<f64> = run.nodes_done.samples().iter().map(|&(_, v)| v).collect();
+        assert_eq!(*series.last().unwrap(), n as f64);
     }
 
     #[test]

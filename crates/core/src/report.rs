@@ -11,13 +11,7 @@ use crate::tasklevel::TaskLevelResult;
 /// Render a per-node summary table of a hybrid run.
 pub fn hybrid_table(r: &HybridResult) -> Table {
     let mut t = Table::new([
-        "node",
-        "ops",
-        "compute",
-        "send blk",
-        "recv blk",
-        "l1d hit%",
-        "msgs rx",
+        "node", "ops", "compute", "send blk", "recv blk", "l1d hit%", "msgs rx",
     ])
     .with_title("Hybrid simulation, per node");
     for (compute, comm) in r.nodes.iter().zip(&r.comm.nodes) {
@@ -42,8 +36,10 @@ pub fn hybrid_table(r: &HybridResult) -> Table {
 
 /// Render a task-level run summary.
 pub fn task_level_table(r: &TaskLevelResult) -> Table {
-    let mut t = Table::new(["node", "compute", "send blk", "recv blk", "msgs rx", "bytes tx"])
-        .with_title("Task-level simulation, per node");
+    let mut t = Table::new([
+        "node", "compute", "send blk", "recv blk", "msgs rx", "bytes tx",
+    ])
+    .with_title("Task-level simulation, per node");
     for n in &r.comm.nodes {
         t.row([
             n.node.to_string(),
@@ -107,8 +103,8 @@ mod tests {
             ..StochasticApp::scientific(3)
         };
         let machine = MachineConfig::test_machine(Topology::Ring(3));
-        let hybrid = HybridSim::new(machine.clone())
-            .run(&StochasticGenerator::new(app, 1).generate());
+        let hybrid =
+            HybridSim::new(machine.clone()).run(&StochasticGenerator::new(app, 1).generate());
         let ht = hybrid_table(&hybrid);
         assert_eq!(ht.len(), 3);
         assert!(ht.render().contains("node"));

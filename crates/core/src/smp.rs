@@ -324,9 +324,8 @@ mod tests {
         let w = ring_workload(3, 1, 800);
         let m = machine(3, 1);
         let smp = SmpHybridSim::new(m.clone()).run(&w);
-        let flat = TraceSet::from_traces(
-            w.per_node.iter().map(|n| n[0].clone()).collect::<Vec<_>>(),
-        );
+        let flat =
+            TraceSet::from_traces(w.per_node.iter().map(|n| n[0].clone()).collect::<Vec<_>>());
         let hybrid = crate::hybrid::HybridSim::new(m).run(&flat);
         assert_eq!(smp.predicted_time, hybrid.predicted_time);
         assert_eq!(smp.task_traces, hybrid.task_traces);

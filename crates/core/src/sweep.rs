@@ -4,8 +4,8 @@
 //! over a grid of candidate architectures. Individual simulations are
 //! deterministic and independent, so the grid is embarrassingly parallel —
 //! this module fans a sweep out over the host's cores with a simple shared
-//! work queue (crossbeam scoped threads; results keep the input order, so
-//! a parallel sweep is bit-identical to a serial one).
+//! work queue (std scoped threads; results keep the input order, so a
+//! parallel sweep is bit-identical to a serial one).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -33,23 +33,20 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let configs_ref = &configs;
-    let f_ref = &f;
-    let next_ref = &next;
-    let slots_ref = &slots;
-    crossbeam::thread::scope(|scope| {
+    // std::thread::scope joins every worker on exit and re-raises the first
+    // worker panic, so panics in `f` propagate to the caller.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(move |_| loop {
-                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     return;
                 }
-                let out = f_ref(&configs_ref[i]);
-                *slots_ref[i].lock().unwrap() = Some(out);
+                let out = f(&configs[i]);
+                *slots[i].lock().unwrap() = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     slots
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("sweep slot unfilled"))
@@ -65,10 +62,7 @@ where
     F: Fn(&C) -> T + Sync,
 {
     let (labels, cfgs): (Vec<String>, Vec<C>) = configs.into_iter().unzip();
-    labels
-        .into_iter()
-        .zip(parallel_sweep(cfgs, f))
-        .collect()
+    labels.into_iter().zip(parallel_sweep(cfgs, f)).collect()
 }
 
 #[cfg(test)]
@@ -125,14 +119,10 @@ mod tests {
 
     #[test]
     fn labelled_sweep_pairs_names() {
-        let out = labelled_sweep(
-            vec![("a".to_string(), 1u32), ("b".to_string(), 2)],
-            |&x| x + 10,
-        );
-        assert_eq!(
-            out,
-            vec![("a".to_string(), 11), ("b".to_string(), 12)]
-        );
+        let out = labelled_sweep(vec![("a".to_string(), 1u32), ("b".to_string(), 2)], |&x| {
+            x + 10
+        });
+        assert_eq!(out, vec![("a".to_string(), 11), ("b".to_string(), 12)]);
     }
 
     #[test]

@@ -78,8 +78,7 @@ mod tests {
     fn richer_topology_is_no_slower_for_all_to_all() {
         let ts = traces(8, CommPattern::AllToAll);
         let ring = TaskLevelSim::new(NetworkConfig::test(Topology::Ring(8))).run(&ts);
-        let full =
-            TaskLevelSim::new(NetworkConfig::test(Topology::FullyConnected(8))).run(&ts);
+        let full = TaskLevelSim::new(NetworkConfig::test(Topology::FullyConnected(8))).run(&ts);
         assert!(full.predicted_time <= ring.predicted_time);
     }
 
@@ -87,8 +86,7 @@ mod tests {
     fn hypercube_beats_ring_on_butterfly_traffic() {
         let ts = traces(8, CommPattern::Butterfly);
         let ring = TaskLevelSim::new(NetworkConfig::test(Topology::Ring(8))).run(&ts);
-        let cube =
-            TaskLevelSim::new(NetworkConfig::test(Topology::Hypercube { dim: 3 })).run(&ts);
+        let cube = TaskLevelSim::new(NetworkConfig::test(Topology::Hypercube { dim: 3 })).run(&ts);
         assert!(cube.predicted_time <= ring.predicted_time);
     }
 }

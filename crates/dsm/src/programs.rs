@@ -149,7 +149,10 @@ mod tests {
             "{} gets is too many",
             middle.gets
         );
-        assert!(middle.gets >= iters as u64, "halo must fault every iteration");
+        assert!(
+            middle.gets >= iters as u64,
+            "halo must fault every iteration"
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl<'a, A: Annotator> Dsm<'a, A> {
     pub fn new(ann: &'a mut A, cfg: DsmConfig) -> Self {
         cfg.validate();
         let me = ann.node();
-        assert!(me < cfg.nodes, "node {me} outside the DSM's {} nodes", cfg.nodes);
+        assert!(
+            me < cfg.nodes,
+            "node {me} outside the DSM's {} nodes",
+            cfg.nodes
+        );
         Dsm {
             ann,
             cfg,

@@ -191,7 +191,11 @@ impl Cache {
         );
         // Prefer an invalid way.
         if let Some(l) = self.ways_mut(set).iter_mut().find(|l| !l.state.is_valid()) {
-            *l = Line { tag, state, stamp: tick };
+            *l = Line {
+                tag,
+                state,
+                stamp: tick,
+            };
             return None;
         }
         // Choose a victim.
@@ -212,7 +216,11 @@ impl Cache {
         let set_bits = self.set_count.trailing_zeros();
         let victim_line = self.ways(set)[way];
         let victim_addr = ((victim_line.tag << set_bits) | set as u64) << set_shift;
-        self.ways_mut(set)[way] = Line { tag, state, stamp: tick };
+        self.ways_mut(set)[way] = Line {
+            tag,
+            state,
+            stamp: tick,
+        };
         self.stats.evictions += 1;
         if victim_line.state.is_dirty() {
             self.stats.writebacks += 1;
@@ -283,12 +291,14 @@ impl Cache {
     pub fn iter_valid(&self) -> impl Iterator<Item = (u64, Mesi)> + '_ {
         let set_bits = self.set_count.trailing_zeros();
         let shift = self.set_shift;
-        self.sets.iter().enumerate().filter(|(_, l)| l.state.is_valid()).map(
-            move |(i, l)| {
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.state.is_valid())
+            .map(move |(i, l)| {
                 let set = (i / self.assoc) as u64;
                 (((l.tag << set_bits) | set) << shift, l.state)
-            },
-        )
+            })
     }
 }
 
@@ -454,7 +464,10 @@ mod tests {
         lines.sort();
         assert_eq!(
             lines,
-            vec![(0x0123u64 & !31, Mesi::Shared), (0x4560u64 & !31, Mesi::Modified)]
+            vec![
+                (0x0123u64 & !31, Mesi::Shared),
+                (0x4560u64 & !31, Mesi::Modified)
+            ]
         );
     }
 

@@ -23,9 +23,7 @@ pub mod system;
 
 pub use bus::{Bus, BusParams};
 pub use cache::{Cache, CacheStats, Victim};
-pub use config::{
-    CacheParams, CoherenceProtocol, MemSystemConfig, Replacement, WritePolicy,
-};
+pub use config::{CacheParams, CoherenceProtocol, MemSystemConfig, Replacement, WritePolicy};
 pub use dram::{Dram, DramParams};
 pub use system::{Access, AccessReport, HitLevel, MemStats, MemorySystem};
 

@@ -155,7 +155,8 @@ impl MemorySystem {
         let mut lines = 0u32;
         let mut line = first;
         loop {
-            let (lat, lvl, wait) = self.access_line(cpu, kind, line, size.min(line_bytes as u32), t);
+            let (lat, lvl, wait) =
+                self.access_line(cpu, kind, line, size.min(line_bytes as u32), t);
             total += lat;
             t += lat;
             bus_wait += wait;
@@ -276,7 +277,12 @@ impl MemorySystem {
         }
     }
 
-    fn write_back_line(&mut self, cpu: usize, addr: u64, now: Time) -> (Duration, HitLevel, Duration) {
+    fn write_back_line(
+        &mut self,
+        cpu: usize,
+        addr: u64,
+        now: Time,
+    ) -> (Duration, HitLevel, Duration) {
         let l1_hit = self.cfg.l1d.hit_latency;
         let st = self.stacks[cpu].l1d.lookup(addr);
         match st {
@@ -316,7 +322,11 @@ impl MemorySystem {
         }
         if !self.cfg.l1d.write_allocate {
             // Write-no-allocate: post the word to memory, don't fill.
-            let grant = self.bus.transact(now + elapsed, self.cfg.l1d.line_bytes.min(8), Duration::ZERO);
+            let grant = self.bus.transact(
+                now + elapsed,
+                self.cfg.l1d.line_bytes.min(8),
+                Duration::ZERO,
+            );
             self.dram.access(grant.start, true);
             self.snoop_invalidate_remote(cpu, addr);
             return (elapsed, HitLevel::Dram, Duration::ZERO);
@@ -602,7 +612,13 @@ mod tests {
         let mut m = sys(1);
         let r1 = m.access(0, Access::Read, 0x1000, 4, Time::ZERO);
         assert_eq!(r1.level, HitLevel::Dram);
-        let r2 = m.access(0, Access::Read, 0x1000, 4, Time::from_ps(r1.latency.as_ps()));
+        let r2 = m.access(
+            0,
+            Access::Read,
+            0x1000,
+            4,
+            Time::from_ps(r1.latency.as_ps()),
+        );
         assert_eq!(r2.level, HitLevel::L1);
         assert_eq!(r2.latency, Duration::from_ns(10));
         let s = m.stats();
@@ -624,7 +640,13 @@ mod tests {
         let mut m = sys(1);
         let r1 = m.access(0, Access::IFetch, 0x40, 4, Time::ZERO);
         assert_eq!(r1.level, HitLevel::Dram);
-        let r2 = m.access(0, Access::IFetch, 0x44, 4, Time::from_ps(r1.latency.as_ps()));
+        let r2 = m.access(
+            0,
+            Access::IFetch,
+            0x44,
+            4,
+            Time::from_ps(r1.latency.as_ps()),
+        );
         assert_eq!(r2.level, HitLevel::L1);
         // Data cache untouched.
         assert_eq!(m.stats().l1d[0].misses, 0);

@@ -33,8 +33,8 @@ impl LinkParams {
     /// Serialisation time of `bytes` on this link.
     pub fn transfer_time(&self, bytes: u32) -> Duration {
         // ps = bytes * 1e12 / B/s, rounded up.
-        let ps = (bytes as u128 * 1_000_000_000_000u128)
-            .div_ceil(self.bandwidth_bytes_per_sec as u128);
+        let ps =
+            (bytes as u128 * 1_000_000_000_000u128).div_ceil(self.bandwidth_bytes_per_sec as u128);
         Duration::from_ps(ps as u64)
     }
 }

@@ -32,6 +32,6 @@ pub mod router;
 pub mod sim;
 pub mod topology;
 
-pub use config::{LinkParams, NetworkConfig, RouterParams, Switching};
+pub use config::{LinkParams, NetworkConfig, RouterParams, Routing, Switching};
 pub use sim::{CommResult, CommSim, NodeCommStats};
 pub use topology::Topology;

@@ -58,6 +58,47 @@ pub struct Packet {
     pub sent_at: Time,
 }
 
+/// A contiguous run of packets of one message travelling back-to-back.
+///
+/// The packets of a multi-packet message leave their source in one burst,
+/// so on an uncontended path they stay nose-to-tail: packet `i`'s head
+/// reaches each router a fixed, size-derived gap after packet `i-1`'s.
+/// Routers exploit that regularity to move the whole run as *one* event
+/// per hop instead of one per packet; the run is re-expanded (exactly)
+/// wherever the back-to-back invariant cannot be guaranteed — see
+/// `Router::handle_train`.
+///
+/// Only `first` is stored: packet `first.index + i` of the same message is
+/// reconstructed with [`Train::packet`], so a train event costs no more
+/// than a single-packet event.
+#[derive(Debug, Clone, Copy)]
+pub struct Train {
+    /// The leading packet of the run.
+    pub first: Packet,
+    /// Packets in the run (≥ 2; singleton runs travel as plain
+    /// `Inject`/`Forward`/`Deliver` events).
+    pub len: u32,
+}
+
+impl Train {
+    /// Reconstruct the `i`-th packet of the run (`0 ≤ i < len`).
+    ///
+    /// `payload_max` is the network's maximum packet payload; a message is
+    /// split into full packets with one possibly-short tail, so the payload
+    /// of any packet follows from its index alone.
+    pub fn packet(&self, i: u32, payload_max: u32) -> Packet {
+        debug_assert!(i < self.len);
+        let index = self.first.index + i;
+        debug_assert!(index < self.first.count);
+        let payload = (self.first.msg_bytes - index * payload_max).min(payload_max);
+        Packet {
+            index,
+            payload,
+            ..self.first
+        }
+    }
+}
+
 /// Events exchanged between the components of the communication model.
 #[derive(Debug, Clone)]
 pub enum NetMsg {
@@ -65,12 +106,21 @@ pub enum NetMsg {
     Resume,
     /// Processor → its router: inject a packet into the network.
     Inject(Packet),
+    /// Processor → its router: inject all packets of one message at once
+    /// (they are ready at the same instant by construction).
+    InjectTrain(Train),
     /// Router → router (or router → itself for multi-hop): packet header
     /// arrival.
     Forward(Packet),
+    /// Router → router: head arrival of a back-to-back packet run; the
+    /// followers' staggered arrival times are derived from packet sizes.
+    ForwardTrain(Train),
     /// Router → its processor: a packet has fully arrived at the
     /// destination node.
     Deliver(Packet),
+    /// Router → its processor: the tail of a packet run has fully arrived;
+    /// the earlier packets of the run arrived (and were accounted) before.
+    DeliverTrain(Train),
 }
 
 #[cfg(test)]
@@ -89,7 +139,36 @@ mod tests {
 
     #[test]
     fn packet_kinds_distinguish_sync() {
-        assert_ne!(PacketKind::Data { sync: true }, PacketKind::Data { sync: false });
+        assert_ne!(
+            PacketKind::Data { sync: true },
+            PacketKind::Data { sync: false }
+        );
         assert_ne!(PacketKind::Data { sync: true }, PacketKind::Ack);
+    }
+
+    #[test]
+    fn train_reconstructs_full_packets_and_short_tail() {
+        let first = Packet {
+            msg: MsgId { src: 0, seq: 0 },
+            dst: 1,
+            index: 0,
+            count: 3,
+            payload: 1024,
+            msg_bytes: 2500,
+            kind: PacketKind::Data { sync: false },
+            sent_at: Time::ZERO,
+        };
+        let t = Train { first, len: 3 };
+        assert_eq!(t.packet(0, 1024).payload, 1024);
+        assert_eq!(t.packet(1, 1024).payload, 1024);
+        assert_eq!(t.packet(1, 1024).index, 1);
+        // Tail packet carries the remainder.
+        assert_eq!(t.packet(2, 1024).payload, 2500 - 2 * 1024);
+        // A sub-run starting mid-message reconstructs the same packets.
+        let sub = Train {
+            first: t.packet(1, 1024),
+            len: 2,
+        };
+        assert_eq!(sub.packet(1, 1024), t.packet(2, 1024));
     }
 }

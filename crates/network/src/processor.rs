@@ -12,6 +12,7 @@
 //!   returns immediately (the message is consumed on arrival).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mermaid_ops::{NodeId, Operation};
 use mermaid_stats::Histogram;
@@ -19,7 +20,7 @@ use pearl::sync::MatchBox;
 use pearl::{CompId, Component, Ctx, Duration, Event, Time};
 
 use crate::config::NetworkConfig;
-use crate::packet::{MsgId, NetMsg, Packet, PacketKind};
+use crate::packet::{MsgId, NetMsg, Packet, PacketKind, Train};
 
 /// Statistics of one abstract processor.
 #[derive(Debug, Clone)]
@@ -116,7 +117,9 @@ struct Assembly {
 /// The abstract processor of one node.
 pub struct AbstractProcessor {
     node: NodeId,
-    trace: Vec<Operation>,
+    /// The node's task-level trace, shared with its owner (the processor
+    /// only reads it — no per-simulation copy).
+    trace: Arc<[Operation]>,
     cursor: usize,
     router_comp: CompId,
     cfg: NetworkConfig,
@@ -130,7 +133,12 @@ pub struct AbstractProcessor {
 
 impl AbstractProcessor {
     /// Build the processor of `node` with its task-level trace.
-    pub fn new(node: NodeId, trace: Vec<Operation>, router_comp: CompId, cfg: NetworkConfig) -> Self {
+    pub fn new(
+        node: NodeId,
+        trace: Arc<[Operation]>,
+        router_comp: CompId,
+        cfg: NetworkConfig,
+    ) -> Self {
         AbstractProcessor {
             node,
             trace,
@@ -191,21 +199,24 @@ impl AbstractProcessor {
         }
         let count = self.cfg.packets_for(bytes);
         let payload_max = self.cfg.router.max_packet_payload;
-        let mut remaining = bytes;
-        for index in 0..count {
-            let payload = remaining.min(payload_max);
-            remaining -= payload;
-            let pkt = Packet {
-                msg: id,
-                dst,
-                index,
-                count,
-                payload,
-                msg_bytes: bytes,
-                kind,
-                sent_at: ctx.now(),
-            };
-            ctx.send_after(delay, self.router_comp, NetMsg::Inject(pkt));
+        let first = Packet {
+            msg: id,
+            dst,
+            index: 0,
+            count,
+            payload: bytes.min(payload_max),
+            msg_bytes: bytes,
+            kind,
+            sent_at: ctx.now(),
+        };
+        if count == 1 {
+            ctx.send_after(delay, self.router_comp, NetMsg::Inject(first));
+        } else {
+            // All packets are ready at the same instant — hand the router
+            // the whole burst as one event (it expands them with the exact
+            // per-packet arithmetic of individual injections).
+            let train = Train { first, len: count };
+            ctx.send_after(delay, self.router_comp, NetMsg::InjectTrain(train));
         }
     }
 
@@ -403,7 +414,9 @@ impl AbstractProcessor {
                 };
                 let now = ctx.now();
                 self.stats.get_block += now.since(since);
-                self.stats.get_latency.record(now.since(pkt.sent_at).as_ps());
+                self.stats
+                    .get_latency
+                    .record(now.since(pkt.sent_at).as_ps());
                 self.advance(ctx);
             }
             PacketKind::OneWay => {
@@ -467,7 +480,20 @@ impl Component<NetMsg> for AbstractProcessor {
         match ev.payload {
             NetMsg::Resume => self.advance(ctx),
             NetMsg::Deliver(pkt) => self.on_deliver(pkt, ctx),
-            other => panic!("processor {} received unexpected event {other:?}", self.node),
+            NetMsg::DeliverTrain(train) => {
+                // The run's tail has just fully arrived; its earlier
+                // packets only advance reassembly counters, so consuming
+                // the whole run now is observably identical to the
+                // per-packet deliveries it replaces.
+                let payload_max = self.cfg.router.max_packet_payload;
+                for i in 0..train.len {
+                    self.on_deliver(train.packet(i, payload_max), ctx);
+                }
+            }
+            other => panic!(
+                "processor {} received unexpected event {other:?}",
+                self.node
+            ),
         }
     }
 }

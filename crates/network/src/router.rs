@@ -3,12 +3,13 @@
 //! by hop with a configurable routing and switching strategy.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mermaid_ops::NodeId;
 use pearl::{CompId, Component, Ctx, Duration, Event, Time};
 
 use crate::config::{LinkParams, RouterParams, Routing, Switching};
-use crate::packet::{NetMsg, Packet};
+use crate::packet::{NetMsg, Packet, Train};
 use crate::topology::Topology;
 
 /// Statistics of one router.
@@ -34,8 +35,9 @@ pub struct Router {
     params: RouterParams,
     /// Component id of the local abstract processor.
     proc_comp: CompId,
-    /// Component ids of all routers, indexed by node.
-    router_comps: Vec<CompId>,
+    /// Component ids of all routers, indexed by node (shared by every
+    /// router of the simulation — one allocation, `n` handles).
+    router_comps: Arc<[CompId]>,
     /// Busy-until clock of each outgoing link, keyed by neighbour.
     out_busy: HashMap<NodeId, Time>,
     /// Statistics.
@@ -50,7 +52,7 @@ impl Router {
         link: LinkParams,
         params: RouterParams,
         proc_comp: CompId,
-        router_comps: Vec<CompId>,
+        router_comps: Arc<[CompId]>,
     ) -> Self {
         Router {
             node,
@@ -79,27 +81,19 @@ impl Router {
         self.link.transfer_time(self.params.header_bytes)
     }
 
-    /// Handle a packet whose head is at this router at `now`. `streamed`
-    /// is true when the packet body may still be arriving (cut-through
-    /// forwarding), false when the packet is fully local (injection or
-    /// store-and-forward arrival).
-    fn handle_packet(&mut self, pkt: Packet, streamed: bool, ctx: &mut Ctx<'_, NetMsg>) {
-        let now = ctx.now();
-        let t_pkt = self.packet_time(&pkt);
-        let t_hdr = self.header_time();
-        if pkt.dst == self.node {
-            // Eject to the local processor once the tail has arrived.
-            let tail_residue = if streamed {
-                t_pkt.saturating_sub(t_hdr)
-            } else {
-                Duration::ZERO
-            };
-            self.stats.delivered += 1;
-            ctx.send_after(tail_residue, self.proc_comp, NetMsg::Deliver(pkt));
-            return;
+    /// Time from a packet's tail being ejected relative to its head being
+    /// at this router: non-zero only when the body is still streaming in.
+    fn tail_residue(&self, pkt: &Packet, streamed: bool) -> Duration {
+        if streamed {
+            self.packet_time(pkt).saturating_sub(self.header_time())
+        } else {
+            Duration::ZERO
         }
-        // Forward: pick the next hop, wait for the output link, serialise.
-        let next = match self.params.routing {
+    }
+
+    /// Pick the output port (next-hop node) for a packet.
+    fn pick_next(&self, pkt: &Packet) -> NodeId {
+        match self.params.routing {
             Routing::DimensionOrder => self.topo.route_next(self.node, pkt.dst),
             Routing::AdaptiveMinimal => {
                 // Earliest-free minimal output; ties towards the lowest id.
@@ -109,13 +103,20 @@ impl Router {
                     .min_by_key(|&n| (self.out_busy.get(&n).copied().unwrap_or(Time::ZERO), n))
                     .expect("minimal candidate set is never empty")
             }
-        };
+        }
+    }
+
+    /// Reserve the link towards `next` for a packet whose head is at this
+    /// router at `at`: serialise after the link frees, account statistics,
+    /// and return the head's arrival time at the next router.
+    fn reserve(&mut self, next: NodeId, pkt: &Packet, at: Time) -> Time {
+        let t_pkt = self.packet_time(pkt);
         let busy = self.out_busy.entry(next).or_insert(Time::ZERO);
-        let start = now.max(*busy) + self.params.routing_delay;
+        let start = at.max(*busy) + self.params.routing_delay;
         let end = start + t_pkt;
         *busy = end;
         self.stats.forwarded += 1;
-        self.stats.link_wait += start.since(now).saturating_sub(self.params.routing_delay);
+        self.stats.link_wait += start.since(at).saturating_sub(self.params.routing_delay);
         self.stats.link_busy += t_pkt;
         *self
             .stats
@@ -125,14 +126,148 @@ impl Router {
         // Head arrival at the next router.
         let head_adv = match self.params.switching {
             Switching::StoreAndForward => t_pkt,
-            Switching::VirtualCutThrough | Switching::Wormhole => t_hdr,
+            Switching::VirtualCutThrough | Switching::Wormhole => self.header_time(),
         };
-        let arrive = start + self.link.wire_latency + head_adv;
+        start + self.link.wire_latency + head_adv
+    }
+
+    /// Handle a packet whose head is at this router at `now`. `streamed`
+    /// is true when the packet body may still be arriving (cut-through
+    /// forwarding), false when the packet is fully local (injection or
+    /// store-and-forward arrival).
+    fn handle_packet(&mut self, pkt: Packet, streamed: bool, ctx: &mut Ctx<'_, NetMsg>) {
+        let now = ctx.now();
+        if pkt.dst == self.node {
+            // Eject to the local processor once the tail has arrived.
+            let residue = self.tail_residue(&pkt, streamed);
+            self.stats.delivered += 1;
+            ctx.send_after(residue, self.proc_comp, NetMsg::Deliver(pkt));
+            return;
+        }
+        // Forward: pick the next hop, wait for the output link, serialise.
+        let next = self.pick_next(&pkt);
+        let arrive = self.reserve(next, &pkt, now);
         ctx.send_after(
             arrive.since(now),
             self.router_comps[next as usize],
             NetMsg::Forward(pkt),
         );
+    }
+
+    /// Head-arrival gap on the incoming link between two consecutive
+    /// back-to-back packets of a train: under store-and-forward the next
+    /// head is "here" once its whole packet has landed; under cut-through
+    /// heads pipeline one serialisation (of the *previous* packet) apart.
+    /// Both include the upstream router's per-packet routing restart.
+    fn train_gap(&self, prev: &Packet, cur: &Packet) -> Duration {
+        let spaced = match self.params.switching {
+            Switching::StoreAndForward => self.packet_time(cur),
+            Switching::VirtualCutThrough | Switching::Wormhole => self.packet_time(prev),
+        };
+        spaced + self.params.routing_delay
+    }
+
+    /// Handle a packet train. `injected` means every packet of the run is
+    /// fully local *now* (fresh from the processor); otherwise the head is
+    /// here at `now` and the followers trail at size-derived gaps.
+    ///
+    /// Processing a run in one event is arithmetically identical to the
+    /// per-packet events it replaces: each packet is reserved on the
+    /// output link at its own (nominal) head-arrival time with the same
+    /// `max(arrival, busy) + routing` recurrence. The run is kept
+    /// coalesced onward only while the back-to-back invariant provably
+    /// holds (output link idle, gaps canonical); otherwise it is
+    /// re-expanded into per-packet `Forward` events at the packets' exact
+    /// nominal arrival times, restoring the uncoalesced behaviour —
+    /// including per-arrival adaptive route choice — event for event.
+    fn handle_train(&mut self, train: Train, injected: bool, ctx: &mut Ctx<'_, NetMsg>) {
+        let now = ctx.now();
+        let streamed = !injected && !matches!(self.params.switching, Switching::StoreAndForward);
+        if train.len < 2 {
+            // Degenerate run: behave exactly like the scalar event.
+            self.handle_packet(train.first, streamed, ctx);
+            return;
+        }
+        let payload_max = self.params.max_packet_payload;
+        let len = train.len as usize;
+        // Per-packet nominal head-arrival times at this router.
+        let mut pkts = Vec::with_capacity(len);
+        let mut arrivals = Vec::with_capacity(len);
+        let mut at = now;
+        for i in 0..train.len {
+            let p = train.packet(i, payload_max);
+            if i > 0 && !injected {
+                at += self.train_gap(&pkts[i as usize - 1], &p);
+            }
+            pkts.push(p);
+            arrivals.push(at);
+        }
+        if train.first.dst == self.node {
+            // Eject the whole run: the message-level observables (assembly
+            // completion, ack issue, latency stats) depend only on the
+            // *last* packet's full arrival, so one event at that instant
+            // carries the run to the processor.
+            let last = len - 1;
+            let done = arrivals[last] + self.tail_residue(&pkts[last], streamed);
+            self.stats.delivered += train.len as u64;
+            ctx.send_after(done.since(now), self.proc_comp, NetMsg::DeliverTrain(train));
+            return;
+        }
+        // Keep the run coalesced only when the output link is provably
+        // free for the whole burst: dimension-order (one output for the
+        // whole run) and idle at the head's arrival. Injected runs always
+        // qualify — their packets all contend at the same instant, so the
+        // busy chain is identical to per-packet events even on a busy
+        // link, and adaptive choices see the same link states.
+        let coalesce = injected || {
+            matches!(self.params.routing, Routing::DimensionOrder) && {
+                let next = self.topo.route_next(self.node, train.first.dst);
+                self.out_busy.get(&next).copied().unwrap_or(Time::ZERO) <= now
+            }
+        };
+        if !coalesce {
+            // Re-expand: the head is processed here and now; each follower
+            // is re-posted to ourselves at its nominal arrival, exactly as
+            // if it had never been coalesced.
+            let me = self.router_comps[self.node as usize];
+            self.handle_packet(pkts[0], streamed, ctx);
+            for i in 1..len {
+                ctx.send_after(arrivals[i].since(now), me, NetMsg::Forward(pkts[i]));
+            }
+            return;
+        }
+        // Burst-reserve every packet at its nominal arrival, then re-emit
+        // maximal still-back-to-back runs (everything, in the common case).
+        let mut nexts = Vec::with_capacity(len);
+        let mut outs = Vec::with_capacity(len);
+        for i in 0..len {
+            let next = self.pick_next(&pkts[i]);
+            let arrive = self.reserve(next, &pkts[i], arrivals[i]);
+            nexts.push(next);
+            outs.push(arrive);
+        }
+        let mut i = 0;
+        while i < len {
+            let mut j = i + 1;
+            while j < len
+                && nexts[j] == nexts[i]
+                && outs[j] == outs[j - 1] + self.train_gap(&pkts[j - 1], &pkts[j])
+            {
+                j += 1;
+            }
+            let dst_comp = self.router_comps[nexts[i] as usize];
+            let delay = outs[i].since(now);
+            if j - i >= 2 {
+                let run = Train {
+                    first: pkts[i],
+                    len: (j - i) as u32,
+                };
+                ctx.send_after(delay, dst_comp, NetMsg::ForwardTrain(run));
+            } else {
+                ctx.send_after(delay, dst_comp, NetMsg::Forward(pkts[i]));
+            }
+            i = j;
+        }
     }
 }
 
@@ -144,6 +279,8 @@ impl Component<NetMsg> for Router {
                 let streamed = !matches!(self.params.switching, Switching::StoreAndForward);
                 self.handle_packet(pkt, streamed, ctx);
             }
+            NetMsg::InjectTrain(train) => self.handle_train(train, true, ctx),
+            NetMsg::ForwardTrain(train) => self.handle_train(train, false, ctx),
             other => panic!("router {} received unexpected event {other:?}", self.node),
         }
     }
@@ -162,8 +299,15 @@ mod tests {
     }
     impl Component<NetMsg> for Sink {
         fn handle(&mut self, ev: Event<NetMsg>, ctx: &mut Ctx<'_, NetMsg>) {
-            if let NetMsg::Deliver(pkt) = ev.payload {
-                self.deliveries.push((ctx.now(), pkt));
+            match ev.payload {
+                NetMsg::Deliver(pkt) => self.deliveries.push((ctx.now(), pkt)),
+                NetMsg::DeliverTrain(train) => {
+                    // Expand with the test config's packet payload (1024).
+                    for i in 0..train.len {
+                        self.deliveries.push((ctx.now(), train.packet(i, 1024)));
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -187,7 +331,7 @@ mod tests {
         let mut cfg = NetworkConfig::test(Topology::Mesh2D { w: n, h: 1 });
         cfg.router.switching = switching;
         let mut e: Engine<NetMsg> = Engine::new();
-        let router_ids: Vec<CompId> = (0..n as usize).collect();
+        let router_ids: Arc<[CompId]> = (0..n as usize).collect();
         let sink_ids: Vec<CompId> = (n as usize..2 * n as usize).collect();
         for node in 0..n {
             e.add_component(
@@ -198,7 +342,7 @@ mod tests {
                     cfg.link,
                     cfg.router,
                     sink_ids[node as usize],
-                    router_ids.clone(),
+                    Arc::clone(&router_ids),
                 ),
             );
         }
@@ -264,6 +408,71 @@ mod tests {
         e.run();
         let sink = e.component::<Sink>(sinks[0]).unwrap();
         assert_eq!(sink.deliveries[0].0, Time::ZERO);
+    }
+
+    /// A multi-packet message injected as a train must reach its sink at
+    /// exactly the time the same packets produce when injected one by one
+    /// (same instant, program order) — coalescing is a pure event-count
+    /// optimisation on an uncontended path.
+    #[test]
+    fn train_timing_matches_per_packet_injection() {
+        for switching in [
+            Switching::StoreAndForward,
+            Switching::VirtualCutThrough,
+            Switching::Wormhole,
+        ] {
+            // 3 packets: two at the test config's full payload (1024 B),
+            // one short tail.
+            let msg_bytes = 2 * 1024 + 500;
+            let mk = |index: u32, payload: u32| Packet {
+                msg: MsgId { src: 0, seq: 7 },
+                dst: 3,
+                index,
+                count: 3,
+                payload,
+                msg_bytes,
+                kind: PacketKind::Data { sync: false },
+                sent_at: Time::ZERO,
+            };
+
+            let (mut e_pkt, sinks_pkt) = line(4, switching);
+            for (i, payload) in [(0, 1024), (1, 1024), (2, 500)] {
+                e_pkt.post(Time::ZERO, 0, 0, NetMsg::Inject(mk(i, payload)));
+            }
+            e_pkt.run();
+            let per_packet: Vec<Time> = e_pkt
+                .component::<Sink>(sinks_pkt[3])
+                .unwrap()
+                .deliveries
+                .iter()
+                .map(|&(t, _)| t)
+                .collect();
+            assert_eq!(per_packet.len(), 3);
+
+            let (mut e_tr, sinks_tr) = line(4, switching);
+            e_tr.post(
+                Time::ZERO,
+                0,
+                0,
+                NetMsg::InjectTrain(Train {
+                    first: mk(0, 1024),
+                    len: 3,
+                }),
+            );
+            e_tr.run();
+            let sink = e_tr.component::<Sink>(sinks_tr[3]).unwrap();
+            // The run is delivered as one event at the *last* packet's
+            // full-arrival instant.
+            assert_eq!(sink.deliveries.len(), 3, "{switching:?}");
+            assert_eq!(
+                sink.deliveries.last().unwrap().0,
+                *per_packet.last().unwrap(),
+                "{switching:?}: train tail time diverged from per-packet"
+            );
+            // Stats stay per-packet.
+            let r1 = e_tr.component::<Router>(1).unwrap();
+            assert_eq!(r1.stats.forwarded, 3, "{switching:?}");
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The multi-node communication simulation: wiring, execution, results.
 
+use std::sync::Arc;
+
 use mermaid_ops::{NodeId, TraceSet};
 use mermaid_stats::Histogram;
 use pearl::{CompId, Duration, Engine, Time};
@@ -27,8 +29,11 @@ pub struct CommResult {
     pub finish: Time,
     /// True when every processor completed its trace.
     pub all_done: bool,
-    /// Nodes whose processors never finished (deadlock or mismatched
-    /// communication).
+    /// Nodes whose processors can never finish (deadlock or mismatched
+    /// communication). Only a *drained* event set proves that, so this is
+    /// empty in mid-run snapshots (see [`CommSim::run_events`]) even while
+    /// some nodes are still working — use [`CommResult::nodes_done`] for
+    /// progress.
     pub deadlocked: Vec<NodeId>,
     /// Per-node statistics.
     pub nodes: Vec<NodeCommStats>,
@@ -46,6 +51,15 @@ impl CommResult {
     /// Aggregate busy time across all links.
     pub fn total_link_busy(&self) -> Duration {
         self.nodes.iter().map(|n| n.router.link_busy).sum()
+    }
+
+    /// Nodes whose processors have completed their traces. Valid both
+    /// mid-run and at completion, unlike `deadlocked`.
+    pub fn nodes_done(&self) -> u32 {
+        self.nodes
+            .iter()
+            .filter(|n| n.proc.finished_at.is_some())
+            .count() as u32
     }
 
     /// Mean link utilisation over the run (`links` from the topology).
@@ -83,7 +97,9 @@ impl CommSim {
             n
         );
         let mut engine: Engine<NetMsg> = Engine::new();
-        let router_ids: Vec<CompId> = (0..n as usize).collect();
+        // One id table and one op slice per node, shared by handle — the
+        // components never mutate either, so no per-component copies.
+        let router_ids: Arc<[CompId]> = (0..n as usize).collect();
         let proc_ids: Vec<CompId> = (n as usize..2 * n as usize).collect();
         for node in 0..n {
             engine.add_component(
@@ -94,7 +110,7 @@ impl CommSim {
                     cfg.link,
                     cfg.router,
                     proc_ids[node as usize],
-                    router_ids.clone(),
+                    Arc::clone(&router_ids),
                 ),
             );
         }
@@ -103,7 +119,7 @@ impl CommSim {
                 format!("proc{node}"),
                 AbstractProcessor::new(
                     node,
-                    traces.trace(node).ops.clone(),
+                    traces.trace(node).shared_ops(),
                     router_ids[node as usize],
                     cfg,
                 ),
@@ -149,7 +165,7 @@ impl CommSim {
         let mut nodes = Vec::with_capacity(n as usize);
         let mut msg_latency = Histogram::log2();
         let mut finish = Time::ZERO;
-        let mut deadlocked = Vec::new();
+        let mut unfinished = Vec::new();
         let mut total_messages = 0;
         let mut total_bytes = 0;
         for node in 0..n {
@@ -163,7 +179,7 @@ impl CommSim {
                 .expect("processor component");
             match proc.stats.finished_at {
                 Some(t) => finish = finish.max(t),
-                None => deadlocked.push(node),
+                None => unfinished.push(node),
             }
             msg_latency.merge(&proc.stats.msg_latency);
             total_messages += proc.stats.msgs_received;
@@ -174,10 +190,14 @@ impl CommSim {
                 router: router.stats.clone(),
             });
         }
+        // "Unfinished" only means "deadlocked" once no event can ever
+        // unblock the node again, i.e. when the event set has drained; a
+        // mid-run snapshot must not cry deadlock over work in progress.
+        let idle = self.engine.pending_events() == 0;
         CommResult {
             finish,
-            all_done: deadlocked.is_empty(),
-            deadlocked,
+            all_done: unfinished.is_empty(),
+            deadlocked: if idle { unfinished } else { Vec::new() },
             nodes,
             events: self.engine.events_processed(),
             msg_latency,
@@ -296,7 +316,10 @@ mod tests {
     fn multi_packet_messages_reassemble() {
         // 1 KiB max payload; send 5000 B → 5 packets.
         let ts = trace_set(2, |node| match node {
-            0 => vec![Operation::Send { bytes: 5000, dst: 1 }],
+            0 => vec![Operation::Send {
+                bytes: 5000,
+                dst: 1,
+            }],
             _ => vec![Operation::Recv { src: 0 }],
         });
         let r = CommSim::new(cfg(Topology::Ring(2)), &ts).run();
@@ -316,6 +339,32 @@ mod tests {
         let r = CommSim::new(cfg(Topology::Ring(2)), &ts).run();
         assert!(!r.all_done);
         assert_eq!(r.deadlocked, vec![0]);
+    }
+
+    /// A node that merely has not finished *yet* must not be reported as
+    /// deadlocked in a mid-run snapshot; only a drained event set proves
+    /// deadlock. Progress is exposed through `nodes_done()` instead.
+    #[test]
+    fn mid_run_snapshots_do_not_report_deadlock() {
+        let ts = trace_set(2, |_| {
+            vec![
+                Operation::Compute { ps: 1_000 },
+                Operation::Compute { ps: 1_000 },
+            ]
+        });
+        let mut sim = CommSim::new(cfg(Topology::Ring(2)), &ts);
+        let snap = sim.run_events(1);
+        assert!(!snap.all_done);
+        assert!(
+            snap.deadlocked.is_empty(),
+            "work in progress reported as deadlock: {:?}",
+            snap.deadlocked
+        );
+        assert!(snap.nodes_done() < 2);
+        let done = sim.run();
+        assert!(done.all_done);
+        assert_eq!(done.nodes_done(), 2);
+        assert!(done.deadlocked.is_empty());
     }
 
     #[test]
@@ -360,13 +409,19 @@ mod tests {
             let left = (node + n - 1) % n;
             if node % 2 == 0 {
                 vec![
-                    Operation::Send { bytes: 64, dst: right },
+                    Operation::Send {
+                        bytes: 64,
+                        dst: right,
+                    },
                     Operation::Recv { src: left },
                 ]
             } else {
                 vec![
                     Operation::Recv { src: left },
-                    Operation::Send { bytes: 64, dst: right },
+                    Operation::Send {
+                        bytes: 64,
+                        dst: right,
+                    },
                 ]
             }
         });
@@ -397,7 +452,10 @@ mod tests {
             c
         };
         let ts = trace_set(8, |node| match node {
-            0 => vec![Operation::ASend { bytes: 4096, dst: 4 }],
+            0 => vec![Operation::ASend {
+                bytes: 4096,
+                dst: 4,
+            }],
             4 => vec![Operation::Recv { src: 0 }],
             _ => vec![],
         });
@@ -433,7 +491,10 @@ mod tests {
             if node == 0 {
                 let mut ops = Vec::new();
                 for w in 1..n {
-                    ops.push(Operation::ASend { bytes: 1000, dst: w });
+                    ops.push(Operation::ASend {
+                        bytes: 1000,
+                        dst: w,
+                    });
                 }
                 for w in 1..n {
                     ops.push(Operation::Recv { src: w });
@@ -571,7 +632,10 @@ mod tests {
         // packet message would differ: adaptive routing spreads the packets
         // over parallel minimal paths.)
         let ts = trace_set(16, |node| match node {
-            0 => vec![Operation::ASend { bytes: 512, dst: 10 }],
+            0 => vec![Operation::ASend {
+                bytes: 512,
+                dst: 10,
+            }],
             10 => vec![Operation::Recv { src: 0 }],
             _ => vec![],
         });
@@ -580,10 +644,7 @@ mod tests {
             c.router.routing = routing;
             CommSim::new(c, &ts).run().finish
         };
-        assert_eq!(
-            run(Routing::DimensionOrder),
-            run(Routing::AdaptiveMinimal)
-        );
+        assert_eq!(run(Routing::DimensionOrder), run(Routing::AdaptiveMinimal));
     }
 
     #[test]
@@ -591,7 +652,10 @@ mod tests {
         // Node 0 fetches 4 KiB from node 1 one-sidedly; node 1's trace has
         // no matching operation — the request is serviced automatically.
         let ts = trace_set(2, |node| match node {
-            0 => vec![Operation::Get { bytes: 4096, from: 1 }],
+            0 => vec![Operation::Get {
+                bytes: 4096,
+                from: 1,
+            }],
             _ => vec![Operation::Compute { ps: 100 }],
         });
         let r = CommSim::new(cfg(Topology::Ring(2)), &ts).run();
@@ -643,7 +707,10 @@ mod tests {
     #[test]
     fn local_get_is_free() {
         let ts = trace_set(2, |node| match node {
-            0 => vec![Operation::Get { bytes: 1024, from: 0 }],
+            0 => vec![Operation::Get {
+                bytes: 1024,
+                from: 0,
+            }],
             _ => vec![],
         });
         let r = CommSim::new(cfg(Topology::Ring(2)), &ts).run();

@@ -239,7 +239,9 @@ impl Topology {
 
     /// Total number of unidirectional links.
     pub fn link_count(&self) -> u32 {
-        (0..self.nodes()).map(|n| self.neighbors(n).len() as u32).sum()
+        (0..self.nodes())
+            .map(|n| self.neighbors(n).len() as u32)
+            .sum()
     }
 
     /// Human-readable name for reports.

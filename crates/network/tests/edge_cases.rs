@@ -95,9 +95,9 @@ fn arecv_before_and_after_arrival_both_consume() {
             Operation::ASend { bytes: 8, dst: 1 },
         ],
         _ => vec![
-            Operation::ARecv { src: 0 },            // posted before arrival
-            Operation::Compute { ps: 10_000_000 },  // let both arrive
-            Operation::ARecv { src: 0 },            // posted after arrival
+            Operation::ARecv { src: 0 },           // posted before arrival
+            Operation::Compute { ps: 10_000_000 }, // let both arrive
+            Operation::ARecv { src: 0 },           // posted after arrival
         ],
     });
     let r = CommSim::new(cfg(2), &ts).run();

@@ -111,10 +111,7 @@ mod tests {
     use crate::operation::Operation;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "mermaid-ops-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("mermaid-ops-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         fs::create_dir_all(&d).unwrap();
         d
@@ -126,7 +123,8 @@ mod tests {
             for op in crate::operation::tests::sample_ops() {
                 ts.trace_mut(n).push(op);
             }
-            ts.trace_mut(n).push(Operation::Compute { ps: n as u64 + 1 });
+            ts.trace_mut(n)
+                .push(Operation::Compute { ps: n as u64 + 1 });
         }
         ts
     }

@@ -371,7 +371,10 @@ pub(crate) mod tests {
     fn peers_and_sizes() {
         assert_eq!(Operation::Send { bytes: 64, dst: 3 }.peer(), Some(3));
         assert_eq!(Operation::Recv { src: 2 }.peer(), Some(2));
-        assert_eq!(Operation::ASend { bytes: 1, dst: 0 }.message_bytes(), Some(1));
+        assert_eq!(
+            Operation::ASend { bytes: 1, dst: 0 }.message_bytes(),
+            Some(1)
+        );
         assert_eq!(Operation::Recv { src: 2 }.message_bytes(), None);
         assert_eq!(
             Operation::Arith {
@@ -441,10 +444,16 @@ pub(crate) mod tests {
         v.push(Operation::Ret { addr: 0x44 });
         v.push(Operation::Send { bytes: 256, dst: 5 });
         v.push(Operation::Recv { src: 5 });
-        v.push(Operation::ASend { bytes: 1024, dst: 0 });
+        v.push(Operation::ASend {
+            bytes: 1024,
+            dst: 0,
+        });
         v.push(Operation::ARecv { src: 0 });
         v.push(Operation::Compute { ps: 1_000_000 });
-        v.push(Operation::Get { bytes: 4096, from: 3 });
+        v.push(Operation::Get {
+            bytes: 4096,
+            from: 3,
+        });
         v.push(Operation::Put { bytes: 128, to: 2 });
         v
     }

@@ -142,8 +142,15 @@ mod tests {
             Operation::Compute { ps: 1 },
         ];
         let mnemonics: Vec<&str> = ops.iter().map(|o| o.mnemonic()).collect();
-        let all_sigs: String = TABLE1.iter().map(|r| r.signature).collect::<Vec<_>>().join(" ");
-        for m in ["load", "store", "add", "sub", "mul", "div", "ifetch", "branch", "call", "ret", "send", "recv", "asend", "arecv", "compute"] {
+        let all_sigs: String = TABLE1
+            .iter()
+            .map(|r| r.signature)
+            .collect::<Vec<_>>()
+            .join(" ");
+        for m in [
+            "load", "store", "add", "sub", "mul", "div", "ifetch", "branch", "call", "ret", "send",
+            "recv", "asend", "arecv", "compute",
+        ] {
             assert!(mnemonics.contains(&m), "enum missing {m}");
             assert!(all_sigs.contains(m), "table missing {m}");
         }

@@ -55,9 +55,8 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 pub fn parse_op(line: &str) -> Result<Operation, String> {
     let mut it = line.split_whitespace();
     let mnemonic = it.next().ok_or("empty operation")?;
-    let mut next = |what: &str| -> Result<&str, String> {
-        it.next().ok_or_else(|| format!("missing {what}"))
-    };
+    let mut next =
+        |what: &str| -> Result<&str, String> { it.next().ok_or_else(|| format!("missing {what}")) };
     let op = match mnemonic {
         "load" => Operation::Load {
             ty: parse_type(next("type")?)?,
@@ -147,7 +146,11 @@ pub fn parse_trace(node: NodeId, text: &str) -> Result<Trace, ParseError> {
 /// Render a trace in the text format (inverse of [`parse_trace`]).
 pub fn format_trace(trace: &Trace) -> String {
     let mut out = String::with_capacity(trace.len() * 16);
-    out.push_str(&format!("# node {} — {} operations\n", trace.node, trace.len()));
+    out.push_str(&format!(
+        "# node {} — {} operations\n",
+        trace.node,
+        trace.len()
+    ));
     for op in trace.iter() {
         out.push_str(&op.to_string());
         out.push('\n');

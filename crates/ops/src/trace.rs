@@ -51,6 +51,13 @@ impl Trace {
         self.ops.iter()
     }
 
+    /// The operations as a shared immutable slice: one allocation that any
+    /// number of consumers (e.g. the abstract processors of a simulation)
+    /// can hold without further copies or borrowing the trace.
+    pub fn shared_ops(&self) -> std::sync::Arc<[Operation]> {
+        std::sync::Arc::from(self.ops.as_slice())
+    }
+
     /// Compute the statistics (operation mix) of this trace.
     pub fn stats(&self) -> TraceStats {
         TraceStats::from_ops(self.ops.iter().copied())

@@ -69,10 +69,8 @@ impl<M> Ctx<'_, M> {
     #[inline]
     pub fn send_after(&mut self, delay: Duration, dst: CompId, payload: M) {
         let src = self.self_id;
-        self.queue.push(
-            self.now + delay,
-            QueuedEvent { src, dst, payload },
-        );
+        self.queue
+            .push(self.now + delay, QueuedEvent { src, dst, payload });
     }
 
     /// Send `payload` to `dst` at the current instant (after events already
@@ -117,10 +115,10 @@ pub enum RunResult {
 pub struct Engine<M: 'static> {
     now: Time,
     queue: EventQueue<QueuedEvent<M>>,
-    // `Option` so a component can be moved out while its handler runs
-    // (allowing the handler to schedule events through `Ctx` without
-    // aliasing the component storage).
-    components: Vec<Option<Box<dyn Component<M>>>>,
+    // A handler receives `&mut self` plus a `Ctx` borrowing `queue` and
+    // `stop_requested` — disjoint fields, so no component needs to be
+    // moved out of the vector while it runs.
+    components: Vec<Box<dyn Component<M>>>,
     names: Vec<String>,
     events_processed: u64,
     stop_requested: bool,
@@ -154,7 +152,7 @@ impl<M: 'static> Engine<M> {
         C: Component<M> + 'static,
     {
         let id = self.components.len();
-        self.components.push(Some(Box::new(comp)));
+        self.components.push(Box::new(comp));
         self.names.push(name.into());
         id
     }
@@ -199,10 +197,8 @@ impl<M: 'static> Engine<M> {
     ///
     /// Returns `None` if the component is not of type `C`.
     pub fn component<C: 'static>(&self, id: CompId) -> Option<&C> {
-        self.components[id].as_ref().and_then(|b| {
-            let any: &dyn std::any::Any = b.as_ref();
-            any.downcast_ref::<C>()
-        })
+        let any: &dyn std::any::Any = self.components[id].as_ref();
+        any.downcast_ref::<C>()
     }
 
     /// Run `init` on every component that has not been initialised yet.
@@ -211,8 +207,7 @@ impl<M: 'static> Engine<M> {
             return;
         }
         self.initialized = true;
-        for id in 0..self.components.len() {
-            let mut comp = self.components[id].take().expect("component vanished");
+        for (id, comp) in self.components.iter_mut().enumerate() {
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: id,
@@ -220,7 +215,6 @@ impl<M: 'static> Engine<M> {
                 stop_requested: &mut self.stop_requested,
             };
             comp.init(&mut ctx);
-            self.components[id] = Some(comp);
         }
     }
 
@@ -234,16 +228,13 @@ impl<M: 'static> Engine<M> {
         debug_assert!(time >= self.now, "event queue returned a past event");
         self.now = time;
         self.events_processed += 1;
-        let mut comp = self.components[qe.dst]
-            .take()
-            .unwrap_or_else(|| panic!("component {} re-entered", qe.dst));
         let mut ctx = Ctx {
-            now: self.now,
+            now: time,
             self_id: qe.dst,
             queue: &mut self.queue,
             stop_requested: &mut self.stop_requested,
         };
-        comp.handle(
+        self.components[qe.dst].handle(
             Event {
                 time,
                 src: qe.src,
@@ -252,7 +243,6 @@ impl<M: 'static> Engine<M> {
             },
             &mut ctx,
         );
-        self.components[qe.dst] = Some(comp);
         true
     }
 
@@ -263,38 +253,95 @@ impl<M: 'static> Engine<M> {
 
     /// Run until `deadline` (events *at* the deadline are delivered), the
     /// event set drains, or a component stops the engine.
+    ///
+    /// A pending stop request — raised during component `init`, or by the
+    /// last event of a previous bounded run — is honoured immediately:
+    /// the call returns [`RunResult::Stopped`] without delivering any
+    /// event. A stop is consumed by the run that reports it, so the next
+    /// call resumes normally.
     pub fn run_until(&mut self, deadline: Time) -> RunResult {
+        self.run_core(deadline, u64::MAX)
+    }
+
+    /// Run at most `max_events` events. Stop handling matches
+    /// [`Engine::run_until`].
+    pub fn run_events(&mut self, max_events: u64) -> RunResult {
+        self.run_core(Time::MAX, max_events)
+    }
+
+    /// The batched main loop behind `run_until`/`run_events`.
+    ///
+    /// Events are delivered strictly in `(time, seq)` order — identical to
+    /// repeated [`Engine::step`] — but consecutive events at the same
+    /// instant are dispatched in one inner loop, and a run of same-instant
+    /// events addressed to the same component reuses a single component
+    /// borrow, so the per-event cost is one queue pop plus the handler.
+    fn run_core(&mut self, deadline: Time, max_events: u64) -> RunResult {
         self.ensure_init();
-        self.stop_requested = false;
+        if self.stop_requested {
+            // Raised during init (first run) or unobserved by a caller:
+            // honour and consume it before delivering anything.
+            self.stop_requested = false;
+            return RunResult::Stopped;
+        }
+        if max_events == 0 {
+            return RunResult::EventLimit;
+        }
+        let mut remaining = max_events;
         loop {
-            match self.queue.peek_time() {
+            let t = match self.queue.peek_time() {
                 None => return RunResult::Drained,
                 Some(t) if t > deadline => {
                     self.now = deadline;
                     return RunResult::TimeLimit;
                 }
-                Some(_) => {}
-            }
-            self.step();
-            if self.stop_requested {
-                return RunResult::Stopped;
+                Some(t) => t,
+            };
+            self.now = t;
+            // Deliver every event at instant `t`, including ones handlers
+            // schedule for `t` as we go.
+            'instant: loop {
+                let mut qe = match self.queue.peek() {
+                    Some((tt, _)) if tt == t => self.queue.pop().expect("peeked event vanished").1,
+                    _ => break 'instant,
+                };
+                // A run of same-instant events to one destination shares
+                // this component borrow.
+                let dst = qe.dst;
+                loop {
+                    self.events_processed += 1;
+                    remaining -= 1;
+                    let mut ctx = Ctx {
+                        now: t,
+                        self_id: dst,
+                        queue: &mut self.queue,
+                        stop_requested: &mut self.stop_requested,
+                    };
+                    self.components[dst].handle(
+                        Event {
+                            time: t,
+                            src: qe.src,
+                            dst,
+                            payload: qe.payload,
+                        },
+                        &mut ctx,
+                    );
+                    if self.stop_requested {
+                        self.stop_requested = false;
+                        return RunResult::Stopped;
+                    }
+                    if remaining == 0 {
+                        return RunResult::EventLimit;
+                    }
+                    match self.queue.peek() {
+                        Some((tt, e)) if tt == t && e.dst == dst => {
+                            qe = self.queue.pop().expect("peeked event vanished").1;
+                        }
+                        _ => continue 'instant,
+                    }
+                }
             }
         }
-    }
-
-    /// Run at most `max_events` events.
-    pub fn run_events(&mut self, max_events: u64) -> RunResult {
-        self.ensure_init();
-        self.stop_requested = false;
-        for _ in 0..max_events {
-            if !self.step() {
-                return RunResult::Drained;
-            }
-            if self.stop_requested {
-                return RunResult::Stopped;
-            }
-        }
-        RunResult::EventLimit
     }
 }
 
@@ -481,6 +528,63 @@ mod tests {
         let id = e.add_component("alpha", Stopper);
         assert_eq!(e.component_name(id), "alpha");
         assert_eq!(e.component_count(), 1);
+    }
+
+    /// A stop raised during component `init` used to be silently cleared
+    /// by the reset-on-entry in `run_until`/`run_events`; it must instead
+    /// stop the first run before any event is delivered.
+    #[test]
+    fn stop_during_init_halts_before_any_event() {
+        struct InitStopper;
+        impl Component<Msg> for InitStopper {
+            fn init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.timer(Duration::from_ns(1), Msg::Tick);
+                ctx.stop();
+            }
+            fn handle(&mut self, _ev: Event<Msg>, _ctx: &mut Ctx<'_, Msg>) {}
+        }
+        let mut e = Engine::new();
+        e.add_component("s", InitStopper);
+        assert_eq!(e.run(), RunResult::Stopped);
+        assert_eq!(e.events_processed(), 0);
+        // The stop is consumed by the run that reported it; the next run
+        // proceeds normally and drains the timer scheduled in init.
+        assert_eq!(e.run(), RunResult::Drained);
+        assert_eq!(e.events_processed(), 1);
+    }
+
+    /// Same guarantee through the bounded entry points.
+    #[test]
+    fn stop_during_init_halts_bounded_runs() {
+        struct InitStopper;
+        impl Component<Msg> for InitStopper {
+            fn init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.timer(Duration::from_ns(1), Msg::Tick);
+                ctx.stop();
+            }
+            fn handle(&mut self, _ev: Event<Msg>, _ctx: &mut Ctx<'_, Msg>) {}
+        }
+        let mut e = Engine::new();
+        e.add_component("s", InitStopper);
+        assert_eq!(e.run_events(10), RunResult::Stopped);
+        assert_eq!(e.events_processed(), 0);
+        assert_eq!(e.run_events(10), RunResult::Drained);
+        assert_eq!(e.events_processed(), 1);
+    }
+
+    #[test]
+    fn run_events_zero_is_a_noop_event_limit() {
+        let mut e = Engine::new();
+        e.add_component(
+            "ticker",
+            Ticker {
+                period: Duration::from_ns(1),
+                remaining: 5,
+                fired_at: Vec::new(),
+            },
+        );
+        assert_eq!(e.run_events(0), RunResult::EventLimit);
+        assert_eq!(e.events_processed(), 0);
     }
 
     #[test]

@@ -42,11 +42,7 @@ pub fn series_to_csv(series: &[&TimeSeries]) -> String {
     for t in times {
         let mut row: Vec<String> = vec![t.to_string()];
         for s in series {
-            row.push(
-                s.value_at(t)
-                    .map(|v| format!("{v}"))
-                    .unwrap_or_default(),
-            );
+            row.push(s.value_at(t).map(|v| format!("{v}")).unwrap_or_default());
         }
         out.push_str(&csv_line(&row));
     }

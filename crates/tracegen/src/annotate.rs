@@ -224,31 +224,29 @@ impl Translator {
 
     fn declare(&mut self, name: &str, ty: DataType, elems: u64, kind: VarKind) -> VarId {
         assert!(elems >= 1, "variable {name} has zero elements");
-        let location = if elems == 1
-            && kind != VarKind::Global
-            && self.regs_used < self.layout.frame_regs
-        {
-            let r = self.regs_used;
-            self.regs_used += 1;
-            VarLocation::Register(r)
-        } else {
-            match kind {
-                VarKind::Global => {
-                    let size = ty.bytes() * elems;
-                    let addr = self.globals_ptr;
-                    // Keep variables naturally aligned.
-                    let aligned = addr.next_multiple_of(ty.bytes());
-                    self.globals_ptr = aligned + size;
-                    VarLocation::Memory(aligned)
+        let location =
+            if elems == 1 && kind != VarKind::Global && self.regs_used < self.layout.frame_regs {
+                let r = self.regs_used;
+                self.regs_used += 1;
+                VarLocation::Register(r)
+            } else {
+                match kind {
+                    VarKind::Global => {
+                        let size = ty.bytes() * elems;
+                        let addr = self.globals_ptr;
+                        // Keep variables naturally aligned.
+                        let aligned = addr.next_multiple_of(ty.bytes());
+                        self.globals_ptr = aligned + size;
+                        VarLocation::Memory(aligned)
+                    }
+                    VarKind::Local | VarKind::Arg => {
+                        let size = ty.bytes() * elems;
+                        self.sp -= size;
+                        self.sp &= !(ty.bytes() - 1);
+                        VarLocation::Memory(self.sp)
+                    }
                 }
-                VarKind::Local | VarKind::Arg => {
-                    let size = ty.bytes() * elems;
-                    self.sp -= size;
-                    self.sp &= !(ty.bytes() - 1);
-                    VarLocation::Memory(self.sp)
-                }
-            }
-        };
+            };
         self.vars.push(VarDesc {
             name: name.to_string(),
             ty,
@@ -545,8 +543,14 @@ mod tests {
         assert_eq!(t.descriptor_table().len(), 1);
         t.load(outer);
         let trace = t.finish();
-        let calls = trace.iter().filter(|o| matches!(o, Operation::Call { .. })).count();
-        let rets = trace.iter().filter(|o| matches!(o, Operation::Ret { .. })).count();
+        let calls = trace
+            .iter()
+            .filter(|o| matches!(o, Operation::Call { .. }))
+            .count();
+        let rets = trace
+            .iter()
+            .filter(|o| matches!(o, Operation::Ret { .. }))
+            .count();
         assert_eq!(calls, 1);
         assert_eq!(rets, 1);
     }

@@ -141,16 +141,13 @@ mod tests {
     fn assert_completes(ts: &TraceSet) {
         use mermaid_network::{CommSim, NetworkConfig, Topology};
         let n = ts.nodes() as u32;
-        let r = CommSim::new(
-            NetworkConfig::test(Topology::FullyConnected(n.max(2))),
-            &{
-                let mut big = TraceSet::new(n.max(2) as usize);
-                for node in 0..n {
-                    *big.trace_mut(node) = ts.trace(node).clone();
-                }
-                big
-            },
-        )
+        let r = CommSim::new(NetworkConfig::test(Topology::FullyConnected(n.max(2))), &{
+            let mut big = TraceSet::new(n.max(2) as usize);
+            for node in 0..n {
+                *big.trace_mut(node) = ts.trace(node).clone();
+            }
+            big
+        })
         .run();
         assert!(r.all_done, "collective deadlocked: {:?}", r.deadlocked);
     }

@@ -17,7 +17,7 @@
 //! does only once every other node has reached the same point in simulated
 //! time, exactly the feedback arrow of Fig. 1.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
 use mermaid_ops::{ArithOp, DataType, NodeId, Operation, Trace, TraceSet};
@@ -34,7 +34,7 @@ const OP_CHANNEL_CAP: usize = 4096;
 /// stream to the simulator, suspending at global events.
 pub struct NodeCtx {
     inner: Translator,
-    op_tx: Sender<Operation>,
+    op_tx: SyncSender<Operation>,
     resume_rx: Receiver<()>,
     /// Set when the consumer went away; generation continues silently so
     /// the program thread can finish.
@@ -176,7 +176,7 @@ impl Annotator for NodeCtx {
 /// Handle to one node's generator thread.
 struct NodeHandle {
     op_rx: Receiver<Operation>,
-    resume_tx: Sender<()>,
+    resume_tx: SyncSender<()>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -195,8 +195,8 @@ impl InterleavedTraceGen {
     {
         let handles = (0..nodes)
             .map(|node| {
-                let (op_tx, op_rx) = bounded(OP_CHANNEL_CAP);
-                let (resume_tx, resume_rx) = bounded(1);
+                let (op_tx, op_rx) = sync_channel(OP_CHANNEL_CAP);
+                let (resume_tx, resume_rx) = sync_channel(1);
                 let program = program.clone();
                 let join = std::thread::Builder::new()
                     .name(format!("mermaid-node-{node}"))
@@ -267,7 +267,7 @@ impl Drop for InterleavedTraceGen {
     fn drop(&mut self) {
         for h in &mut self.nodes {
             // Unblock a suspended thread, then detach channels and join.
-            let _ = h.resume_tx.send(());
+            let _ = h.resume_tx.try_send(());
             // Drain so a thread blocked on a full op channel can proceed.
             while h.op_rx.try_recv().is_ok() {}
         }
@@ -278,11 +278,11 @@ impl Drop for InterleavedTraceGen {
                 // deadlock the join.
                 match h.op_rx.recv_timeout(std::time::Duration::from_millis(1)) {
                     Ok(_) => continue,
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                         let _ = h.resume_tx.try_send(());
                         continue;
                     }
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
                 }
             }
             if let Some(j) = h.join.take() {
@@ -412,9 +412,13 @@ mod tests {
             }
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
-        // Channel holds at most its capacity even though the program wants
-        // to emit 4× that.
-        assert!(gen.nodes[0].op_rx.len() <= OP_CHANNEL_CAP);
+        // The channel holds at most its capacity, so the generator thread
+        // must still be blocked mid-send rather than finished with 4× the
+        // capacity buffered.
+        assert!(
+            !gen.nodes[0].join.as_ref().unwrap().is_finished(),
+            "producer should be blocked on the bounded channel"
+        );
         // Drain everything; the program finishes.
         let mut count = 0;
         while gen.next_op(0).is_some() {

@@ -135,7 +135,7 @@ impl SizeDist {
                 large,
                 large_permille,
             } => {
-                if rng.gen_range(0..1000) < large_permille {
+                if rng.gen_range(0..1000u32) < large_permille {
                     large
                 } else {
                     small
@@ -390,7 +390,11 @@ impl StochasticGenerator {
     /// address-stream state.
     fn materialize(&self, class: u8, g: &mut NodeGen) -> Operation {
         let float_heavy = self.app.mix.flt_alu + self.app.mix.flt_muldiv > 0.0;
-        let data_ty = if float_heavy { DataType::F64 } else { DataType::I32 };
+        let data_ty = if float_heavy {
+            DataType::F64
+        } else {
+            DataType::I32
+        };
         match class {
             0 => Operation::Load {
                 ty: data_ty,
@@ -435,7 +439,7 @@ impl StochasticGenerator {
             },
             _ => {
                 // A forward branch inside the block.
-                let target = g.pc + 4 * (1 + g.rng.gen_range(0..8));
+                let target = g.pc + 4 * (1 + g.rng.gen_range(0..8u64));
                 Operation::Branch { addr: target }
             }
         }
@@ -443,7 +447,7 @@ impl StochasticGenerator {
 
     fn next_data_addr(&self, g: &mut NodeGen, ty: DataType) -> Address {
         let step = ty.bytes();
-        let seq = g.rng.gen_range(0..1000) < self.app.seq_permille;
+        let seq = g.rng.gen_range(0..1000u32) < self.app.seq_permille;
         if seq {
             g.data_ptr += step;
             if g.data_ptr >= DATA_BASE + self.app.working_set {
@@ -705,9 +709,7 @@ mod tests {
             large: 1000,
             large_permille: 500,
         };
-        let n_large = (0..1000)
-            .filter(|_| bim.sample(&mut rng) == 1000)
-            .count();
+        let n_large = (0..1000).filter(|_| bim.sample(&mut rng) == 1000).count();
         assert!((300..700).contains(&n_large), "bimodal skewed: {n_large}");
         assert!((bim.mean() - 500.5).abs() < 1.0);
     }

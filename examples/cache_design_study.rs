@@ -12,8 +12,8 @@
 //!
 //! Run with: `cargo run --release --example cache_design_study`
 
-use mermaid::prelude::*;
 use mermaid::parallel_sweep;
+use mermaid::prelude::*;
 use mermaid_memory::CacheParams;
 use mermaid_stats::table::Align;
 use mermaid_stats::Table;
@@ -74,11 +74,7 @@ fn main() {
             Align::Right,
             Align::Right,
         ]);
-    let best = results
-        .iter()
-        .map(|&(_, _, _, _, t)| t)
-        .min()
-        .unwrap();
+    let best = results.iter().map(|&(_, _, _, _, t)| t).min().unwrap();
     for (size, assoc, line, hit, t) in &results {
         table.row([
             format!("{} KiB", size / 1024),
@@ -86,12 +82,18 @@ fn main() {
             format!("{line} B"),
             format!("{:.1}", hit * 100.0),
             format!("{t}"),
-            format!("{:+.1}%", 100.0 * (t.as_ps() as f64 / best.as_ps() as f64 - 1.0)),
+            format!(
+                "{:+.1}%",
+                100.0 * (t.as_ps() as f64 / best.as_ps() as f64 - 1.0)
+            ),
         ]);
     }
     println!("{}", table.render());
     println!("Expected shapes: hit rate rises with size until the working set fits (~98%");
     println!("at 64 KiB); longer lines help this sequential-leaning workload; associativity");
     println!("matters little here because the uniform address stream causes few conflicts.");
-    println!("A direct-execution simulator would print the same number for all {} rows.", results.len());
+    println!(
+        "A direct-execution simulator would print the same number for all {} rows.",
+        results.len()
+    );
 }

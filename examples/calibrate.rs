@@ -30,7 +30,10 @@ fn main() {
     println!("load latency vs footprint (ns/access):");
     println!("{}", bar_chart(&items, 40));
     let edges = detect_capacity_edges(&curve, 0.5);
-    println!("detected capacity edges at: {:?} KiB", edges.iter().map(|e| e / 1024).collect::<Vec<_>>());
+    println!(
+        "detected capacity edges at: {:?} KiB",
+        edges.iter().map(|e| e / 1024).collect::<Vec<_>>()
+    );
     println!(
         "configured: L1 {} KiB, L2 {} KiB — edges appear one step past each capacity\n",
         ppc.node_mem.l1d.size_bytes / 1024,
@@ -62,8 +65,6 @@ fn main() {
     );
     println!(
         "small-message latency {} ≈ software overheads ({} + {}) + routing + wire",
-        pp[0].one_way,
-        t805.network.software.send_overhead,
-        t805.network.software.recv_overhead,
+        pp[0].one_way, t805.network.software.send_overhead, t805.network.software.recv_overhead,
     );
 }

@@ -22,7 +22,10 @@ fn main() {
     let nodes = 4u32;
     let n = 24u64;
     let machine = MachineConfig::t805_multicomputer(Topology::Ring(nodes));
-    println!("matrix multiply, {n}×{n} doubles over {nodes} nodes — {}\n", machine.name);
+    println!(
+        "matrix multiply, {n}×{n} doubles over {nodes} nodes — {}\n",
+        machine.name
+    );
 
     // Explicit message passing: B replicated, C gathered by send/recv.
     let mp_traces = InterleavedTraceGen::spawn(nodes, TargetLayout::default(), move |ctx| {
@@ -35,18 +38,15 @@ fn main() {
     // DSM: A, B, C shared; communication is the runtime's business.
     for page_bytes in [512u32, 2048, 8192] {
         let dsm_traces = InterleavedTraceGen::spawn(nodes, TargetLayout::default(), move |ctx| {
-            dsm_matmul(
-                ctx,
-                DsmConfig {
-                    nodes,
-                    page_bytes,
-                },
-                n,
-            )
+            dsm_matmul(ctx, DsmConfig { nodes, page_bytes }, n)
         })
         .collect_all();
         let dsm = HybridSim::new(machine.clone()).run(&dsm_traces);
-        assert!(dsm.comm.all_done, "DSM run deadlocked: {:?}", dsm.comm.deadlocked);
+        assert!(
+            dsm.comm.all_done,
+            "DSM run deadlocked: {:?}",
+            dsm.comm.deadlocked
+        );
 
         let row = |label: String, r: &mermaid::HybridResult, visible_comm: u64| {
             let s = r.task_traces.stats();
@@ -74,11 +74,7 @@ fn main() {
                 Align::Right,
             ]);
             let mp_stats = mp.task_traces.stats();
-            table.row(row(
-                "message passing".to_string(),
-                &mp,
-                mp_stats.comm_ops(),
-            ));
+            table.row(row("message passing".to_string(), &mp, mp_stats.comm_ops()));
             let d = dsm.task_traces.stats();
             table.row(row(
                 format!("DSM, {page_bytes} B pages"),

@@ -66,10 +66,8 @@ fn main() {
         // Each node: CPU 0 computes + exchanges with ring neighbours;
         // CPUs 1.. compute only.
         let workload = build_workload(nodes, cpus_per_node, |node, cpu| {
-            let mut t = Trace::from_ops(
-                node,
-                cpu_ops((node as u64) << 8 | cpu as u64, ops_per_cpu),
-            );
+            let mut t =
+                Trace::from_ops(node, cpu_ops((node as u64) << 8 | cpu as u64, ops_per_cpu));
             if cpu == 0 {
                 t.push(Operation::ASend {
                     bytes: 16 * 1024,
@@ -84,14 +82,17 @@ fn main() {
         let r = SmpHybridSim::new(machine).run(&workload);
         assert!(r.comm.all_done);
         let n0 = &r.nodes[0];
-        let bus_util = 100.0 * n0.mem.bus_busy.as_ps() as f64
-            / n0.compute_finish.as_ps().max(1) as f64;
+        let bus_util =
+            100.0 * n0.mem.bus_busy.as_ps() as f64 / n0.compute_finish.as_ps().max(1) as f64;
         table.row([
             format!("{nodes} nodes × {cpus_per_node} CPUs"),
             format!("{}", r.predicted_time),
             format!("{bus_util:.1}"),
             r.comm.total_messages.to_string(),
-            format!("{}", r.comm.nodes[0].proc.recv_block + r.comm.nodes[0].proc.send_block),
+            format!(
+                "{}",
+                r.comm.nodes[0].proc.recv_block + r.comm.nodes[0].proc.send_block
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -27,8 +27,10 @@ fn main() {
         ..StochasticApp::scientific(nodes)
     };
     let machine = MachineConfig::t805_multicomputer(Topology::Mesh2D { w: 4, h: 2 });
-    println!("machine: {}\napplication: {} phases of all-to-all over {} nodes\n",
-        machine.name, 8, nodes);
+    println!(
+        "machine: {}\napplication: {} phases of all-to-all over {} nodes\n",
+        machine.name, 8, nodes
+    );
 
     let gen = StochasticGenerator::new(app, 99);
     let instr_traces = gen.generate();
@@ -85,8 +87,10 @@ fn main() {
     ]);
 
     println!("{}", table.render());
-    println!("replaying the hybrid's measured tasks reproduces its prediction exactly: {}",
-        replay.predicted_time == hybrid.predicted_time);
+    println!(
+        "replaying the hybrid's measured tasks reproduces its prediction exactly: {}",
+        replay.predicted_time == hybrid.predicted_time
+    );
     let err = 100.0 * (direct.predicted_time.as_ps() as f64 - hybrid.predicted_time.as_ps() as f64)
         / hybrid.predicted_time.as_ps() as f64;
     println!("direct execution deviates {err:+.1}% from the detailed model (it cannot see cache misses).");

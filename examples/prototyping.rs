@@ -35,8 +35,20 @@ fn main() {
         Topology::FullyConnected(nodes),
     ];
 
-    let mut table = Table::new(["topology", "switching", "predicted", "mean link util%", "p99 msg lat"])
-        .with_aligns(vec![Align::Left, Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut table = Table::new([
+        "topology",
+        "switching",
+        "predicted",
+        "mean link util%",
+        "p99 msg lat",
+    ])
+    .with_aligns(vec![
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     let mut chart_items = Vec::new();
 
     // The 12-point grid is embarrassingly parallel: fan it over the host's
@@ -66,7 +78,10 @@ fn main() {
             topo.label(),
             sw.to_string(),
             format!("{}", r.predicted_time),
-            format!("{:.1}", 100.0 * r.comm.mean_link_utilization(topo.link_count())),
+            format!(
+                "{:.1}",
+                100.0 * r.comm.mean_link_utilization(topo.link_count())
+            ),
             format!(
                 "{}",
                 pearl::Duration::from_ps(r.comm.msg_latency.percentile(99.0).unwrap_or(0))

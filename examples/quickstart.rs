@@ -24,7 +24,11 @@ fn main() {
         ..StochasticApp::scientific(nodes)
     };
     let traces = StochasticGenerator::new(app, 2024).generate();
-    println!("generated {} operations over {} nodes\n", traces.total_ops(), traces.nodes());
+    println!(
+        "generated {} operations over {} nodes\n",
+        traces.total_ops(),
+        traces.nodes()
+    );
     println!("{}", traces.stats());
     println!();
 
@@ -42,7 +46,11 @@ fn main() {
     let result = HybridSim::new(machine).run(&traces);
     let slowdown = meter.finish(result.predicted_time);
 
-    assert!(result.comm.all_done, "application deadlocked: {:?}", result.comm.deadlocked);
+    assert!(
+        result.comm.all_done,
+        "application deadlocked: {:?}",
+        result.comm.deadlocked
+    );
 
     // ── Analysis level ─────────────────────────────────────────────────
     println!("predicted execution time: {}", result.predicted_time);

@@ -22,7 +22,11 @@ fn main() {
 
     // ── Detailed mode: T805 multicomputer (mix of application loads) ──
     for (label, pattern, msg) in [
-        ("t805×16 detailed, nn-ring", CommPattern::NearestNeighborRing, 4096),
+        (
+            "t805×16 detailed, nn-ring",
+            CommPattern::NearestNeighborRing,
+            4096,
+        ),
         ("t805×16 detailed, all-to-all", CommPattern::AllToAll, 1024),
     ] {
         let nodes = 16;
@@ -56,7 +60,10 @@ fn main() {
         let meter = SlowdownMeter::start(1, machine.cpu.clock);
         let refs: Vec<&Trace> = traces.iter().collect();
         let r = sim.run(&refs);
-        rows.push(("ppc601×1 detailed, 2-level cache".to_string(), meter.finish(r.finish)));
+        rows.push((
+            "ppc601×1 detailed, 2-level cache".to_string(),
+            meter.finish(r.finish),
+        ));
     }
 
     // ── Task-level mode: compute-heavy vs communication-heavy ─────────

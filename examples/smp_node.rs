@@ -30,10 +30,13 @@ fn cpu_trace(cpu: u32, cpus: u32, ops: usize, seed: u64) -> Trace {
         msg_bytes: SizeDist::Fixed(0),
         task_ps: SizeDist::Fixed(0),
     };
-    let mut t = StochasticGenerator::new(app, seed + cpu as u64).generate().trace(0).clone();
+    let mut t = StochasticGenerator::new(app, seed + cpu as u64)
+        .generate()
+        .trace(0)
+        .clone();
     t.node = 0; // all CPUs live on node 0 in the shared-memory model
-    // Interleave stores to a shared counter array every ~50 ops to create
-    // coherence traffic between the CPUs.
+                // Interleave stores to a shared counter array every ~50 ops to create
+                // coherence traffic between the CPUs.
     let shared_base = 0x4000_0000u64;
     let mut with_sharing = Trace::new(0);
     for (i, &op) in t.iter().enumerate() {
@@ -97,7 +100,10 @@ fn main() {
             format!("{}", r.finish),
             format!("{speedup:.2}"),
             format!("{bus_util:.1}"),
-            format!("{:.1}", 100.0 * l1d_hits as f64 / (l1d_hits + l1d_misses) as f64),
+            format!(
+                "{:.1}",
+                100.0 * l1d_hits as f64 / (l1d_hits + l1d_misses) as f64
+            ),
             inv.to_string(),
             flushes.to_string(),
         ]);

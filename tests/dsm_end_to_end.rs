@@ -14,13 +14,7 @@ fn dsm_traces(
     f: impl Fn(&mut mermaid_tracegen::NodeCtx, DsmConfig) + Send + Clone + 'static,
 ) -> TraceSet {
     InterleavedTraceGen::spawn(nodes, TargetLayout::default(), move |ctx| {
-        f(
-            ctx,
-            DsmConfig {
-                nodes,
-                page_bytes,
-            },
-        )
+        f(ctx, DsmConfig { nodes, page_bytes })
     })
     .collect_all()
 }

@@ -44,10 +44,7 @@ fn machine_sweep_orders_by_generation() {
             "t805".to_string(),
             MachineConfig::t805_multicomputer(Topology::Ring(nodes)),
         ),
-        (
-            "paragon".to_string(),
-            MachineConfig::paragon(4, 2),
-        ),
+        ("paragon".to_string(), MachineConfig::paragon(4, 2)),
         (
             "ppc601 cluster".to_string(),
             MachineConfig::powerpc601_cluster(Topology::Ring(nodes), 1),

@@ -34,7 +34,8 @@ fn replaying_measured_tasks_reproduces_the_hybrid_prediction() {
         assert!(hybrid.comm.all_done);
         let replay = TaskLevelSim::new(machine.network).run(&hybrid.task_traces);
         assert_eq!(
-            replay.predicted_time, hybrid.predicted_time,
+            replay.predicted_time,
+            hybrid.predicted_time,
             "task-level replay must be exact on {}",
             topo.label()
         );
@@ -75,12 +76,7 @@ fn hybrid_prediction_dominates_pure_compute_time() {
     let machine = MachineConfig::t805_multicomputer(Topology::Ring(4));
     let ts = traces(4, 33, CommPattern::NearestNeighborRing);
     let r = HybridSim::new(machine).run(&ts);
-    let max_compute = r
-        .nodes
-        .iter()
-        .map(|n| n.compute_total)
-        .max()
-        .unwrap();
+    let max_compute = r.nodes.iter().map(|n| n.compute_total).max().unwrap();
     assert!(r.predicted_time >= pearl::Time::ZERO + max_compute);
 }
 
@@ -100,10 +96,9 @@ fn detailed_mode_sees_cache_pressure_that_task_level_cannot() {
         working_set: 1024 * 1024, // blows it
         ..small_ws
     };
-    let fast = HybridSim::new(machine.clone())
-        .run(&StochasticGenerator::new(small_ws, 9).generate());
-    let slow = HybridSim::new(machine)
-        .run(&StochasticGenerator::new(large_ws, 9).generate());
+    let fast =
+        HybridSim::new(machine.clone()).run(&StochasticGenerator::new(small_ws, 9).generate());
+    let slow = HybridSim::new(machine).run(&StochasticGenerator::new(large_ws, 9).generate());
     assert!(
         slow.predicted_time > fast.predicted_time,
         "cache-hostile working set must cost time: {} vs {}",

@@ -58,7 +58,10 @@ fn direct_execution_is_blind_to_cache_size() {
 
     let h_small = HybridSim::new(small.clone()).run(&traces).predicted_time;
     let h_big = HybridSim::new(big.clone()).run(&traces).predicted_time;
-    assert!(h_big < h_small, "the detailed model must reward a bigger cache");
+    assert!(
+        h_big < h_small,
+        "the detailed model must reward a bigger cache"
+    );
 
     let d_small = DirectExecSim::new(small).run(&traces).predicted_time;
     let d_big = DirectExecSim::new(big).run(&traces).predicted_time;
@@ -134,7 +137,10 @@ fn shared_memory_mode_scales_until_the_bus_saturates() {
             pattern: CommPattern::None,
             ..StochasticApp::scientific(1)
         };
-        let mut t = StochasticGenerator::new(a, seed).generate().trace(0).clone();
+        let mut t = StochasticGenerator::new(a, seed)
+            .generate()
+            .trace(0)
+            .clone();
         t.node = node;
         t.node = 0;
         t
@@ -142,7 +148,9 @@ fn shared_memory_mode_scales_until_the_bus_saturates() {
     let throughput = |cpus: usize| {
         let machine = MachineConfig::powerpc601_node(cpus);
         let mut sim = mermaid_cpu::SingleNodeSim::new(machine.cpu, machine.node_mem.clone());
-        let traces: Vec<Trace> = (0..cpus as u32).map(|c| mk_trace(c, c as u64 + 1)).collect();
+        let traces: Vec<Trace> = (0..cpus as u32)
+            .map(|c| mk_trace(c, c as u64 + 1))
+            .collect();
         let refs: Vec<&Trace> = traces.iter().collect();
         let r = sim.run(&refs);
         let total: u64 = r.cpu_stats.iter().map(|s| s.ops.total).sum();
@@ -150,5 +158,8 @@ fn shared_memory_mode_scales_until_the_bus_saturates() {
     };
     let t1 = throughput(1);
     let t4 = throughput(4);
-    assert!(t4 > 1.5 * t1, "four CPUs should beat one: {t4:.0} vs {t1:.0} ops/s");
+    assert!(
+        t4 > 1.5 * t1,
+        "four CPUs should beat one: {t4:.0} vs {t1:.0} ops/s"
+    );
 }

@@ -9,7 +9,10 @@ use mermaid_tracegen::annotate::TargetLayout;
 use mermaid_tracegen::programs::{block_matmul, transpose_all_to_all, tree_reduce};
 use mermaid_tracegen::InterleavedTraceGen;
 
-fn generate(nodes: u32, program: impl Fn(&mut mermaid_tracegen::NodeCtx) + Send + Clone + 'static) -> TraceSet {
+fn generate(
+    nodes: u32,
+    program: impl Fn(&mut mermaid_tracegen::NodeCtx) + Send + Clone + 'static,
+) -> TraceSet {
     InterleavedTraceGen::spawn(nodes, TargetLayout::default(), program).collect_all()
 }
 
@@ -75,7 +78,9 @@ fn matmul_scales_down_with_more_nodes() {
 #[test]
 fn transpose_stresses_every_link_without_deadlock() {
     let nodes = 8u32;
-    let traces = generate(nodes, move |ctx| transpose_all_to_all(ctx, nodes, 32 * 1024));
+    let traces = generate(nodes, move |ctx| {
+        transpose_all_to_all(ctx, nodes, 32 * 1024)
+    });
     for topo in [
         Topology::Ring(nodes),
         Topology::Hypercube { dim: 3 },

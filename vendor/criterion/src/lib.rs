@@ -1,0 +1,317 @@
+//! A std-only stand-in for the `criterion` crate, vendored so the workspace
+//! builds without network access.
+//!
+//! It is a real measuring harness, not a no-op: each benchmark is
+//! calibrated, run for the configured number of samples, and summarized as
+//! mean/median/min/stddev nanoseconds per iteration. Results are printed
+//! and also written as one JSON file per benchmark under
+//! `target/bench-results/` (override the directory with the
+//! `MERMAID_BENCH_OUT` environment variable) so runs can be diffed by
+//! script. No statistical outlier analysis, HTML reports, or baselines —
+//! compare the JSON files instead.
+// Vendored compat code: keep it byte-stable, not lint-clean.
+#![allow(warnings)]
+#![allow(clippy::all)]
+
+pub use std::hint::black_box;
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup. This harness always re-runs setup
+/// per sample (setup cost is never timed), so the variants only document
+/// intent at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle, passed to each `criterion_group!` target.
+pub struct Criterion {
+    out_dir: std::path::PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let out_dir = std::env::var_os("MERMAID_BENCH_OUT")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("target/bench-results"));
+        Criterion { out_dir }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let stats = Stats::from_samples(&bencher.samples_ns);
+        println!(
+            "{}/{}  time: [{} .. mean {} .. {}]  (median {}, {} samples)",
+            self.name,
+            name,
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.max_ns),
+            fmt_ns(stats.median_ns),
+            stats.samples,
+        );
+        if let Err(e) = stats.write_json(&self.criterion.out_dir, &self.name, &name) {
+            eprintln!("warning: could not write bench result JSON: {e}");
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, batching enough calls per sample that timer
+    /// granularity is negligible.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch takes ~2ms, then size
+        // batches to ~5ms of work each.
+        let mut k: u64 = 1;
+        let per_iter_ns = loop {
+            let t = Instant::now();
+            for _ in 0..k {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || k >= 1 << 20 {
+                break (elapsed.as_nanos() as f64 / k as f64).max(0.5);
+            }
+            k *= 2;
+        };
+        let batch = ((5_000_000.0 / per_iter_ns) as u64).clamp(1, 1 << 22);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup cost is excluded
+    /// from the measurement. Each sample is a single routine call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One untimed warmup pass.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+struct Stats {
+    samples: usize,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    stddev_ns: f64,
+}
+
+impl Stats {
+    fn from_samples(samples: &[f64]) -> Stats {
+        assert!(
+            !samples.is_empty(),
+            "benchmark closure never called iter/iter_batched"
+        );
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Stats {
+            samples: n,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: sorted[0],
+            max_ns: sorted[n - 1],
+            stddev_ns: var.sqrt(),
+        }
+    }
+
+    fn write_json(&self, dir: &std::path::Path, group: &str, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}__{}.json", sanitize(group), sanitize(name)));
+        let mut f = std::fs::File::create(path)?;
+        writeln!(
+            f,
+            "{{\n  \"group\": \"{}\",\n  \"name\": \"{}\",\n  \"samples\": {},\n  \"mean_ns\": {:.1},\n  \"median_ns\": {:.1},\n  \"min_ns\": {:.1},\n  \"max_ns\": {:.1},\n  \"stddev_ns\": {:.1}\n}}",
+            escape(group),
+            escape(name),
+            self.samples,
+            self.mean_ns,
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.stddev_ns,
+        )
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags like `--bench`; accept and
+            // ignore them so `cargo bench` works end to end.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_sane() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.samples, 4);
+        assert!((s.mean_ns - 2.5).abs() < 1e-9);
+        assert!((s.median_ns - 2.5).abs() < 1e-9);
+        assert!((s.min_ns - 1.0).abs() < 1e-9);
+        assert!((s.max_ns - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            sample_size: 3,
+            samples_ns: Vec::new(),
+        };
+        b.iter_batched(
+            || vec![1u8; 16],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(b.samples_ns.len(), 3);
+    }
+
+    #[test]
+    fn sanitize_and_escape() {
+        assert_eq!(sanitize("a/b c"), "a_b_c");
+        assert_eq!(escape("x\"y\\z"), "x\\\"y\\\\z");
+    }
+}

@@ -1,0 +1,423 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented without `syn`/`quote`: the input item is parsed by hand from
+//! the raw token stream (enough of Rust's grammar for the shapes this
+//! workspace uses — non-generic structs and enums), and the generated impls
+//! are built as strings and re-parsed. Supported shapes:
+//!
+//! * named-field structs        → `Value::Map` of fields
+//! * newtype structs `T(U)`     → the inner value
+//! * tuple structs              → `Value::Seq`
+//! * unit structs               → `Value::Null`
+//! * enums: unit variants       → `Value::Str(name)`
+//!          newtype variants    → `{name: value}`
+//!          tuple variants      → `{name: [..]}`
+//!          struct variants     → `{name: {..}}`
+//!
+//! (externally tagged, matching real serde's default representation).
+// Vendored compat code: keep it byte-stable, not lint-clean.
+#![allow(warnings)]
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Split the tokens of a brace/paren group on commas that sit outside any
+/// nested group and outside `<...>` generic arguments.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    cur.clear();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drop leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    &tokens[i..]
+}
+
+/// Parse `name : type` field chunks into field names.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(group_tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let chunk = skip_attrs_and_vis(chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(group_tokens: &[TokenTree]) -> usize {
+    split_top_level(group_tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = skip_attrs_and_vis(&tokens);
+    let mut it = tokens.iter();
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    let next = it.next();
+    if let Some(TokenTree::Punct(p)) = next {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic types are not supported (type {name})");
+        }
+    }
+    if kind == "struct" {
+        let fields = match next {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Fields::Named(
+                parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Fields::Tuple(
+                parse_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde_derive: unsupported struct shape for {name}: {other:?}"),
+        };
+        Item::Struct { name, fields }
+    } else {
+        let body = match next {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                g.stream().into_iter().collect::<Vec<_>>()
+            }
+            other => panic!("serde_derive: expected enum body for {name}, got {other:?}"),
+        };
+        let variants = split_top_level(&body)
+            .iter()
+            .filter(|chunk| !chunk.is_empty())
+            .map(|chunk| {
+                let chunk = skip_attrs_and_vis(chunk);
+                let vname = match chunk.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("serde_derive: expected variant name, got {other:?}"),
+                };
+                let fields = match chunk.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(
+                            &g.stream().into_iter().collect::<Vec<_>>(),
+                        ))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(parse_tuple_fields(
+                            &g.stream().into_iter().collect::<Vec<_>>(),
+                        ))
+                    }
+                    None => Fields::Unit,
+                    other => panic!(
+                        "serde_derive: unsupported variant shape {vname} in {name}: {other:?}"
+                    ),
+                };
+                Variant {
+                    name: vname,
+                    fields,
+                }
+            })
+            .collect();
+        Item::Enum { name, variants }
+    }
+}
+
+fn named_to_value(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn named_from_value(ty: &str, fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::map_get({map_expr}, \"{f}\")\
+                 .ok_or_else(|| ::serde::Error::custom(\"missing field `{f}`\"))?)?"
+            )
+        })
+        .collect();
+    format!("{ty} {{ {} }}", inits.join(", "))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => named_to_value(fs, "&self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})])",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inner = named_to_value(fs, "");
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})])",
+                                fs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl did not parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let ctor = named_from_value(name, fs, "m");
+                    format!(
+                        "let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected map for struct {name}\"))?;\n\
+                         ::std::result::Result::Ok({ctor})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                        .collect();
+                    format!(
+                        "let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected seq for tuple struct {name}\"))?;\n\
+                         if s.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0})", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(val)?))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let s = val.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                                     \"expected seq for variant {vn}\"))?;\n\
+                                     if s.len() != {n} {{ return ::std::result::Result::Err(\
+                                     ::serde::Error::custom(\"wrong arity for variant {vn}\")); }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let ctor = named_from_value(&format!("{name}::{vn}"), fs, "m");
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let m = val.as_map().ok_or_else(|| ::serde::Error::custom(\
+                                     \"expected map for variant {vn}\"))?;\n\
+                                     ::std::result::Result::Ok({ctor})\n\
+                                 }}"
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (tag, val) = &m[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"bad value for enum {name}: {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    data_arms.join(",\n") + ","
+                },
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl did not parse")
+}

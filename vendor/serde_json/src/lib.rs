@@ -1,0 +1,341 @@
+//! JSON text encoding/decoding over the vendored serde stand-in's
+//! [`serde::Value`] model. Output matches what real serde_json would emit
+//! for the same types under serde's default (externally-tagged)
+//! representation.
+// Vendored compat code: keep it byte-stable, not lint-clean.
+#![allow(warnings)]
+#![allow(clippy::all)]
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serialise `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value())?;
+    Ok(out)
+}
+
+/// Parse JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(out: &mut String, v: &Value) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => write!(out, "{n}").unwrap(),
+        Value::I64(n) => write!(out, "{n}").unwrap(),
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error::custom("cannot serialise non-finite float as JSON"));
+            }
+            // `{:?}` is Rust's shortest round-trip float rendering; it always
+            // includes a '.' or 'e', so the value re-parses as a float.
+            write!(out, "{x:?}").unwrap();
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, val)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && matches!(self.s[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.s[self.i..].starts_with(kw.as_bytes()) {
+            self.i += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::custom("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error::custom("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected character {other:?} at byte {}",
+                self.i
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .s
+                .get(self.i)
+                .ok_or_else(|| Error::custom("unterminated string"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| Error::custom("short \\u escape"))?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for this
+                            // workspace's data; reject them explicitly.
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| Error::custom("unsupported \\u escape"))?;
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full char in the source.
+                    let start = self.i - 1;
+                    let rest = std::str::from_utf8(&self.s[start..])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let ch = rest.chars().next().unwrap();
+                    self.i = start + ch.len_utf8();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).unwrap();
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(from_str::<i32>("-3").unwrap(), -3);
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(from_str::<f64>("0.5").unwrap(), 0.5);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for x in [1.0f64, 0.1, 1e300, -2.5e-7, f64::MIN_POSITIVE] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x, "via {s}");
+        }
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\te\u{1}🦀".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1u64, 0.25f64), (2, 0.5)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,0.25],[2,0.5]]");
+        assert_eq!(from_str::<Vec<(u64, f64)>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let n = u64::MAX;
+        assert_eq!(from_str::<u64>(&to_string(&n).unwrap()).unwrap(), n);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        assert_eq!(
+            from_str::<Vec<u32>>(" [ 1 , 2 ,\n3 ] ").unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+}
