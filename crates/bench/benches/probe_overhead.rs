@@ -1,0 +1,79 @@
+//! **Probe overhead** — the instrumentation layer's two costs.
+//!
+//! 1. Disabled (`ProbeHandle::disabled()`): every emission site is one
+//!    branch on a `None`; the event-construction closure never runs. The
+//!    `off` group must match the uninstrumented medians of E2 — this is
+//!    the zero-cost-when-disabled guarantee the probe design rests on.
+//! 2. Enabled with the full sink stack (metrics + Chrome trace + JSONL +
+//!    self-profiler): the `on` group measures the worst-case observation
+//!    tax, and the self-profiler's log₂ histogram of per-event host
+//!    latency is printed so the tax can be attributed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mermaid::prelude::*;
+use mermaid_bench::{e2_app, t805_16};
+
+fn print_host_latency_histogram() {
+    // One fully-instrumented run; render the profiler's per-event host
+    // latency histogram as ASCII bars.
+    let traces = StochasticGenerator::new(e2_app(16, 500_000, 8_192, 50), 7).generate_task_level();
+    let probe = ProbeHandle::new(
+        ProbeStack::new()
+            .with_metrics()
+            .with_chrome()
+            .with_jsonl()
+            .with_profiler(mermaid::host_frequency().as_hz() as f64),
+    );
+    let r = TaskLevelSim::new(t805_16().network)
+        .with_probe(probe.clone())
+        .run(&traces);
+    assert!(r.comm.all_done);
+    let profile = probe.host_profile().expect("profiler attached");
+    eprintln!("\n=== probe self-profile (full sink stack, balanced E2 workload) ===");
+    eprintln!("{}", profile.render());
+    eprintln!("per-event host latency histogram (ns, log2 buckets):");
+    let total = profile.event_host_ns.count().max(1);
+    for (lo, count) in profile.event_host_ns.iter_nonempty() {
+        let share = count as f64 / total as f64;
+        let bar = "#".repeat((share * 60.0).ceil() as usize);
+        eprintln!("  >= {lo:>8} ns  {count:>9}  {bar}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_host_latency_histogram();
+
+    let traces = StochasticGenerator::new(e2_app(16, 500_000, 8_192, 50), 7).generate_task_level();
+
+    let mut g = c.benchmark_group("probe_overhead");
+    g.sample_size(20);
+    g.bench_function("off", |b| {
+        b.iter_batched(
+            || traces.clone(),
+            |ts| TaskLevelSim::new(t805_16().network).run(&ts),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("on", |b| {
+        b.iter_batched(
+            || traces.clone(),
+            |ts| {
+                let probe = ProbeHandle::new(
+                    ProbeStack::new()
+                        .with_metrics()
+                        .with_chrome()
+                        .with_jsonl()
+                        .with_profiler(mermaid::host_frequency().as_hz() as f64),
+                );
+                TaskLevelSim::new(t805_16().network)
+                    .with_probe(probe)
+                    .run(&ts)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,8 +8,14 @@
 //!                      [--app <scientific|integer>] [--pattern <name>]
 //!                      [--phases N] [--ops N] [--seed N]
 //!                      [--mode <detailed|task|direct>] [--watch]
+//!                      [--trace-out <file>] [--metrics]
 //! mermaid-cli probe --machine <t805|ppc601|paragon|test> [--topology <spec>]
 //! ```
+//!
+//! `sim` is an alias for `simulate`. `--trace-out` writes a Chrome-trace
+//! JSON file of the run (open in `chrome://tracing` or Perfetto);
+//! `--metrics` appends the per-component metrics report and a host-side
+//! profile of the simulator itself.
 
 use mermaid::prelude::*;
 use mermaid::{observer, report, DirectExecSim, SlowdownMeter};
@@ -36,8 +42,10 @@ fn main() -> ExitCode {
 fn usage() -> &'static str {
     "usage:\n  mermaid-cli table1\n  mermaid-cli topo <spec>\n  mermaid-cli machines\n  \
      mermaid-cli simulate --machine <name> --topology <spec> [--app <mix>] [--pattern <p>] \
-     [--phases N] [--ops N] [--seed N] [--mode <detailed|task|direct>] [--watch]\n  \
+     [--phases N] [--ops N] [--seed N] [--mode <detailed|task|direct>] [--watch] \
+     [--trace-out <file>] [--metrics]\n  \
      mermaid-cli probe --machine <name> [--topology <spec>]\n\n\
+     `sim` is an alias for `simulate`.\n\
      topology specs: ring:8  mesh:4x4  torus:4x4  hypercube:3  full:8  star:8"
 }
 
@@ -53,6 +61,8 @@ struct Opts {
     seed: Option<u64>,
     mode: Option<String>,
     watch: bool,
+    trace_out: Option<String>,
+    metrics: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -74,6 +84,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--seed" => o.seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--mode" => o.mode = Some(value("--mode")?),
             "--watch" => o.watch = true,
+            "--trace-out" => o.trace_out = Some(value("--trace-out")?),
+            "--metrics" => o.metrics = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -172,7 +184,7 @@ fn run(args: &[String]) -> Result<String, String> {
                           test     fast round-number test machine\n"
                 .to_string(),
         ),
-        "simulate" => {
+        "simulate" | "sim" => {
             let o = parse_opts(&args[1..])?;
             let topo = parse_topology(o.topology.as_deref().unwrap_or("ring:8"))?;
             let machine = parse_machine(o.machine.as_deref().unwrap_or("t805"), topo)?;
@@ -191,13 +203,41 @@ fn run(args: &[String]) -> Result<String, String> {
             };
             let seed = o.seed.unwrap_or(1);
             let gen = StochasticGenerator::new(app, seed);
+
+            // Instrumentation: one probe handle feeds every sink the user
+            // asked for. Disabled (a single branch per event site) when
+            // neither flag is given.
+            let mode = o.mode.as_deref().unwrap_or("detailed");
+            let tracing = o.trace_out.is_some() || o.metrics;
+            if tracing && mode == "direct" {
+                return Err("--trace-out/--metrics need --mode detailed or task".into());
+            }
+            let probe = if tracing {
+                let mut stack = ProbeStack::new();
+                if o.trace_out.is_some() {
+                    stack = stack.with_chrome();
+                }
+                if o.metrics {
+                    stack = stack
+                        .with_metrics()
+                        .with_profiler(mermaid::host_frequency().as_hz() as f64);
+                }
+                ProbeHandle::new(stack)
+            } else {
+                ProbeHandle::disabled()
+            };
+
             let mut out = format!("machine: {}\n", machine.name);
-            match o.mode.as_deref().unwrap_or("detailed") {
+            let mut finish_ps = 0u64;
+            match mode {
                 "detailed" => {
                     let traces = gen.generate();
                     let meter = SlowdownMeter::start(nodes, machine.cpu.clock);
-                    let r = HybridSim::new(machine).run(&traces);
+                    let r = HybridSim::new(machine)
+                        .with_probe(probe.clone())
+                        .run(&traces);
                     let slow = meter.finish(r.predicted_time);
+                    finish_ps = r.predicted_time.as_ps();
                     out.push_str(&format!("predicted time: {}\n\n", r.predicted_time));
                     out.push_str(&report::hybrid_table(&r).render());
                     out.push_str(&format!(
@@ -209,20 +249,29 @@ fn run(args: &[String]) -> Result<String, String> {
                 "task" => {
                     let traces = gen.generate_task_level();
                     if o.watch {
-                        let (r, run) =
-                            observer::observe_task_level(machine.network, &traces, 500, |s| {
+                        let (r, run) = observer::observe_task_level_probed(
+                            machine.network,
+                            &traces,
+                            500,
+                            probe.clone(),
+                            |s| {
                                 eprintln!(
                                     "t={:>14}ps  events={:>8}  msgs={:>6}  done={}/{}",
                                     s.virtual_ps, s.events, s.messages, s.nodes_done, nodes
                                 );
-                            });
+                            },
+                        );
+                        finish_ps = r.finish.as_ps();
                         out.push_str(&format!("predicted time: {}\n", r.finish));
                         out.push_str(&format!(
                             "messages over time: {}\n",
                             mermaid_stats::chart::sparkline(&run.messages, 40)
                         ));
                     } else {
-                        let r = TaskLevelSim::new(machine.network).run(&traces);
+                        let r = TaskLevelSim::new(machine.network)
+                            .with_probe(probe.clone())
+                            .run(&traces);
+                        finish_ps = r.predicted_time.as_ps();
                         out.push_str(&format!("predicted time: {}\n\n", r.predicted_time));
                         out.push_str(&report::task_level_table(&r).render());
                     }
@@ -236,6 +285,25 @@ fn run(args: &[String]) -> Result<String, String> {
                     ));
                 }
                 other => return Err(format!("unknown mode `{other}`")),
+            }
+
+            if let Some(path) = &o.trace_out {
+                let json = probe.chrome_trace_json().ok_or("no trace was collected")?;
+                mermaid::probe::validate_chrome_trace(&json)
+                    .map_err(|e| format!("internal error: emitted trace is invalid: {e}"))?;
+                std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                out.push_str(&format!("trace written: {path}\n"));
+            }
+            if o.metrics {
+                let report = probe
+                    .metrics_report(finish_ps)
+                    .ok_or("no metrics were collected")?;
+                out.push('\n');
+                out.push_str(&report.render());
+                if let Some(profile) = probe.host_profile() {
+                    out.push('\n');
+                    out.push_str(&profile.render());
+                }
             }
             Ok(out)
         }
@@ -351,6 +419,56 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("slowdown"));
+    }
+
+    #[test]
+    fn sim_is_an_alias_for_simulate() {
+        let out = run(&s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("predicted time"));
+    }
+
+    #[test]
+    fn traced_run_writes_a_valid_chrome_trace_and_metrics() {
+        let path = std::env::temp_dir().join("mermaid-cli-test-trace.json");
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(&s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--trace-out",
+            &path_s,
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("trace written"), "{out}");
+        assert!(out.contains("engine/deliveries"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let summary = mermaid::probe::validate_chrome_trace(&json).unwrap();
+        assert!(summary.delivered_messages.unwrap() > 0);
+    }
+
+    #[test]
+    fn tracing_direct_mode_is_an_error() {
+        let err = run(&s(&["sim", "--mode", "direct", "--metrics"])).unwrap_err();
+        assert!(err.contains("detailed or task"), "{err}");
     }
 
     #[test]

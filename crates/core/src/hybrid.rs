@@ -21,6 +21,7 @@ use mermaid_cpu::{CpuStats, SingleNodeSim};
 use mermaid_memory::{MemStats, MemSystemConfig};
 use mermaid_network::{CommResult, CommSim};
 use mermaid_ops::{NodeId, Trace, TraceSet};
+use mermaid_probe::ProbeHandle;
 use mermaid_tracegen::InterleavedTraceGen;
 use pearl::{Duration, Time};
 
@@ -57,13 +58,26 @@ pub struct HybridResult {
 /// The hybrid simulator: detailed mode of the workbench.
 pub struct HybridSim {
     machine: MachineConfig,
+    probe: ProbeHandle,
 }
 
 impl HybridSim {
     /// Create a hybrid simulator for the given machine.
     pub fn new(machine: MachineConfig) -> Self {
         machine.validate();
-        HybridSim { machine }
+        HybridSim {
+            machine,
+            probe: ProbeHandle::disabled(),
+        }
+    }
+
+    /// Attach an instrumentation handle: both halves of the hybrid run —
+    /// the per-node computational models (cache/bus events) and the
+    /// communication model (activations, messages, links, the engine) —
+    /// record into it. Observation only; predicted times are unchanged.
+    pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// The machine being simulated.
@@ -91,7 +105,8 @@ impl HybridSim {
             nodes.push(stats);
         }
         let task_traces = TraceSet::from_traces(task_traces);
-        let comm = CommSim::new(self.machine.network, &task_traces).run();
+        let comm =
+            CommSim::new_with_probe(self.machine.network, &task_traces, self.probe.clone()).run();
         HybridResult {
             predicted_time: comm.finish,
             nodes,
@@ -121,6 +136,7 @@ impl HybridSim {
         for node in 0..self.machine.nodes() {
             // Stream the node's operations through the computational model.
             let mut sim = SingleNodeSim::new(self.machine.cpu, single.clone());
+            sim.set_probe(node, self.probe.clone());
             let mut chunk = Trace::new(node);
             let mut task = Trace::new(node);
             let mut compute_total = Duration::ZERO;
@@ -153,7 +169,8 @@ impl HybridSim {
             task_traces.push(task);
         }
         let task_traces = TraceSet::from_traces(task_traces);
-        let comm = CommSim::new(self.machine.network, &task_traces).run();
+        let comm =
+            CommSim::new_with_probe(self.machine.network, &task_traces, self.probe.clone()).run();
         HybridResult {
             predicted_time: comm.finish,
             nodes,
@@ -173,6 +190,7 @@ impl HybridSim {
 
     fn extract_node(&self, trace: &Trace) -> (Trace, NodeComputeStats) {
         let mut sim = SingleNodeSim::new(self.machine.cpu, self.single_node_config());
+        sim.set_probe(trace.node, self.probe.clone());
         let x = sim.extract_tasks(trace);
         (
             x.task_trace,
@@ -282,6 +300,26 @@ mod tests {
         assert_eq!(batch.predicted_time, streamed.predicted_time);
         assert_eq!(batch.task_traces, streamed.task_traces);
         assert_eq!(batch.ops_simulated, streamed.ops_simulated);
+    }
+
+    #[test]
+    fn probed_hybrid_run_is_bit_identical_to_untraced() {
+        use mermaid_probe::{ProbeHandle, ProbeStack};
+        let traces = stochastic_traces(4, 7);
+        let plain = HybridSim::new(machine(4)).run(&traces);
+        let probe = ProbeHandle::new(ProbeStack::new().with_metrics().with_chrome());
+        let probed = HybridSim::new(machine(4))
+            .with_probe(probe.clone())
+            .run(&traces);
+        assert_eq!(plain.predicted_time, probed.predicted_time);
+        assert_eq!(plain.task_traces, probed.task_traces);
+        assert_eq!(plain.comm.total_messages, probed.comm.total_messages);
+        // Both halves fed the probe: cache events from the computational
+        // models and engine/message events from the communication model.
+        let report = probe.metrics_report(probed.predicted_time.as_ps()).unwrap();
+        let text = report.render();
+        assert!(text.contains("engine/deliveries"), "{text}");
+        assert!(text.contains("mem0/"), "{text}");
     }
 
     #[test]

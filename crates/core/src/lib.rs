@@ -59,11 +59,16 @@ pub use hybrid::{HybridResult, HybridSim, NodeComputeStats};
 pub use machines::MachineConfig;
 pub use memuse::ModelFootprint;
 pub use microbench::{detect_capacity_edges, memory_stride_probe, ping_pong};
-pub use observer::{observe_task_level, ProgressSample, RunTrace};
+pub use observer::{observe_task_level, observe_task_level_probed, ProgressSample, RunTrace};
 pub use slowdown::{host_frequency, SlowdownMeter, SlowdownReport};
 pub use smp::{SmpHybridResult, SmpHybridSim, SmpWorkload};
 pub use sweep::{labelled_sweep, parallel_sweep};
 pub use tasklevel::{TaskLevelResult, TaskLevelSim};
+
+/// The instrumentation layer (re-exported from `mermaid-probe`): attach a
+/// [`probe::ProbeHandle`] to a simulator to collect metrics, Chrome
+/// traces, JSONL event streams, and host-side profiles from a run.
+pub use mermaid_probe as probe;
 
 /// Convenient re-exports of the workbench's moving parts.
 pub mod prelude {
@@ -76,6 +81,7 @@ pub mod prelude {
     pub use mermaid_memory::MemSystemConfig;
     pub use mermaid_network::{NetworkConfig, Topology};
     pub use mermaid_ops::{Operation, Trace, TraceSet};
+    pub use mermaid_probe::{ProbeHandle, ProbeStack};
     pub use mermaid_tracegen::{
         CommPattern, InstructionMix, SizeDist, StochasticApp, StochasticGenerator,
     };

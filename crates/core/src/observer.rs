@@ -8,6 +8,7 @@
 
 use mermaid_network::{CommResult, CommSim, NetworkConfig};
 use mermaid_ops::TraceSet;
+use mermaid_probe::ProbeHandle;
 use mermaid_stats::TimeSeries;
 
 /// A progress sample taken during a run.
@@ -51,10 +52,24 @@ pub fn observe_task_level(
     network: NetworkConfig,
     traces: &TraceSet,
     batch: u64,
+    on_sample: impl FnMut(&ProgressSample),
+) -> (CommResult, RunTrace) {
+    observe_task_level_probed(network, traces, batch, ProbeHandle::disabled(), on_sample)
+}
+
+/// [`observe_task_level`] with an instrumentation handle attached: the
+/// progress samples (run-time half) and the probe's sinks (post-mortem
+/// half) then share one event source, as the paper's Section 3 describes.
+/// Pass [`ProbeHandle::disabled`] for plain observation.
+pub fn observe_task_level_probed(
+    network: NetworkConfig,
+    traces: &TraceSet,
+    batch: u64,
+    probe: ProbeHandle,
     mut on_sample: impl FnMut(&ProgressSample),
 ) -> (CommResult, RunTrace) {
     assert!(batch > 0, "batch must be positive");
-    let mut sim = CommSim::new(network, traces);
+    let mut sim = CommSim::new_with_probe(network, traces, probe);
     let mut run = RunTrace::new();
     loop {
         let snapshot = sim.run_events(batch);
@@ -160,6 +175,29 @@ mod tests {
         );
         let series: Vec<f64> = run.nodes_done.samples().iter().map(|&(_, v)| v).collect();
         assert_eq!(*series.last().unwrap(), n as f64);
+    }
+
+    /// The run-time half (progress samples) and the post-mortem half (probe
+    /// sinks) observe the same run without perturbing it.
+    #[test]
+    fn probed_observation_shares_the_event_source() {
+        use mermaid_probe::ProbeStack;
+        let ts = ring_traces(4, 5);
+        let net = NetworkConfig::test(Topology::Ring(4));
+        let probe = ProbeHandle::new(ProbeStack::new().with_metrics().with_chrome());
+        let mut samples = 0;
+        let (observed, _) =
+            observe_task_level_probed(net, &ts, 16, probe.clone(), |_| samples += 1);
+        let plain = CommSim::new(net, &ts).run();
+        assert_eq!(observed.finish, plain.finish);
+        assert_eq!(observed.events, plain.events);
+        assert!(samples > 1);
+        let json = probe.chrome_trace_json().unwrap();
+        let summary = mermaid_probe::validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.delivered_messages, Some(plain.total_messages));
+        assert_eq!(summary.finish_ps, Some(plain.finish.as_ps()));
+        let report = probe.metrics_report(observed.finish.as_ps()).unwrap();
+        assert!(report.render().contains("engine/deliveries"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use mermaid_network::{CommResult, CommSim, NetworkConfig};
 use mermaid_ops::TraceSet;
+use mermaid_probe::ProbeHandle;
 use pearl::Time;
 
 /// Result of a task-level simulation.
@@ -25,13 +26,25 @@ pub struct TaskLevelResult {
 /// The fast-prototyping simulator: the communication model alone.
 pub struct TaskLevelSim {
     network: NetworkConfig,
+    probe: ProbeHandle,
 }
 
 impl TaskLevelSim {
     /// Create a task-level simulator for the given interconnect.
     pub fn new(network: NetworkConfig) -> Self {
         network.validate();
-        TaskLevelSim { network }
+        TaskLevelSim {
+            network,
+            probe: ProbeHandle::disabled(),
+        }
+    }
+
+    /// Attach an instrumentation handle: runs record engine, router and
+    /// processor events into it (observation only — predicted times are
+    /// unchanged).
+    pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// The interconnect configuration.
@@ -42,7 +55,7 @@ impl TaskLevelSim {
     /// Run over task-level traces (one per node).
     pub fn run(&self, traces: &TraceSet) -> TaskLevelResult {
         let ops_simulated = traces.total_ops() as u64;
-        let comm = CommSim::new(self.network, traces).run();
+        let comm = CommSim::new_with_probe(self.network, traces, self.probe.clone()).run();
         TaskLevelResult {
             predicted_time: comm.finish,
             comm,

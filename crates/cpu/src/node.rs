@@ -69,6 +69,12 @@ impl SingleNodeSim {
         self.cpus.len()
     }
 
+    /// Attach an instrumentation handle to the node's memory system;
+    /// emitted cache/bus events carry `node` as their node index.
+    pub fn set_probe(&mut self, node: u32, probe: mermaid_probe::ProbeHandle) {
+        self.mem.set_probe(node, probe);
+    }
+
     /// Borrow the memory system (inspection).
     pub fn memory(&self) -> &MemorySystem {
         &self.mem

@@ -17,9 +17,10 @@
 //!   dirty; code and data address ranges are assumed disjoint (the
 //!   annotation translator guarantees this).
 
+use mermaid_probe::{AccessKind, HitWhere, ProbeHandle, SimEvent};
 use pearl::{Duration, Time};
 
-use crate::bus::Bus;
+use crate::bus::{Bus, BusGrant};
 use crate::cache::{Cache, CacheStats, Victim};
 use crate::config::{CoherenceProtocol, MemSystemConfig, WritePolicy};
 use crate::dram::Dram;
@@ -91,12 +92,36 @@ struct CpuCaches {
     l2: Option<Cache>,
 }
 
+/// Probe-event access kind of a model access kind.
+fn access_kind(kind: Access) -> AccessKind {
+    match kind {
+        Access::IFetch => AccessKind::IFetch,
+        Access::Read => AccessKind::Read,
+        Access::Write => AccessKind::Write,
+    }
+}
+
+/// Probe-event hit level of a model hit level.
+fn hit_where(level: HitLevel) -> HitWhere {
+    match level {
+        HitLevel::L1 => HitWhere::L1,
+        HitLevel::L2 => HitWhere::L2,
+        HitLevel::CacheToCache => HitWhere::CacheToCache,
+        HitLevel::Dram => HitWhere::Dram,
+    }
+}
+
 /// The memory system of one node.
 pub struct MemorySystem {
     cfg: MemSystemConfig,
     stacks: Vec<CpuCaches>,
     bus: Bus,
     dram: Dram,
+    /// Instrumentation (disabled by default; observation only, never read
+    /// back into timing decisions).
+    probe: ProbeHandle,
+    /// Node index stamped on emitted probe events.
+    node: u32,
 }
 
 impl MemorySystem {
@@ -115,7 +140,16 @@ impl MemorySystem {
             dram: Dram::new(cfg.dram),
             cfg,
             stacks,
+            probe: ProbeHandle::disabled(),
+            node: 0,
         }
+    }
+
+    /// Attach an instrumentation handle; emitted events carry `node` as
+    /// their node index (a single-node system passes 0).
+    pub fn set_probe(&mut self, node: u32, probe: ProbeHandle) {
+        self.node = node;
+        self.probe = probe;
     }
 
     /// The configuration this system was built with.
@@ -157,6 +191,13 @@ impl MemorySystem {
         loop {
             let (lat, lvl, wait) =
                 self.access_line(cpu, kind, line, size.min(line_bytes as u32), t);
+            self.probe.emit(|| SimEvent::CacheAccess {
+                ts_ps: t.as_ps(),
+                node: self.node,
+                cpu: cpu as u32,
+                kind: access_kind(kind),
+                hit: hit_where(lvl),
+            });
             total += lat;
             t += lat;
             bus_wait += wait;
@@ -173,6 +214,19 @@ impl MemorySystem {
             bus_wait,
             lines,
         }
+    }
+
+    /// Carry one bus transaction, mirroring the grant window into the
+    /// probe. All bus traffic goes through here so every tenure is traced.
+    fn bus_transact(&mut self, now: Time, bytes: u32, extra: Duration) -> BusGrant {
+        let grant = self.bus.transact(now, bytes, extra);
+        self.probe.emit(|| SimEvent::BusTransaction {
+            node: self.node,
+            start_ps: grant.start.as_ps(),
+            end_ps: grant.end.as_ps(),
+            wait_ps: grant.wait.as_ps(),
+        });
+        grant
     }
 
     /// One line-granular access.
@@ -244,7 +298,7 @@ impl MemorySystem {
             self.cfg.dram.access_latency
         };
         let line = self.cfg.l1d.line_bytes;
-        let grant = self.bus.transact(now + elapsed, line, supply);
+        let grant = self.bus_transact(now + elapsed, line, supply);
         if !dirty {
             self.dram.access(grant.start, false);
         }
@@ -296,7 +350,7 @@ impl MemorySystem {
                 // Upgrade (BusUpgr): invalidate remote copies; control-only
                 // bus transaction.
                 self.snoop_invalidate_remote(cpu, addr);
-                let grant = self.bus.transact(now + l1_hit, 0, Duration::ZERO);
+                let grant = self.bus_transact(now + l1_hit, 0, Duration::ZERO);
                 self.stacks[cpu].l1d.set_state(addr, Mesi::Modified);
                 return (grant.end.since(now), HitLevel::L1, grant.wait);
             }
@@ -312,7 +366,7 @@ impl MemorySystem {
                 if st2 == Mesi::Shared && self.has_remote_copy(cpu, addr) {
                     // Upgrade from L2-shared: invalidate remotes.
                     self.snoop_invalidate_remote(cpu, addr);
-                    let grant = self.bus.transact(now + elapsed, 0, Duration::ZERO);
+                    let grant = self.bus_transact(now + elapsed, 0, Duration::ZERO);
                     self.fill_l1d(cpu, addr, Mesi::Modified, grant.end);
                     return (grant.end.since(now), HitLevel::L2, grant.wait);
                 }
@@ -322,7 +376,7 @@ impl MemorySystem {
         }
         if !self.cfg.l1d.write_allocate {
             // Write-no-allocate: post the word to memory, don't fill.
-            let grant = self.bus.transact(
+            let grant = self.bus_transact(
                 now + elapsed,
                 self.cfg.l1d.line_bytes.min(8),
                 Duration::ZERO,
@@ -339,7 +393,7 @@ impl MemorySystem {
             self.cfg.dram.access_latency
         };
         let line = self.cfg.l1d.line_bytes;
-        let grant = self.bus.transact(now + elapsed, line, supply);
+        let grant = self.bus_transact(now + elapsed, line, supply);
         if !dirty {
             self.dram.access(grant.start, false);
         }
@@ -366,7 +420,7 @@ impl MemorySystem {
         if hit {
             // Posted write-through; remote copies are invalidated
             // (write-invalidate snooping).
-            let grant = self.bus.transact(now + l1_hit, bytes, Duration::ZERO);
+            let grant = self.bus_transact(now + l1_hit, bytes, Duration::ZERO);
             self.dram.access(grant.start, true);
             self.snoop_invalidate_remote(cpu, addr);
             return (l1_hit, HitLevel::L1, Duration::ZERO);
@@ -374,13 +428,13 @@ impl MemorySystem {
         if self.cfg.l1d.write_allocate {
             // Fill like a read, then write through.
             let (lat, level, wait) = self.read_line(cpu, addr, now);
-            let grant = self.bus.transact(now + lat, bytes, Duration::ZERO);
+            let grant = self.bus_transact(now + lat, bytes, Duration::ZERO);
             self.dram.access(grant.start, true);
             self.snoop_invalidate_remote(cpu, addr);
             (lat, level, wait)
         } else {
             // Write-around: post to memory only.
-            let grant = self.bus.transact(now + l1_hit, bytes, Duration::ZERO);
+            let grant = self.bus_transact(now + l1_hit, bytes, Duration::ZERO);
             self.dram.access(grant.start, true);
             self.snoop_invalidate_remote(cpu, addr);
             (l1_hit, HitLevel::Dram, Duration::ZERO)
@@ -469,6 +523,13 @@ impl MemorySystem {
             return;
         }
         if let Some(victim) = self.stacks[cpu].l1d.fill(addr, state) {
+            self.probe.emit(|| SimEvent::CacheEvict {
+                ts_ps: now.as_ps(),
+                node: self.node,
+                cpu: cpu as u32,
+                level: 1,
+                dirty: victim.state.is_dirty(),
+            });
             self.writeback_l1_victim(cpu, victim, now);
         }
     }
@@ -496,7 +557,7 @@ impl MemorySystem {
         }
         // Posted writeback to memory.
         let line = self.cfg.l1d.line_bytes;
-        let grant = self.bus.transact(now, line, Duration::ZERO);
+        let grant = self.bus_transact(now, line, Duration::ZERO);
         self.dram.access(grant.start, true);
     }
 
@@ -529,8 +590,15 @@ impl MemorySystem {
             let _ = self.stacks[cpu].l1i.snoop_invalidate(a);
             a += l1i_line;
         }
+        self.probe.emit(|| SimEvent::CacheEvict {
+            ts_ps: now.as_ps(),
+            node: self.node,
+            cpu: cpu as u32,
+            level: 2,
+            dirty,
+        });
         if dirty {
-            let grant = self.bus.transact(now, l2_params.line_bytes, Duration::ZERO);
+            let grant = self.bus_transact(now, l2_params.line_bytes, Duration::ZERO);
             self.dram.access(grant.start, true);
         }
     }
@@ -858,5 +926,41 @@ mod tests {
     fn check_coherence_passes_on_fresh_system() {
         let m = sys(4);
         m.check_coherence(0x1234);
+    }
+
+    /// A probed system reports the same latencies as an unprobed one, and
+    /// the metrics sink mirrors the model's own counters.
+    #[test]
+    fn probe_mirrors_stats_without_changing_timing() {
+        use mermaid_probe::{ProbeHandle, ProbeStack};
+        let walk = |m: &mut MemorySystem| {
+            let mut t = Time::ZERO;
+            let mut reports = Vec::new();
+            for addr in [0x0u64, 0x800, 0x1000, 0x0, 0x40] {
+                let r = m.access(0, Access::Write, addr, 4, t);
+                t += r.latency + Duration::from_ns(1);
+                reports.push(r);
+            }
+            reports
+        };
+        let mut plain = sys(1);
+        let plain_reports = walk(&mut plain);
+        let probe = ProbeHandle::new(ProbeStack::new().with_metrics().with_jsonl());
+        let mut traced = sys(1);
+        traced.set_probe(0, probe.clone());
+        let traced_reports = walk(&mut traced);
+        assert_eq!(traced_reports, plain_reports);
+        let s = traced.stats();
+        let report = probe.metrics_report(1_000_000).unwrap();
+        let csv = report.to_csv();
+        // One CacheAccess per line access; all writes on this walk.
+        let accesses: u64 = s.l1d[0].hits + s.l1d[0].misses;
+        assert!(csv.contains(&format!("mem0/write,{accesses}")), "{csv}");
+        assert!(csv.contains(&format!("mem0/writebacks,{}", s.l1d[0].writebacks)));
+        let jsonl = probe.jsonl_output().unwrap();
+        assert_eq!(
+            jsonl.matches("bus_transaction").count() as u64,
+            s.bus_transactions
+        );
     }
 }

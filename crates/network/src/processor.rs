@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mermaid_ops::{NodeId, Operation};
+use mermaid_probe::{ActKind, ProbeHandle, SimEvent};
 use mermaid_stats::Histogram;
 use pearl::sync::MatchBox;
 use pearl::{CompId, Component, Ctx, Duration, Event, Time};
@@ -80,6 +81,7 @@ struct CompletedMsg {
     id: MsgId,
     arrived: Time,
     sent_at: Time,
+    bytes: u32,
     sync: bool,
 }
 
@@ -127,6 +129,9 @@ pub struct AbstractProcessor {
     send_seq: u64,
     assembling: HashMap<MsgId, Assembly>,
     matcher: MatchBox<NodeId, CompletedMsg, Waiter>,
+    /// Instrumentation (disabled by default; observation only, never read
+    /// back into model behaviour).
+    probe: ProbeHandle,
     /// Statistics.
     pub stats: ProcStats,
 }
@@ -149,8 +154,15 @@ impl AbstractProcessor {
             send_seq: 0,
             assembling: HashMap::new(),
             matcher: MatchBox::new(),
+            probe: ProbeHandle::disabled(),
             stats: ProcStats::default(),
         }
+    }
+
+    /// Attach an instrumentation handle (builder style).
+    pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// True when the processor has completed its trace.
@@ -196,6 +208,13 @@ impl AbstractProcessor {
         if matches!(kind, PacketKind::Data { .. } | PacketKind::OneWay) {
             self.stats.msgs_sent += 1;
             self.stats.bytes_sent += bytes as u64;
+            self.probe.emit(|| SimEvent::MsgSend {
+                ts_ps: ctx.now().as_ps(),
+                src: self.node,
+                dst,
+                bytes,
+                sync: matches!(kind, PacketKind::Data { sync: true }),
+            });
         }
         let count = self.cfg.packets_for(bytes);
         let payload_max = self.cfg.router.max_packet_payload;
@@ -253,6 +272,13 @@ impl AbstractProcessor {
         self.stats
             .msg_latency
             .record(msg.arrived.since(msg.sent_at).as_ps());
+        self.probe.emit(|| SimEvent::MsgDeliver {
+            ts_ps: msg.arrived.as_ps(),
+            src: msg.id.src,
+            dst: self.node,
+            bytes: msg.bytes,
+            latency_ps: msg.arrived.since(msg.sent_at).as_ps(),
+        });
         if msg.sync {
             self.inject_ack(msg, ack_delay, ctx);
         }
@@ -268,6 +294,12 @@ impl AbstractProcessor {
                 Operation::Compute { ps } => {
                     let d = Duration::from_ps(ps);
                     self.stats.compute += d;
+                    self.probe.emit(|| SimEvent::Activation {
+                        node: self.node,
+                        kind: ActKind::Compute,
+                        start_ps: ctx.now().as_ps(),
+                        end_ps: (ctx.now() + d).as_ps(),
+                    });
                     self.state = ProcState::Computing;
                     ctx.timer(d, NetMsg::Resume);
                     return;
@@ -381,6 +413,7 @@ impl AbstractProcessor {
             id: pkt.msg,
             arrived: now,
             sent_at: pkt.sent_at,
+            bytes: pkt.msg_bytes,
             sync,
         })
     }
@@ -417,6 +450,12 @@ impl AbstractProcessor {
                 self.stats
                     .get_latency
                     .record(now.since(pkt.sent_at).as_ps());
+                self.probe.emit(|| SimEvent::Activation {
+                    node: self.node,
+                    kind: ActKind::GetBlock,
+                    start_ps: since.as_ps(),
+                    end_ps: now.as_ps(),
+                });
                 self.advance(ctx);
             }
             PacketKind::OneWay => {
@@ -432,6 +471,12 @@ impl AbstractProcessor {
                     );
                 };
                 self.stats.send_block += ctx.now().since(since);
+                self.probe.emit(|| SimEvent::Activation {
+                    node: self.node,
+                    kind: ActKind::SendBlock,
+                    start_ps: since.as_ps(),
+                    end_ps: ctx.now().as_ps(),
+                });
                 self.advance(ctx);
             }
             PacketKind::Data { .. } => {
@@ -452,6 +497,12 @@ impl AbstractProcessor {
                 if let ProcState::AwaitRecv { src, since } = self.state {
                     if src == msg.id.src {
                         self.stats.recv_block += ctx.now().since(since);
+                        self.probe.emit(|| SimEvent::Activation {
+                            node: self.node,
+                            kind: ActKind::RecvBlock,
+                            start_ps: since.as_ps(),
+                            end_ps: ctx.now().as_ps(),
+                        });
                         let overhead = self.cfg.software.recv_overhead;
                         self.consume(msg, overhead, ctx);
                         if overhead.is_zero() {

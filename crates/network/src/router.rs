@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mermaid_ops::NodeId;
+use mermaid_probe::{ProbeHandle, SimEvent};
 use pearl::{CompId, Component, Ctx, Duration, Event, Time};
 
 use crate::config::{LinkParams, RouterParams, Routing, Switching};
@@ -40,6 +41,9 @@ pub struct Router {
     router_comps: Arc<[CompId]>,
     /// Busy-until clock of each outgoing link, keyed by neighbour.
     out_busy: HashMap<NodeId, Time>,
+    /// Instrumentation (disabled by default; observation only, never read
+    /// back into routing or timing decisions).
+    probe: ProbeHandle,
     /// Statistics.
     pub stats: RouterStats,
 }
@@ -62,8 +66,15 @@ impl Router {
             proc_comp,
             router_comps,
             out_busy: HashMap::new(),
+            probe: ProbeHandle::disabled(),
             stats: RouterStats::default(),
         }
+    }
+
+    /// Attach an instrumentation handle (builder style).
+    pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Wire size of a packet: payload plus header.
@@ -123,6 +134,18 @@ impl Router {
             .per_link_busy
             .entry(next)
             .or_insert(Duration::ZERO) += t_pkt;
+        self.probe.emit(|| SimEvent::LinkBusy {
+            node: self.node,
+            to: next,
+            start_ps: start.as_ps(),
+            end_ps: end.as_ps(),
+        });
+        self.probe.emit(|| SimEvent::PacketForward {
+            ts_ps: at.as_ps(),
+            node: self.node,
+            to: next,
+            packets: 1,
+        });
         // Head arrival at the next router.
         let head_adv = match self.params.switching {
             Switching::StoreAndForward => t_pkt,
@@ -141,6 +164,11 @@ impl Router {
             // Eject to the local processor once the tail has arrived.
             let residue = self.tail_residue(&pkt, streamed);
             self.stats.delivered += 1;
+            self.probe.emit(|| SimEvent::PacketDeliver {
+                ts_ps: (now + residue).as_ps(),
+                node: self.node,
+                packets: 1,
+            });
             ctx.send_after(residue, self.proc_comp, NetMsg::Deliver(pkt));
             return;
         }
@@ -210,6 +238,11 @@ impl Router {
             let last = len - 1;
             let done = arrivals[last] + self.tail_residue(&pkts[last], streamed);
             self.stats.delivered += train.len as u64;
+            self.probe.emit(|| SimEvent::PacketDeliver {
+                ts_ps: done.as_ps(),
+                node: self.node,
+                packets: train.len,
+            });
             ctx.send_after(done.since(now), self.proc_comp, NetMsg::DeliverTrain(train));
             return;
         }

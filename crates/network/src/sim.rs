@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use mermaid_ops::{NodeId, TraceSet};
+use mermaid_probe::ProbeHandle;
 use mermaid_stats::Histogram;
 use pearl::{CompId, Duration, Engine, Time};
 
@@ -86,6 +87,17 @@ impl CommSim {
     /// per node. The trace set must have exactly as many nodes as the
     /// topology.
     pub fn new(cfg: NetworkConfig, traces: &TraceSet) -> Self {
+        CommSim::new_with_probe(cfg, traces, ProbeHandle::disabled())
+    }
+
+    /// Like [`CommSim::new`], but every router, processor and the engine
+    /// itself record into `probe`. The caller keeps its own clone of the
+    /// handle to read results back after the run; passing
+    /// [`ProbeHandle::disabled`] makes this identical to `new`.
+    ///
+    /// Instrumentation is strictly observational — a traced run produces
+    /// bit-identical virtual-time results to an untraced one.
+    pub fn new_with_probe(cfg: NetworkConfig, traces: &TraceSet, probe: ProbeHandle) -> Self {
         cfg.validate();
         let n = cfg.topology.nodes();
         assert_eq!(
@@ -97,6 +109,9 @@ impl CommSim {
             n
         );
         let mut engine: Engine<NetMsg> = Engine::new();
+        if let Some(adapter) = probe.engine_adapter() {
+            engine.set_probe(adapter);
+        }
         // One id table and one op slice per node, shared by handle — the
         // components never mutate either, so no per-component copies.
         let router_ids: Arc<[CompId]> = (0..n as usize).collect();
@@ -111,7 +126,8 @@ impl CommSim {
                     cfg.router,
                     proc_ids[node as usize],
                     Arc::clone(&router_ids),
-                ),
+                )
+                .with_probe(probe.clone()),
             );
         }
         for node in 0..n {
@@ -122,7 +138,8 @@ impl CommSim {
                     traces.trace(node).shared_ops(),
                     router_ids[node as usize],
                     cfg,
-                ),
+                )
+                .with_probe(probe.clone()),
             );
         }
         CommSim {
@@ -730,6 +747,40 @@ mod tests {
             r.nodes[0].proc.get_latency.max().unwrap()
         };
         assert!(lat(64 * 1024) > lat(1024));
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_to_untraced() {
+        use mermaid_probe::ProbeStack;
+        let n = 4u32;
+        let ts = trace_set(n, |node| {
+            vec![
+                Operation::ASend {
+                    bytes: 3000,
+                    dst: (node + 1) % n,
+                },
+                Operation::Recv {
+                    src: (node + n - 1) % n,
+                },
+                Operation::Compute { ps: 10_000 },
+            ]
+        });
+        let plain = CommSim::new(cfg(Topology::Ring(n)), &ts).run();
+        let probe = ProbeHandle::new(ProbeStack::new().with_metrics().with_jsonl());
+        let traced = CommSim::new_with_probe(cfg(Topology::Ring(n)), &ts, probe.clone()).run();
+        assert_eq!(traced.finish, plain.finish);
+        assert_eq!(traced.events, plain.events);
+        assert_eq!(traced.total_messages, plain.total_messages);
+        assert_eq!(traced.total_bytes, plain.total_bytes);
+        assert_eq!(traced.total_link_busy(), plain.total_link_busy());
+        // The sinks actually saw the run.
+        let jsonl = probe.jsonl_output().unwrap();
+        assert!(jsonl.lines().count() > 0);
+        assert!(jsonl.contains("msg_send"));
+        assert!(jsonl.contains("msg_deliver"));
+        assert!(jsonl.contains("engine_delivery"));
+        let report = probe.metrics_report(plain.finish.as_ps()).unwrap();
+        assert!(report.render().contains("node0"));
     }
 
     #[test]

@@ -157,11 +157,16 @@ mod tests {
     }
 
     #[test]
-    fn render_prints_the_table() {
+    fn render_returns_the_table() {
         let text = render();
         assert!(text.contains("Table 1"));
         assert!(text.contains("Synchronous communication"));
         assert!(text.contains("ifetch(address)"));
-        println!("{text}");
+        // Every row's signature appears in the rendered text; rendering is
+        // pure (the caller decides where the string goes).
+        for row in TABLE1 {
+            assert!(text.contains(row.signature), "missing {}", row.signature);
+        }
+        assert_eq!(render(), text);
     }
 }

@@ -1,5 +1,6 @@
 //! The discrete-event engine: components, events, and the main loop.
 
+use crate::probe::{EngineProbe, LadderStats};
 use crate::queue::EventQueue;
 use crate::time::{Duration, Time};
 
@@ -123,6 +124,10 @@ pub struct Engine<M: 'static> {
     events_processed: u64,
     stop_requested: bool,
     initialized: bool,
+    // Instrumentation hook. `None` (the default) costs one null-check per
+    // delivered event; see `crate::probe`.
+    probe: Option<Box<dyn EngineProbe>>,
+    last_ladder: LadderStats,
 }
 
 impl<M: 'static> Default for Engine<M> {
@@ -142,6 +147,8 @@ impl<M: 'static> Engine<M> {
             events_processed: 0,
             stop_requested: false,
             initialized: false,
+            probe: None,
+            last_ladder: LadderStats::default(),
         }
     }
 
@@ -201,6 +208,37 @@ impl<M: 'static> Engine<M> {
         any.downcast_ref::<C>()
     }
 
+    /// Attach an instrumentation probe (replacing any previous one). The
+    /// probe only observes deliveries; it cannot alter the simulation.
+    pub fn set_probe(&mut self, probe: Box<dyn EngineProbe>) {
+        self.last_ladder = self.queue.ladder_stats();
+        self.probe = Some(probe);
+    }
+
+    /// Detach the current probe, if any, returning it to the caller.
+    pub fn take_probe(&mut self) -> Option<Box<dyn EngineProbe>> {
+        self.probe.take()
+    }
+
+    /// Ladder-tier transition counters of the underlying event queue.
+    pub fn ladder_stats(&self) -> LadderStats {
+        self.queue.ladder_stats()
+    }
+
+    /// Notify the attached probe of one delivery (and any ladder-counter
+    /// movement since the previous one). Caller has already checked that a
+    /// probe is attached.
+    fn probe_delivery(&mut self, now: Time, src: CompId, dst: CompId) {
+        let pending = self.queue.len();
+        let ladder = self.queue.ladder_stats();
+        let probe = self.probe.as_mut().expect("probe_delivery without probe");
+        if ladder != self.last_ladder {
+            self.last_ladder = ladder;
+            probe.ladder(now, ladder);
+        }
+        probe.delivered(now, src, dst, pending);
+    }
+
     /// Run `init` on every component that has not been initialised yet.
     fn ensure_init(&mut self) {
         if self.initialized {
@@ -228,6 +266,9 @@ impl<M: 'static> Engine<M> {
         debug_assert!(time >= self.now, "event queue returned a past event");
         self.now = time;
         self.events_processed += 1;
+        if self.probe.is_some() {
+            self.probe_delivery(time, qe.src, qe.dst);
+        }
         let mut ctx = Ctx {
             now: time,
             self_id: qe.dst,
@@ -311,6 +352,9 @@ impl<M: 'static> Engine<M> {
                 loop {
                     self.events_processed += 1;
                     remaining -= 1;
+                    if self.probe.is_some() {
+                        self.probe_delivery(t, qe.src, dst);
+                    }
                     let mut ctx = Ctx {
                         now: t,
                         self_id: dst,
@@ -585,6 +629,74 @@ mod tests {
         );
         assert_eq!(e.run_events(0), RunResult::EventLimit);
         assert_eq!(e.events_processed(), 0);
+    }
+
+    /// An attached probe sees one `delivered` call per event, in delivery
+    /// order, and observing does not change what the simulation computes.
+    #[test]
+    fn probe_sees_every_delivery_without_perturbing_the_run() {
+        use crate::probe::{EngineProbe, LadderStats};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Recorder {
+            deliveries: Vec<(Time, CompId, CompId, usize)>,
+            ladder_calls: u64,
+        }
+        struct Fwd(Rc<RefCell<Recorder>>);
+        impl EngineProbe for Fwd {
+            fn delivered(&mut self, now: Time, src: CompId, dst: CompId, pending: usize) {
+                self.0
+                    .borrow_mut()
+                    .deliveries
+                    .push((now, src, dst, pending));
+            }
+            fn ladder(&mut self, _now: Time, _stats: LadderStats) {
+                self.0.borrow_mut().ladder_calls += 1;
+            }
+        }
+
+        let build = || {
+            let mut e = Engine::new();
+            let n = 4;
+            let ids: Vec<CompId> = (0..n)
+                .map(|i| {
+                    e.add_component(
+                        format!("f{i}"),
+                        Forwarder {
+                            next: (i + 1) % n,
+                            hop_delay: Duration::from_ns(1),
+                            received: Vec::new(),
+                        },
+                    )
+                })
+                .collect();
+            e.post(Time::ZERO, ids[0], ids[0], Msg::Value(9));
+            e
+        };
+
+        let mut plain = build();
+        plain.run();
+
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        let mut probed = build();
+        probed.set_probe(Box::new(Fwd(Rc::clone(&rec))));
+        probed.run();
+
+        assert_eq!(probed.now(), plain.now());
+        assert_eq!(probed.events_processed(), plain.events_processed());
+        assert_eq!(
+            probed.component::<Forwarder>(0).unwrap().received,
+            plain.component::<Forwarder>(0).unwrap().received,
+        );
+        let rec = rec.borrow();
+        assert_eq!(rec.deliveries.len() as u64, probed.events_processed());
+        // Deliveries arrive in nondecreasing time order.
+        assert!(rec.deliveries.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Detaching returns the probe and restores the unprobed path.
+        assert!(probed.take_probe().is_some());
+        assert!(probed.take_probe().is_none());
     }
 
     #[test]

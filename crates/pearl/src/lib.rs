@@ -45,10 +45,12 @@
 //! ```
 
 pub mod engine;
+pub mod probe;
 pub mod queue;
 pub mod sync;
 pub mod time;
 
 pub use engine::{CompId, Component, Ctx, Engine, Event, RunResult};
+pub use probe::{EngineProbe, LadderStats};
 pub use queue::EventQueue;
 pub use time::{Duration, Frequency, Time};

@@ -35,6 +35,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::probe::LadderStats;
 use crate::time::Time;
 
 /// Buckets per epoch. Small enough that a cold scan is trivial, large
@@ -107,6 +108,9 @@ pub struct EventQueue<T> {
     /// Tier 3: events at or beyond the epoch horizon.
     far: BinaryHeap<Entry<T>>,
     next_seq: u64,
+    /// Monotone tier-transition counters (cold paths only; see
+    /// [`EventQueue::ladder_stats`]).
+    ladder: LadderStats,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -128,6 +132,7 @@ impl<T> EventQueue<T> {
             in_buckets: 0,
             far: BinaryHeap::new(),
             next_seq: 0,
+            ladder: LadderStats::default(),
         }
     }
 
@@ -177,6 +182,7 @@ impl<T> EventQueue<T> {
                         let batch = std::mem::take(&mut self.buckets[c]);
                         self.in_buckets -= batch.len();
                         self.current.extend(batch);
+                        self.ladder.promotions += 1;
                         break;
                     }
                 }
@@ -194,6 +200,7 @@ impl<T> EventQueue<T> {
     /// events and scatter everything below the new horizon into buckets.
     fn rebase(&mut self) {
         debug_assert!(self.current.is_empty() && self.in_buckets == 0);
+        self.ladder.rebases += 1;
         let take = self.far.len().min(REBASE_BATCH);
         let mut batch = Vec::with_capacity(take);
         for _ in 0..take {
@@ -234,6 +241,7 @@ impl<T> EventQueue<T> {
     /// landing straight in the heap until traffic grows again.
     fn drain_far(&mut self) {
         debug_assert!(self.current.is_empty() && self.in_buckets == 0);
+        self.ladder.far_drains += 1;
         self.current.append(&mut self.far);
         let last = self
             .current
@@ -303,6 +311,16 @@ impl<T> EventQueue<T> {
     #[inline]
     pub fn total_pushed(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Monotone ladder-tier transition counters (like [`total_pushed`],
+    /// they survive [`clear`]).
+    ///
+    /// [`total_pushed`]: EventQueue::total_pushed
+    /// [`clear`]: EventQueue::clear
+    #[inline]
+    pub fn ladder_stats(&self) -> LadderStats {
+        self.ladder
     }
 }
 
@@ -407,6 +425,36 @@ mod tests {
             assert_eq!(q.pop(), Some((Time::from_ps(t), i)));
         }
         assert_eq!(q.pop(), None);
+    }
+
+    /// Ladder counters move on the matching tier transitions and survive
+    /// `clear`.
+    #[test]
+    fn ladder_stats_track_tier_transitions() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.ladder_stats(), LadderStats::default());
+        // t=0 lands in bucket 0 of the initial epoch; the rest are far.
+        for i in 0u64..4 {
+            q.push(Time::from_ps(i * 1_000_000_000), i);
+        }
+        q.pop();
+        assert_eq!(q.ladder_stats().promotions, 1);
+        // The remaining small far set drains via the plain-heap fallback.
+        q.pop();
+        assert_eq!(q.ladder_stats().far_drains, 1);
+        assert_eq!(q.ladder_stats().rebases, 0);
+        // A large far set forces a rebase and subsequent bucket promotions.
+        let mut q = EventQueue::new();
+        for i in 0u64..(2 * FAR_DRAIN as u64 + 1) {
+            q.push(Time::from_ps(i * 1_000_000_000), i);
+        }
+        while q.pop().is_some() {}
+        let s = q.ladder_stats();
+        assert!(s.rebases >= 1, "expected at least one rebase: {s:?}");
+        assert!(s.promotions >= 1, "expected promotions: {s:?}");
+        assert_eq!(s.total(), s.promotions + s.rebases + s.far_drains);
+        q.clear();
+        assert_eq!(q.ladder_stats(), s, "counters are monotone across clear");
     }
 
     /// Pushes interleaved with pops land in whatever tier matches their

@@ -1,0 +1,85 @@
+//! Line-per-event JSON stream ("JSONL") for external tooling.
+//!
+//! Each [`SimEvent`] becomes one compact JSON object on its own line, led
+//! by an `"ev"` discriminator, with every timestamp kept as exact `u64`
+//! picoseconds — unlike the Chrome trace there is no lossy microsecond
+//! conversion, so this is the format of choice for programmatic
+//! post-processing.
+
+use crate::value_json::{event_value, Raw};
+use crate::{Probe, SimEvent};
+
+/// Accumulates the JSONL stream in memory.
+#[derive(Default)]
+pub struct JsonlSink {
+    out: String,
+    events: u64,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> u64 {
+        self.events
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// The stream recorded so far (one JSON object per line).
+    pub fn output(&self) -> &str {
+        &self.out
+    }
+}
+
+impl Probe for JsonlSink {
+    fn record(&mut self, ev: &SimEvent) {
+        let line = serde_json::to_string(&Raw(event_value(ev)))
+            .expect("sim events contain only finite numbers");
+        self.out.push_str(&line);
+        self.out.push('\n');
+        self.events += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, HitWhere};
+    use serde::{map_get, Value};
+
+    #[test]
+    fn one_line_per_event_and_lines_parse_back() {
+        let mut sink = JsonlSink::new();
+        sink.record(&SimEvent::MsgSend {
+            ts_ps: 42,
+            src: 1,
+            dst: 2,
+            bytes: 64,
+            sync: false,
+        });
+        sink.record(&SimEvent::CacheAccess {
+            ts_ps: 99,
+            node: 0,
+            cpu: 1,
+            kind: AccessKind::Read,
+            hit: HitWhere::L2,
+        });
+        assert_eq!(sink.len(), 2);
+        let lines: Vec<&str> = sink.output().lines().collect();
+        assert_eq!(lines.len(), 2);
+        let Raw(v) = serde_json::from_str::<Raw>(lines[0]).unwrap();
+        let m = v.as_map().unwrap();
+        assert_eq!(map_get(m, "ev"), Some(&Value::Str("msg_send".into())));
+        assert_eq!(map_get(m, "ts_ps"), Some(&Value::U64(42)));
+        let Raw(v) = serde_json::from_str::<Raw>(lines[1]).unwrap();
+        let m = v.as_map().unwrap();
+        assert_eq!(map_get(m, "hit"), Some(&Value::Str("l2".into())));
+    }
+}

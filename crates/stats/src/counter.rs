@@ -148,4 +148,61 @@ mod tests {
         assert_eq!(a.get("y"), 5);
         assert_eq!(a.get("z"), 4);
     }
+
+    #[test]
+    fn ratio_of_two_zero_counters_is_zero() {
+        // 0/0 must be 0.0, not NaN — reports divide blindly.
+        let z = Counter::new();
+        let r = z.ratio(z);
+        assert_eq!(r, 0.0);
+        assert!(!r.is_nan());
+    }
+
+    #[test]
+    fn merge_with_disjoint_key_sets_is_a_union() {
+        let mut a = Counters::new();
+        a.add("left", 7);
+        let mut b = Counters::new();
+        b.add("right", 9);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get("left"), 7);
+        assert_eq!(a.get("right"), 9);
+        // The source registry is untouched.
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get("left"), 0);
+    }
+
+    #[test]
+    fn merge_with_empty_registries_is_identity() {
+        let mut a = Counters::new();
+        a.add("x", 3);
+        a.merge(&Counters::new());
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get("x"), 3);
+
+        let mut empty = Counters::new();
+        empty.merge(&a);
+        assert_eq!(empty.get("x"), 3);
+        assert_eq!(empty.len(), 1);
+    }
+
+    #[test]
+    fn iteration_order_is_stable_after_merges() {
+        // Keys arriving via merge in arbitrary order still iterate sorted,
+        // and a second merge of the same data changes values, not order.
+        let mut a = Counters::new();
+        a.add("mid", 1);
+        let mut b = Counters::new();
+        b.add("zzz", 2);
+        b.add("aaa", 3);
+        a.merge(&b);
+        let order1: Vec<String> = a.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(order1, vec!["aaa", "mid", "zzz"]);
+        a.merge(&b);
+        let order2: Vec<String> = a.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(order2, order1);
+        assert_eq!(a.get("aaa"), 6);
+        assert_eq!(a.get("zzz"), 4);
+    }
 }

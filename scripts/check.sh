@@ -16,4 +16,17 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> example: quickstart (full pipeline)"
+cargo run --release --example quickstart > /dev/null
+
+echo "==> example: traced_run (validates the emitted Chrome trace round-trips)"
+cargo run --release --example traced_run > /dev/null
+
+echo "==> cli: traced simulation emits parseable Chrome-trace JSON"
+trace_file="$(mktemp -t mermaid-check-trace.XXXXXX.json)"
+trap 'rm -f "$trace_file"' EXIT
+cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+    --topology mesh:2x2 --mode task --phases 2 --trace-out "$trace_file" --metrics > /dev/null
+test -s "$trace_file" || { echo "trace file is empty" >&2; exit 1; }
+
 echo "All checks passed."

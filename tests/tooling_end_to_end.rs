@@ -80,6 +80,72 @@ fn report_tables_export_to_csv_consistently() {
 }
 
 #[test]
+fn traced_run_is_deterministic_under_observation() {
+    // A fully instrumented 4-node run must produce a parseable Chrome
+    // trace whose delivered-message count and finish time exactly match an
+    // untraced `CommSim::run()` — observation changes nothing.
+    use mermaid_network::CommSim;
+    use mermaid_probe::validate_chrome_trace;
+
+    let machine = MachineConfig::test_machine(Topology::Ring(4));
+    let traces = StochasticGenerator::new(
+        StochasticApp {
+            phases: 4,
+            ..StochasticApp::scientific(4)
+        },
+        7,
+    )
+    .generate_task_level();
+
+    let plain = CommSim::new(machine.network, &traces).run();
+    assert!(plain.all_done);
+
+    let probe = ProbeHandle::new(
+        ProbeStack::new()
+            .with_metrics()
+            .with_chrome()
+            .with_jsonl()
+            .with_profiler(mermaid::host_frequency().as_hz() as f64),
+    );
+    let traced = TaskLevelSim::new(machine.network)
+        .with_probe(probe.clone())
+        .run(&traces);
+
+    // Simulated observables are bit-identical to the untraced run.
+    assert_eq!(traced.comm.finish, plain.finish);
+    assert_eq!(traced.comm.events, plain.events);
+    assert_eq!(traced.comm.total_messages, plain.total_messages);
+    assert_eq!(traced.comm.total_bytes, plain.total_bytes);
+
+    // The emitted trace parses and its summary matches the run exactly.
+    let json = probe.chrome_trace_json().unwrap();
+    let summary = validate_chrome_trace(&json).unwrap();
+    assert_eq!(summary.delivered_messages, Some(plain.total_messages));
+    assert_eq!(summary.finish_ps, Some(plain.finish.as_ps()));
+
+    // The metrics aggregator counted the same deliveries.
+    let report = probe.metrics_report(plain.finish.as_ps()).unwrap();
+    let csv = report.to_csv();
+    let msg_line = csv
+        .lines()
+        .find(|l| l.starts_with("net/messages,"))
+        .unwrap_or_else(|| panic!("no net/messages in:\n{csv}"));
+    assert_eq!(msg_line, format!("net/messages,{}", plain.total_messages));
+
+    // The JSONL stream carries one delivery record per message.
+    let jsonl = probe.jsonl_output().unwrap();
+    let delivers = jsonl
+        .lines()
+        .filter(|l| l.contains("\"msg_deliver\""))
+        .count() as u64;
+    assert_eq!(delivers, plain.total_messages);
+
+    // The self-profiler saw the run happen on the host.
+    let profile = probe.host_profile().unwrap();
+    assert!(profile.events > 0);
+}
+
+#[test]
 fn run_time_watching_does_not_perturb_results() {
     // Fig. 1's run-time visualisation must be a pure observer: watching at
     // different sampling granularities yields identical simulations.
