@@ -1,0 +1,59 @@
+//! **PR 3** — serial vs sharded wall clock of the communication model.
+//!
+//! The sharded runner (DESIGN.md §11) splits the machine's nodes across
+//! worker threads in conservative lookahead windows; results are
+//! bit-identical to the serial run (asserted here before timing), so the
+//! only question is wall clock. Window synchronisation costs a barrier
+//! round per lookahead interval, so small or latency-dominated runs can
+//! regress — the point of this bench is to record where the crossover
+//! sits on a comm-heavy workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mermaid::prelude::*;
+
+/// A communication-dominated workload: all-to-all traffic on an 8×8
+/// torus, enough phases to keep every router busy.
+fn comm_heavy(nodes: u32) -> TraceSet {
+    let app = StochasticApp {
+        phases: 12,
+        pattern: CommPattern::AllToAll,
+        msg_bytes: SizeDist::Fixed(4096),
+        task_ps: SizeDist::Fixed(200_000),
+        ..StochasticApp::scientific(nodes)
+    };
+    StochasticGenerator::new(app, 7).generate_task_level()
+}
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::Torus2D { w: 8, h: 8 };
+    let cfg = NetworkConfig::test(topo);
+    let traces = comm_heavy(topo.nodes());
+
+    // Guard the claim the timings rest on: sharded == serial, exactly.
+    let serial = TaskLevelSim::new(cfg).run(&traces);
+    assert!(serial.comm.all_done);
+    for shards in [2usize, 4, 8] {
+        let sharded = TaskLevelSim::new(cfg).with_shards(shards).run(&traces);
+        assert_eq!(
+            format!("{:?}", serial.comm),
+            format!("{:?}", sharded.comm),
+            "sharded({shards}) diverged from serial"
+        );
+    }
+
+    let mut g = c.benchmark_group("pr3_sharded");
+    g.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_function(format!("torus8x8_all2all/shards{shards}"), |b| {
+            b.iter_batched(
+                || traces.clone(),
+                |ts| TaskLevelSim::new(cfg).with_shards(shards).run(&ts),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

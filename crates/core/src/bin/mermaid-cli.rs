@@ -8,6 +8,7 @@
 //!                      [--app <scientific|integer>] [--pattern <name>]
 //!                      [--phases N] [--ops N] [--seed N]
 //!                      [--mode <detailed|task|direct>] [--watch]
+//!                      [--shards <N|auto>]
 //!                      [--trace-out <file>] [--metrics]
 //! mermaid-cli probe --machine <t805|ppc601|paragon|test> [--topology <spec>]
 //! ```
@@ -15,7 +16,9 @@
 //! `sim` is an alias for `simulate`. `--trace-out` writes a Chrome-trace
 //! JSON file of the run (open in `chrome://tracing` or Perfetto);
 //! `--metrics` appends the per-component metrics report and a host-side
-//! profile of the simulator itself.
+//! profile of the simulator itself. `--shards` runs the communication
+//! model on N worker threads (`auto` = one per host core); sharded runs
+//! are bit-identical to single-threaded ones.
 
 use mermaid::prelude::*;
 use mermaid::{observer, report, DirectExecSim, SlowdownMeter};
@@ -43,7 +46,7 @@ fn usage() -> &'static str {
     "usage:\n  mermaid-cli table1\n  mermaid-cli topo <spec>\n  mermaid-cli machines\n  \
      mermaid-cli simulate --machine <name> --topology <spec> [--app <mix>] [--pattern <p>] \
      [--phases N] [--ops N] [--seed N] [--mode <detailed|task|direct>] [--watch] \
-     [--trace-out <file>] [--metrics]\n  \
+     [--shards <N|auto>] [--trace-out <file>] [--metrics]\n  \
      mermaid-cli probe --machine <name> [--topology <spec>]\n\n\
      `sim` is an alias for `simulate`.\n\
      topology specs: ring:8  mesh:4x4  torus:4x4  hypercube:3  full:8  star:8"
@@ -61,8 +64,21 @@ struct Opts {
     seed: Option<u64>,
     mode: Option<String>,
     watch: bool,
+    shards: Option<usize>,
     trace_out: Option<String>,
     metrics: bool,
+}
+
+/// Parse a `--shards` value: a thread count ≥ 1, or `auto` for one shard
+/// per available host core.
+fn parse_shards(s: &str) -> Result<usize, String> {
+    if s == "auto" {
+        return Ok(mermaid_network::auto_shards());
+    }
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("bad --shards `{s}` (want a count >= 1 or `auto`)")),
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -84,6 +100,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--seed" => o.seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--mode" => o.mode = Some(value("--mode")?),
             "--watch" => o.watch = true,
+            "--shards" => o.shards = Some(parse_shards(&value("--shards")?)?),
             "--trace-out" => o.trace_out = Some(value("--trace-out")?),
             "--metrics" => o.metrics = true,
             other => return Err(format!("unknown flag `{other}`")),
@@ -119,7 +136,7 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
         }
         other => return Err(format!("unknown topology `{other}`")),
     };
-    topo.validate();
+    topo.try_validate()?;
     Ok(topo)
 }
 
@@ -156,7 +173,9 @@ fn parse_pattern(name: &str) -> Result<CommPattern, String> {
 
 fn run(args: &[String]) -> Result<String, String> {
     let Some(cmd) = args.first() else {
-        return Err("no subcommand".into());
+        return Err(
+            "no subcommand (expected one of: table1, topo, machines, simulate/sim, probe)".into(),
+        );
     };
     match cmd.as_str() {
         "table1" => Ok(table1::render()),
@@ -212,6 +231,15 @@ fn run(args: &[String]) -> Result<String, String> {
             if tracing && mode == "direct" {
                 return Err("--trace-out/--metrics need --mode detailed or task".into());
             }
+            let shards = o.shards.unwrap_or(1);
+            if shards > 1 && mode == "direct" {
+                return Err("--shards needs --mode detailed or task".into());
+            }
+            if shards > 1 && o.watch {
+                return Err(
+                    "--shards cannot be combined with --watch (which runs single-threaded)".into(),
+                );
+            }
             let probe = if tracing {
                 let mut stack = ProbeStack::new();
                 if o.trace_out.is_some() {
@@ -235,6 +263,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     let meter = SlowdownMeter::start(nodes, machine.cpu.clock);
                     let r = HybridSim::new(machine)
                         .with_probe(probe.clone())
+                        .with_shards(shards)
                         .run(&traces);
                     let slow = meter.finish(r.predicted_time);
                     finish_ps = r.predicted_time.as_ps();
@@ -270,6 +299,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     } else {
                         let r = TaskLevelSim::new(machine.network)
                             .with_probe(probe.clone())
+                            .with_shards(shards)
                             .run(&traces);
                         finish_ps = r.predicted_time.as_ps();
                         out.push_str(&format!("predicted time: {}\n\n", r.predicted_time));
@@ -360,6 +390,83 @@ mod tests {
         assert!(parse_topology("ring").is_err());
         assert!(parse_topology("blob:3").is_err());
         assert!(parse_topology("mesh:4").is_err());
+    }
+
+    #[test]
+    fn invalid_topology_specs_are_errors_not_panics() {
+        // Each of these used to reach `Topology::validate()`'s assertions
+        // (or overflow `w*h`) and abort the process; they must now come
+        // back as plain `Err`s.
+        for spec in [
+            "ring:1",
+            "ring:0",
+            "mesh:0x4",
+            "mesh:4x0",
+            "torus:0x4",
+            "mesh:1x1",
+            "hypercube:0",
+            "hypercube:21",
+            "full:1",
+            "star:1",
+            "mesh:100000x100000",
+        ] {
+            let err = parse_topology(spec).expect_err(&format!("`{spec}` should be rejected"));
+            assert!(!err.is_empty());
+        }
+        // ... while the boundary cases stay valid.
+        assert!(parse_topology("ring:2").is_ok());
+        assert!(parse_topology("hypercube:20").is_ok());
+    }
+
+    #[test]
+    fn shards_flag_parses_counts_and_auto() {
+        assert_eq!(parse_shards("1").unwrap(), 1);
+        assert_eq!(parse_shards("4").unwrap(), 4);
+        assert!(parse_shards("auto").unwrap() >= 1);
+        assert!(parse_shards("0").is_err());
+        assert!(parse_shards("-2").is_err());
+        assert!(parse_shards("many").is_err());
+        let o = parse_opts(&s(&["--shards", "3"])).unwrap();
+        assert_eq!(o.shards, Some(3));
+        assert!(parse_opts(&s(&["--shards"])).is_err());
+    }
+
+    #[test]
+    fn no_subcommand_error_lists_the_subcommands() {
+        let err = run(&[]).unwrap_err();
+        for name in ["table1", "topo", "machines", "simulate", "probe"] {
+            assert!(err.contains(name), "`{err}` should mention {name}");
+        }
+    }
+
+    #[test]
+    fn shards_rejects_direct_mode_and_watch() {
+        let err = run(&s(&["sim", "--mode", "direct", "--shards", "2"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = run(&s(&["sim", "--mode", "task", "--shards", "2", "--watch"])).unwrap_err();
+        assert!(err.contains("--watch"), "{err}");
+    }
+
+    #[test]
+    fn sharded_simulate_output_matches_serial() {
+        let base = s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "torus:2x2",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+        ]);
+        let serial = run(&base).unwrap();
+        let mut sharded_args = base.clone();
+        sharded_args.extend(s(&["--shards", "3"]));
+        let sharded = run(&sharded_args).unwrap();
+        assert_eq!(serial, sharded);
     }
 
     #[test]

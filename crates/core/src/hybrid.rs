@@ -19,7 +19,7 @@
 
 use mermaid_cpu::{CpuStats, SingleNodeSim};
 use mermaid_memory::{MemStats, MemSystemConfig};
-use mermaid_network::{CommResult, CommSim};
+use mermaid_network::{run_sharded, CommResult, CommSim};
 use mermaid_ops::{NodeId, Trace, TraceSet};
 use mermaid_probe::ProbeHandle;
 use mermaid_tracegen::InterleavedTraceGen;
@@ -59,6 +59,7 @@ pub struct HybridResult {
 pub struct HybridSim {
     machine: MachineConfig,
     probe: ProbeHandle,
+    shards: usize,
 }
 
 impl HybridSim {
@@ -68,6 +69,7 @@ impl HybridSim {
         HybridSim {
             machine,
             probe: ProbeHandle::disabled(),
+            shards: 1,
         }
     }
 
@@ -78,6 +80,30 @@ impl HybridSim {
     pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
         self.probe = probe;
         self
+    }
+
+    /// Run the communication phase on `shards` worker threads (builder
+    /// style). The computational phase is per-node and unaffected; sharded
+    /// communication produces bit-identical results to the serial path.
+    /// `1` (the default) keeps the single-threaded path.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Run the communication model over already-extracted task-level
+    /// traces, honouring the configured shard count.
+    fn run_comm(&self, task_traces: &TraceSet) -> CommResult {
+        if self.shards > 1 {
+            run_sharded(
+                self.machine.network,
+                task_traces,
+                self.probe.clone(),
+                self.shards,
+            )
+        } else {
+            CommSim::new_with_probe(self.machine.network, task_traces, self.probe.clone()).run()
+        }
     }
 
     /// The machine being simulated.
@@ -105,8 +131,7 @@ impl HybridSim {
             nodes.push(stats);
         }
         let task_traces = TraceSet::from_traces(task_traces);
-        let comm =
-            CommSim::new_with_probe(self.machine.network, &task_traces, self.probe.clone()).run();
+        let comm = self.run_comm(&task_traces);
         HybridResult {
             predicted_time: comm.finish,
             nodes,
@@ -169,8 +194,7 @@ impl HybridSim {
             task_traces.push(task);
         }
         let task_traces = TraceSet::from_traces(task_traces);
-        let comm =
-            CommSim::new_with_probe(self.machine.network, &task_traces, self.probe.clone()).run();
+        let comm = self.run_comm(&task_traces);
         HybridResult {
             predicted_time: comm.finish,
             nodes,

@@ -7,7 +7,7 @@
 //! The task-level traces come straight from a trace generator (Fig. 4's
 //! task-level quadrants) instead of from the computational model.
 
-use mermaid_network::{CommResult, CommSim, NetworkConfig};
+use mermaid_network::{run_sharded, CommResult, CommSim, NetworkConfig};
 use mermaid_ops::TraceSet;
 use mermaid_probe::ProbeHandle;
 use pearl::Time;
@@ -27,6 +27,7 @@ pub struct TaskLevelResult {
 pub struct TaskLevelSim {
     network: NetworkConfig,
     probe: ProbeHandle,
+    shards: usize,
 }
 
 impl TaskLevelSim {
@@ -36,6 +37,7 @@ impl TaskLevelSim {
         TaskLevelSim {
             network,
             probe: ProbeHandle::disabled(),
+            shards: 1,
         }
     }
 
@@ -47,6 +49,14 @@ impl TaskLevelSim {
         self
     }
 
+    /// Run the communication model on `shards` worker threads (builder
+    /// style). Sharded runs produce bit-identical results to the default
+    /// single-threaded run; `1` (the default) keeps the serial path.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// The interconnect configuration.
     pub fn network(&self) -> &NetworkConfig {
         &self.network
@@ -55,7 +65,11 @@ impl TaskLevelSim {
     /// Run over task-level traces (one per node).
     pub fn run(&self, traces: &TraceSet) -> TaskLevelResult {
         let ops_simulated = traces.total_ops() as u64;
-        let comm = CommSim::new_with_probe(self.network, traces, self.probe.clone()).run();
+        let comm = if self.shards > 1 {
+            run_sharded(self.network, traces, self.probe.clone(), self.shards)
+        } else {
+            CommSim::new_with_probe(self.network, traces, self.probe.clone()).run()
+        };
         TaskLevelResult {
             predicted_time: comm.finish,
             comm,
@@ -93,6 +107,44 @@ mod tests {
         let ring = TaskLevelSim::new(NetworkConfig::test(Topology::Ring(8))).run(&ts);
         let full = TaskLevelSim::new(NetworkConfig::test(Topology::FullyConnected(8))).run(&ts);
         assert!(full.predicted_time <= ring.predicted_time);
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_across_topologies_and_patterns() {
+        // Every topology shape × every communication pattern: a sharded
+        // run must reproduce the serial result exactly, field for field
+        // (the Debug rendering covers times, event counts, per-node stats
+        // and histograms).
+        let topos = [
+            Topology::Ring(8),
+            Topology::Mesh2D { w: 4, h: 2 },
+            Topology::Torus2D { w: 4, h: 2 },
+            Topology::Hypercube { dim: 3 },
+        ];
+        let patterns = [
+            CommPattern::None,
+            CommPattern::NearestNeighborRing,
+            CommPattern::AllToAll,
+            CommPattern::MasterWorker,
+            CommPattern::RandomPermutation,
+            CommPattern::Butterfly,
+        ];
+        for topo in topos {
+            for pattern in patterns {
+                let ts = traces(topo.nodes(), pattern);
+                let serial = TaskLevelSim::new(NetworkConfig::test(topo)).run(&ts);
+                let sharded = TaskLevelSim::new(NetworkConfig::test(topo))
+                    .with_shards(3)
+                    .run(&ts);
+                assert_eq!(
+                    format!("{:?}", serial.comm),
+                    format!("{:?}", sharded.comm),
+                    "{topo:?} × {pattern:?} diverged"
+                );
+                assert_eq!(serial.predicted_time, sharded.predicted_time);
+                assert_eq!(serial.ops_simulated, sharded.ops_simulated);
+            }
+        }
     }
 
     #[test]

@@ -91,11 +91,27 @@ pub struct NetworkConfig {
 }
 
 impl NetworkConfig {
-    /// Validate the configuration.
+    /// Validate the configuration, returning a user-facing error instead of
+    /// panicking on bad input.
+    pub fn try_validate(&self) -> Result<(), String> {
+        self.topology.try_validate()?;
+        if self.link.bandwidth_bytes_per_sec == 0 {
+            return Err("link bandwidth must be > 0 bytes/sec".into());
+        }
+        if self.router.max_packet_payload == 0 {
+            return Err("max packet payload must be > 0 bytes".into());
+        }
+        Ok(())
+    }
+
+    /// Validate the configuration (panics on invalid configurations).
+    ///
+    /// Wrapper over [`NetworkConfig::try_validate`] for model-internal
+    /// call sites; user input paths use `try_validate`.
     pub fn validate(&self) {
-        self.topology.validate();
-        assert!(self.link.bandwidth_bytes_per_sec > 0, "zero link bandwidth");
-        assert!(self.router.max_packet_payload > 0, "zero packet payload");
+        if let Err(e) = self.try_validate() {
+            panic!("invalid network config: {e}");
+        }
     }
 
     /// Number of packets a `bytes`-byte message splits into.

@@ -27,11 +27,15 @@
 
 pub mod config;
 pub mod packet;
+pub mod partition;
 pub mod processor;
 pub mod router;
+pub mod sharded;
 pub mod sim;
 pub mod topology;
 
 pub use config::{LinkParams, NetworkConfig, RouterParams, Routing, Switching};
+pub use partition::{lookahead, Partition};
+pub use sharded::{auto_shards, run_sharded};
 pub use sim::{CommResult, CommSim, NodeCommStats};
-pub use topology::Topology;
+pub use topology::{Topology, MAX_NODES};

@@ -2,16 +2,47 @@
 //! abstract processor and the neighbouring routers, and forwards them hop
 //! by hop with a configurable routing and switching strategy.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 use std::sync::Arc;
 
 use mermaid_ops::NodeId;
 use mermaid_probe::{ProbeHandle, SimEvent};
-use pearl::{CompId, Component, Ctx, Duration, Event, Time};
+use pearl::{CompId, Component, Ctx, Duration, Event, EventKey, Time};
 
 use crate::config::{LinkParams, RouterParams, Routing, Switching};
 use crate::packet::{NetMsg, Packet, Train};
 use crate::topology::Topology;
+
+/// A router→router message captured for cross-shard transport instead of
+/// being scheduled in the local event queue (sharded runs only).
+///
+/// Carries the exact delivery time and the [`EventKey`] the serial run
+/// would have used, so the destination shard can inject it with identical
+/// ordering semantics.
+#[derive(Debug, Clone)]
+pub struct OutMsg {
+    /// Absolute delivery time at the destination router.
+    pub time: Time,
+    /// The deterministic queue key of the equivalent serial send.
+    pub key: EventKey,
+    /// Sending component (the local router).
+    pub src: CompId,
+    /// Destination component (a remote router).
+    pub dst: CompId,
+    /// The message itself.
+    pub msg: NetMsg,
+}
+
+/// Cross-shard egress wiring attached to a router in a sharded run.
+#[derive(Clone)]
+pub struct CrossShard {
+    /// `local[node]` is true when that node's router lives in this shard.
+    pub local: Arc<[bool]>,
+    /// Captured outgoing messages, flushed each window by the shard loop.
+    pub outbox: Rc<RefCell<Vec<OutMsg>>>,
+}
 
 /// Statistics of one router.
 #[derive(Debug, Clone, Default)]
@@ -25,7 +56,8 @@ pub struct RouterStats {
     /// Total serialisation time on this router's output links.
     pub link_busy: Duration,
     /// Per-neighbour busy time (for link-utilisation reports).
-    pub per_link_busy: HashMap<NodeId, Duration>,
+    // BTreeMap so stats (and their Debug rendering) are deterministic.
+    pub per_link_busy: BTreeMap<NodeId, Duration>,
 }
 
 /// One node's router.
@@ -44,6 +76,8 @@ pub struct Router {
     /// Instrumentation (disabled by default; observation only, never read
     /// back into routing or timing decisions).
     probe: ProbeHandle,
+    /// Cross-shard egress (sharded runs only; `None` single-threaded).
+    cross: Option<CrossShard>,
     /// Statistics.
     pub stats: RouterStats,
 }
@@ -67,6 +101,7 @@ impl Router {
             router_comps,
             out_busy: HashMap::new(),
             probe: ProbeHandle::disabled(),
+            cross: None,
             stats: RouterStats::default(),
         }
     }
@@ -75,6 +110,34 @@ impl Router {
     pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
         self.probe = probe;
         self
+    }
+
+    /// Attach cross-shard egress wiring (builder style; sharded runs only).
+    pub fn with_cross_shard(mut self, cross: CrossShard) -> Self {
+        self.cross = Some(cross);
+        self
+    }
+
+    /// Schedule `msg` to arrive at node `next`'s router at absolute time
+    /// `at`. In a sharded run with `next` on another shard the message is
+    /// captured into the outbox (with the key the serial schedule would
+    /// have consumed) instead of entering the local queue.
+    fn send_router(&self, ctx: &mut Ctx<'_, NetMsg>, next: NodeId, at: Time, msg: NetMsg) {
+        let dst = self.router_comps[next as usize];
+        if let Some(cs) = &self.cross {
+            if !cs.local[next as usize] {
+                let key = ctx.alloc_key();
+                cs.outbox.borrow_mut().push(OutMsg {
+                    time: at,
+                    key,
+                    src: ctx.self_id(),
+                    dst,
+                    msg,
+                });
+                return;
+            }
+        }
+        ctx.send_after(at.since(ctx.now()), dst, msg);
     }
 
     /// Wire size of a packet: payload plus header.
@@ -175,11 +238,7 @@ impl Router {
         // Forward: pick the next hop, wait for the output link, serialise.
         let next = self.pick_next(&pkt);
         let arrive = self.reserve(next, &pkt, now);
-        ctx.send_after(
-            arrive.since(now),
-            self.router_comps[next as usize],
-            NetMsg::Forward(pkt),
-        );
+        self.send_router(ctx, next, arrive, NetMsg::Forward(pkt));
     }
 
     /// Head-arrival gap on the incoming link between two consecutive
@@ -288,16 +347,14 @@ impl Router {
             {
                 j += 1;
             }
-            let dst_comp = self.router_comps[nexts[i] as usize];
-            let delay = outs[i].since(now);
             if j - i >= 2 {
                 let run = Train {
                     first: pkts[i],
                     len: (j - i) as u32,
                 };
-                ctx.send_after(delay, dst_comp, NetMsg::ForwardTrain(run));
+                self.send_router(ctx, nexts[i], outs[i], NetMsg::ForwardTrain(run));
             } else {
-                ctx.send_after(delay, dst_comp, NetMsg::Forward(pkts[i]));
+                self.send_router(ctx, nexts[i], outs[i], NetMsg::Forward(pkts[i]));
             }
             i = j;
         }

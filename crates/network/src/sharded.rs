@@ -1,0 +1,486 @@
+//! Sharded (multi-threaded) execution of the communication model.
+//!
+//! The machine's nodes are partitioned into contiguous shards
+//! ([`Partition`]); each shard runs its routers and processors in a
+//! private [`pearl::Engine`] on its own thread. Threads advance in
+//! conservative windows of width `L` — the configuration's
+//! [`lookahead`]: every round the shards agree on the globally earliest
+//! pending event `m` ([`WindowBarrier::agree_min`]) and then each executes
+//! all its events in `[m, m+L)`. Any cross-shard message produced inside
+//! the window arrives at `≥ m+L` (every router→router hand-off pays at
+//! least `L` of modelled latency), so no shard can miss an event — and
+//! because cross-shard messages carry the exact [`pearl::EventKey`] the
+//! serial schedule would have used, each shard's queue pops in exactly the
+//! serial delivery order. A sharded run is therefore *bit-identical* to
+//! [`CommSim::run`]: same results, same per-node statistics, same
+//! model-level probe events. See DESIGN.md §11 for the full argument.
+//!
+//! Zero lookahead or a single shard falls back to the serial path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+
+use mermaid_ops::TraceSet;
+use mermaid_probe::{canonical_sort, ProbeHandle, ProbeStack, SimEvent};
+use pearl::{CompId, Component, Ctx, Duration, Engine, Event, Time, WindowBarrier};
+
+use crate::config::NetworkConfig;
+use crate::packet::NetMsg;
+use crate::partition::{lookahead, Partition};
+use crate::processor::AbstractProcessor;
+use crate::router::{CrossShard, OutMsg, Router};
+use crate::sim::{CommResult, CommSim, NodeCommStats};
+
+/// Capacity of each shard's cross-shard inbox channel. Senders that find
+/// a channel full drain their own inbox while retrying, so the bound
+/// applies backpressure without risking deadlock.
+const CHANNEL_CAP: usize = 1024;
+
+/// A shard's preferred worker count for `--shards auto`.
+pub fn auto_shards() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Occupies a remote component's id slot in a shard's engine, so local
+/// component ids (and hence event keys, probe ids and stats indexing)
+/// match the single-threaded layout exactly. The window protocol routes
+/// every event to the shard owning its destination; a delivery to a
+/// phantom would mean that invariant broke.
+struct Phantom;
+
+impl Component<NetMsg> for Phantom {
+    fn handle(&mut self, ev: Event<NetMsg>, _ctx: &mut Ctx<'_, NetMsg>) {
+        panic!(
+            "event for component {} delivered to a non-owning shard",
+            ev.dst
+        );
+    }
+}
+
+/// What one shard worker hands back after the run.
+struct ShardOut {
+    /// Stats of this shard's nodes, in node order.
+    nodes: Vec<NodeCommStats>,
+    /// Events this shard's engine delivered.
+    events: u64,
+    /// Model-level probe events recorded by this shard (emission order).
+    probe_events: Vec<SimEvent>,
+}
+
+/// Run the communication model across `shards` worker threads and return
+/// a result bit-identical to `CommSim::new_with_probe(cfg, traces,
+/// probe).run()`.
+///
+/// Falls back to the serial path when `shards <= 1`, when the topology is
+/// too small to split, or when the configuration has zero lookahead.
+/// With an enabled `probe`, the merged per-shard event stream is replayed
+/// into it in canonical order; engine-internal events (queue depths,
+/// ladder-tier moves) are per-shard artifacts and are not reproduced —
+/// model-level events all are.
+pub fn run_sharded(
+    cfg: NetworkConfig,
+    traces: &TraceSet,
+    probe: ProbeHandle,
+    shards: usize,
+) -> CommResult {
+    cfg.validate();
+    let part = Partition::contiguous(cfg.topology, shards);
+    let la = lookahead(&cfg);
+    if part.shards() <= 1 || la == Duration::ZERO {
+        return CommSim::new_with_probe(cfg, traces, probe).run();
+    }
+    let n = cfg.topology.nodes();
+    assert_eq!(
+        traces.nodes(),
+        n as usize,
+        "trace set has {} nodes, topology {} needs {}",
+        traces.nodes(),
+        cfg.topology.label(),
+        n
+    );
+
+    let k = part.shards();
+    let barrier = WindowBarrier::new(k);
+    // Round-arrival gate: shards increment once per round; a shard may
+    // compute its round-`r` local minimum only after all `k` increments of
+    // round `r` — by then every cross-shard message of the previous window
+    // has been pushed into its destination channel.
+    let arrivals = AtomicU64::new(0);
+    let mut txs = Vec::with_capacity(k);
+    let mut rxs = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (tx, rx) = sync_channel::<OutMsg>(CHANNEL_CAP);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let want_probe = probe.is_enabled();
+
+    let outs: Vec<ShardOut> = thread::scope(|scope| {
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(s, rx)| {
+                let txs = txs.clone();
+                let (part, barrier, arrivals) = (&part, &barrier, &arrivals);
+                scope.spawn(move || {
+                    shard_worker(
+                        s, cfg, traces, part, la, barrier, arrivals, txs, rx, want_probe,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    merge(outs, &probe)
+}
+
+/// One shard's whole life: build the mirror engine, run the window loop,
+/// collect local stats.
+#[allow(clippy::too_many_arguments)]
+fn shard_worker(
+    s: usize,
+    cfg: NetworkConfig,
+    traces: &TraceSet,
+    part: &Partition,
+    la: Duration,
+    barrier: &WindowBarrier,
+    arrivals: &AtomicU64,
+    txs: Vec<SyncSender<OutMsg>>,
+    rx: Receiver<OutMsg>,
+    want_probe: bool,
+) -> ShardOut {
+    let n = part.nodes();
+    let k = part.shards() as u64;
+    let range = part.range(s);
+    let local_mask: Arc<[bool]> = part.local_mask(s).into();
+    let my_probe = if want_probe {
+        ProbeHandle::new(ProbeStack::new().with_buffer())
+    } else {
+        ProbeHandle::disabled()
+    };
+
+    // Mirror component layout: every shard registers all `2n` slots —
+    // real components for its own nodes, panicking stubs for the rest —
+    // so component ids, event keys and stats indexing match the serial
+    // engine exactly.
+    let mut engine: Engine<NetMsg> = Engine::new();
+    let router_ids: Arc<[CompId]> = (0..n as usize).collect();
+    let outbox = std::rc::Rc::new(std::cell::RefCell::new(Vec::<OutMsg>::new()));
+    for node in 0..n {
+        if range.contains(&node) {
+            engine.add_component(
+                format!("router{node}"),
+                Router::new(
+                    node,
+                    cfg.topology,
+                    cfg.link,
+                    cfg.router,
+                    (n + node) as usize,
+                    Arc::clone(&router_ids),
+                )
+                .with_probe(my_probe.clone())
+                .with_cross_shard(CrossShard {
+                    local: Arc::clone(&local_mask),
+                    outbox: outbox.clone(),
+                }),
+            );
+        } else {
+            engine.add_component(format!("router{node}"), Phantom);
+        }
+    }
+    for node in 0..n {
+        if range.contains(&node) {
+            engine.add_component(
+                format!("proc{node}"),
+                AbstractProcessor::new(node, traces.trace(node).shared_ops(), node as usize, cfg)
+                    .with_probe(my_probe.clone()),
+            );
+        } else {
+            engine.add_component(format!("proc{node}"), Phantom);
+        }
+    }
+    engine.prime();
+
+    let la_ps = la.as_ps();
+    let mut round: u64 = 0;
+    let mut inbox: Vec<OutMsg> = Vec::new();
+    loop {
+        // Flush this window's cross-shard messages. On a full channel,
+        // drain our own inbox while retrying: the receiver of any full
+        // channel frees capacity this way no matter where it is blocked,
+        // so the bounded channels cannot deadlock.
+        for msg in outbox.borrow_mut().drain(..) {
+            let dst_shard = part.shard_of(msg.dst as u32);
+            let mut pending = Some(msg);
+            while let Some(m) = pending.take() {
+                match txs[dst_shard].try_send(m) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(m)) => {
+                        pending = Some(m);
+                        inbox.extend(rx.try_iter());
+                        thread::yield_now();
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        unreachable!("inbox receivers live for the whole run")
+                    }
+                }
+            }
+        }
+        // Round gate: wait (draining) until every shard has flushed.
+        round += 1;
+        arrivals.fetch_add(1, Ordering::AcqRel);
+        while arrivals.load(Ordering::Acquire) < round * k {
+            inbox.extend(rx.try_iter());
+            thread::yield_now();
+        }
+        inbox.extend(rx.try_iter());
+        // Inject cross-shard arrivals at their exact serial queue keys.
+        for m in inbox.drain(..) {
+            engine.post_keyed(m.time, m.key, m.src, m.dst, m.msg);
+        }
+        // Agree on the next window and execute it. Events *at* the window
+        // end belong to the next round (times are integer picoseconds, so
+        // `end - 1` is exact).
+        let local_min = engine.next_event_time();
+        let Some(w) = barrier.agree_min(s, local_min) else {
+            break; // every shard idle and no message in flight: done
+        };
+        let end_ps = w.as_ps().saturating_add(la_ps);
+        engine.run_until(Time::from_ps(end_ps - 1));
+    }
+
+    let mut nodes = Vec::with_capacity(range.len());
+    for node in range {
+        let router = engine
+            .component::<Router>(node as usize)
+            .expect("router component");
+        let proc = engine
+            .component::<AbstractProcessor>((n + node) as usize)
+            .expect("processor component");
+        nodes.push(NodeCommStats {
+            node,
+            proc: proc.stats.clone(),
+            router: router.stats.clone(),
+        });
+    }
+    ShardOut {
+        nodes,
+        events: engine.events_processed(),
+        probe_events: my_probe.take_buffer().unwrap_or_default(),
+    }
+}
+
+/// Fold per-shard outputs into one [`CommResult`], mirroring
+/// `CommSim::collect` field for field (shards are in node order, so the
+/// merge order — and hence every merged histogram — matches the serial
+/// collection exactly).
+fn merge(outs: Vec<ShardOut>, probe: &ProbeHandle) -> CommResult {
+    let mut nodes = Vec::new();
+    let mut msg_latency = mermaid_stats::Histogram::log2();
+    let mut finish = Time::ZERO;
+    let mut unfinished = Vec::new();
+    let mut total_messages = 0;
+    let mut total_bytes = 0;
+    let mut events = 0;
+    let mut probe_events = Vec::new();
+    for out in outs {
+        events += out.events;
+        probe_events.extend(out.probe_events);
+        for nc in out.nodes {
+            match nc.proc.finished_at {
+                Some(t) => finish = finish.max(t),
+                None => unfinished.push(nc.node),
+            }
+            msg_latency.merge(&nc.proc.msg_latency);
+            total_messages += nc.proc.msgs_received;
+            total_bytes += nc.proc.bytes_sent;
+            nodes.push(nc);
+        }
+    }
+    if probe.is_enabled() {
+        canonical_sort(&mut probe_events);
+        for ev in &probe_events {
+            probe.replay(ev);
+        }
+    }
+    // The window loop only terminates once every shard's event set has
+    // drained, so — unlike a mid-run snapshot — unfinished here means
+    // deadlocked, exactly as in the serial terminal collect.
+    CommResult {
+        finish,
+        all_done: unfinished.is_empty(),
+        deadlocked: unfinished,
+        nodes,
+        events,
+        msg_latency,
+        total_messages,
+        total_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use mermaid_ops::{NodeId, Operation};
+
+    fn trace_set(n: u32, f: impl Fn(NodeId) -> Vec<Operation>) -> TraceSet {
+        let mut ts = TraceSet::new(n as usize);
+        for node in 0..n {
+            ts.trace_mut(node).ops = f(node);
+        }
+        ts
+    }
+
+    fn exchange_traces(n: u32) -> TraceSet {
+        trace_set(n, |node| {
+            vec![
+                Operation::ASend {
+                    bytes: 3000,
+                    dst: (node + 1) % n,
+                },
+                Operation::Recv {
+                    src: (node + n - 1) % n,
+                },
+                Operation::Compute { ps: 10_000 },
+                Operation::ASend {
+                    bytes: 500,
+                    dst: (node + n / 2) % n,
+                },
+                Operation::Recv {
+                    src: (node + n - n / 2) % n,
+                },
+            ]
+        })
+    }
+
+    fn assert_identical(a: &CommResult, b: &CommResult) {
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.all_done, b.all_done);
+        assert_eq!(a.deadlocked, b.deadlocked);
+        assert_eq!(a.total_messages, b.total_messages);
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert_eq!(a.total_link_busy(), b.total_link_busy());
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.proc.finished_at, y.proc.finished_at, "node {}", x.node);
+            assert_eq!(x.proc.compute, y.proc.compute);
+            assert_eq!(x.proc.send_block, y.proc.send_block);
+            assert_eq!(x.proc.recv_block, y.proc.recv_block);
+            assert_eq!(x.proc.msgs_sent, y.proc.msgs_sent);
+            assert_eq!(x.proc.msgs_received, y.proc.msgs_received);
+            assert_eq!(x.router.forwarded, y.router.forwarded);
+            assert_eq!(x.router.delivered, y.router.delivered);
+            assert_eq!(x.router.link_wait, y.router.link_wait, "node {}", x.node);
+            assert_eq!(x.router.link_busy, y.router.link_busy);
+        }
+        assert_eq!(a.msg_latency.count(), b.msg_latency.count());
+        assert_eq!(a.msg_latency.max(), b.msg_latency.max());
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_a_ring() {
+        let cfg = NetworkConfig::test(Topology::Ring(8));
+        let ts = exchange_traces(8);
+        let serial = CommSim::new(cfg, &ts).run();
+        for shards in [2, 3, 8] {
+            let sh = run_sharded(cfg, &ts, ProbeHandle::disabled(), shards);
+            assert_identical(&serial, &sh);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_mesh_and_torus() {
+        for topo in [
+            Topology::Mesh2D { w: 4, h: 4 },
+            Topology::Torus2D { w: 4, h: 4 },
+        ] {
+            let cfg = NetworkConfig::test(topo);
+            let ts = exchange_traces(16);
+            let serial = CommSim::new(cfg, &ts).run();
+            let sh = run_sharded(cfg, &ts, ProbeHandle::disabled(), 4);
+            assert_identical(&serial, &sh);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_with_adaptive_routing_and_contention() {
+        let mut cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 4 });
+        cfg.router.routing = crate::config::Routing::AdaptiveMinimal;
+        let ts = trace_set(16, |node| {
+            vec![
+                Operation::ASend {
+                    bytes: 64 * 1024,
+                    dst: 15 - node,
+                },
+                Operation::Recv { src: 15 - node },
+            ]
+        });
+        let serial = CommSim::new(cfg, &ts).run();
+        let sh = run_sharded(cfg, &ts, ProbeHandle::disabled(), 4);
+        assert_identical(&serial, &sh);
+    }
+
+    #[test]
+    fn sharded_reports_deadlocks_like_serial() {
+        let cfg = NetworkConfig::test(Topology::Ring(4));
+        let ts = trace_set(4, |node| match node {
+            0 => vec![Operation::Recv { src: 1 }], // nobody sends
+            _ => vec![Operation::Compute { ps: 100 }],
+        });
+        let serial = CommSim::new(cfg, &ts).run();
+        let sh = run_sharded(cfg, &ts, ProbeHandle::disabled(), 2);
+        assert_identical(&serial, &sh);
+        assert_eq!(sh.deadlocked, vec![0]);
+    }
+
+    #[test]
+    fn one_shard_falls_back_to_serial() {
+        let cfg = NetworkConfig::test(Topology::Ring(4));
+        let ts = exchange_traces(4);
+        let serial = CommSim::new(cfg, &ts).run();
+        let sh = run_sharded(cfg, &ts, ProbeHandle::disabled(), 1);
+        assert_identical(&serial, &sh);
+    }
+
+    #[test]
+    fn probe_stream_matches_serial_model_events() {
+        let cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 2 });
+        let ts = exchange_traces(8);
+
+        let serial_probe = ProbeHandle::new(ProbeStack::new().with_buffer());
+        let serial = CommSim::new_with_probe(cfg, &ts, serial_probe.clone()).run();
+        let mut serial_events: Vec<SimEvent> = serial_probe
+            .take_buffer()
+            .unwrap()
+            .into_iter()
+            .filter(|e| !e.is_engine_internal())
+            .collect();
+        canonical_sort(&mut serial_events);
+
+        let sharded_probe = ProbeHandle::new(ProbeStack::new().with_buffer());
+        let sharded = run_sharded(cfg, &ts, sharded_probe.clone(), 3);
+        let sharded_events = sharded_probe.take_buffer().unwrap();
+        // Replay is already canonical; assert bit-identical streams.
+        assert_eq!(serial_events, sharded_events);
+        assert!(!sharded_events.is_empty());
+        assert_identical(&serial, &sharded);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_still_exact() {
+        let cfg = NetworkConfig::test(Topology::Ring(3));
+        let ts = exchange_traces(3);
+        let serial = CommSim::new(cfg, &ts).run();
+        let sh = run_sharded(cfg, &ts, ProbeHandle::disabled(), 16);
+        assert_identical(&serial, &sh);
+    }
+}

@@ -57,6 +57,7 @@ impl CommResult {
     /// Nodes whose processors have completed their traces. Valid both
     /// mid-run and at completion, unlike `deadlocked`.
     pub fn nodes_done(&self) -> u32 {
+        // Cast is lossless: the node count is capped at `MAX_NODES` (2^20).
         self.nodes
             .iter()
             .filter(|n| n.proc.finished_at.is_some())
@@ -68,7 +69,8 @@ impl CommResult {
         if self.finish == Time::ZERO || links == 0 {
             return 0.0;
         }
-        self.total_link_busy().as_ps() as f64 / (links as u64 * self.finish.as_ps()) as f64
+        // Multiply in f64: `links * finish_ps` can exceed u64 on long runs.
+        self.total_link_busy().as_ps() as f64 / (links as f64 * self.finish.as_ps() as f64)
     }
 }
 
@@ -100,9 +102,11 @@ impl CommSim {
     pub fn new_with_probe(cfg: NetworkConfig, traces: &TraceSet, probe: ProbeHandle) -> Self {
         cfg.validate();
         let n = cfg.topology.nodes();
+        // Compare as usize — casting `traces.nodes()` down to u32 could
+        // truncate an oversized trace set into a spurious match.
         assert_eq!(
-            traces.nodes() as u32,
-            n,
+            traces.nodes(),
+            n as usize,
             "trace set has {} nodes, topology {} needs {}",
             traces.nodes(),
             cfg.topology.label(),

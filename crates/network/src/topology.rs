@@ -27,28 +27,80 @@ pub enum Topology {
     Star(u32),
 }
 
+/// Largest node count any topology may declare (2^20, matching the
+/// hypercube dimension limit). Keeps `u32` node-id arithmetic and
+/// `as usize` index casts safe everywhere downstream.
+pub const MAX_NODES: u64 = 1 << 20;
+
 impl Topology {
     /// Number of nodes.
+    ///
+    /// Saturates rather than wrapping for shapes that fail
+    /// [`Topology::try_validate`] (e.g. a `100000x100000` mesh), so callers
+    /// that validate first never observe a wrapped count.
     pub fn nodes(&self) -> u32 {
         match *self {
             Topology::Ring(n) | Topology::FullyConnected(n) | Topology::Star(n) => n,
-            Topology::Mesh2D { w, h } | Topology::Torus2D { w, h } => w * h,
-            Topology::Hypercube { dim } => 1 << dim,
+            Topology::Mesh2D { w, h } | Topology::Torus2D { w, h } => w.saturating_mul(h),
+            Topology::Hypercube { dim } => 1u32.checked_shl(dim).unwrap_or(u32::MAX),
         }
     }
 
-    /// Validate the shape (panics on degenerate configurations).
-    pub fn validate(&self) {
-        match *self {
-            Topology::Ring(n) => assert!(n >= 2, "ring needs ≥2 nodes"),
+    /// Validate the shape, returning a user-facing error for degenerate or
+    /// oversized configurations instead of panicking.
+    pub fn try_validate(&self) -> Result<(), String> {
+        let total: u64 = match *self {
+            Topology::Ring(n) => {
+                if n < 2 {
+                    return Err(format!("ring needs ≥2 nodes (got {n})"));
+                }
+                n as u64
+            }
             Topology::Mesh2D { w, h } | Topology::Torus2D { w, h } => {
-                assert!(w >= 1 && h >= 1 && w * h >= 2, "mesh/torus needs ≥2 nodes")
+                if w < 1 || h < 1 {
+                    return Err(format!("mesh/torus dimensions must be ≥1 (got {w}x{h})"));
+                }
+                let total = w as u64 * h as u64;
+                if total < 2 {
+                    return Err(format!("mesh/torus needs ≥2 nodes (got {w}x{h})"));
+                }
+                total
             }
             Topology::Hypercube { dim } => {
-                assert!((1..=20).contains(&dim), "hypercube dimension out of range")
+                if !(1..=20).contains(&dim) {
+                    return Err(format!("hypercube dimension must be in 1..=20 (got {dim})"));
+                }
+                1u64 << dim
             }
-            Topology::FullyConnected(n) => assert!(n >= 2, "full mesh needs ≥2 nodes"),
-            Topology::Star(n) => assert!(n >= 2, "star needs ≥2 nodes"),
+            Topology::FullyConnected(n) => {
+                if n < 2 {
+                    return Err(format!("full mesh needs ≥2 nodes (got {n})"));
+                }
+                n as u64
+            }
+            Topology::Star(n) => {
+                if n < 2 {
+                    return Err(format!("star needs ≥2 nodes (got {n})"));
+                }
+                n as u64
+            }
+        };
+        if total > MAX_NODES {
+            return Err(format!(
+                "{} has {total} nodes, exceeding the supported maximum of {MAX_NODES}",
+                self.label()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validate the shape (panics on degenerate configurations).
+    ///
+    /// Wrapper over [`Topology::try_validate`] for model-internal call
+    /// sites; user input paths (the CLI) use `try_validate` directly.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("invalid topology: {e}");
         }
     }
 
@@ -455,5 +507,41 @@ mod tests {
             );
         }
         Topology::Hypercube { dim: 1 }.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_errors_without_panicking() {
+        assert!(Topology::Ring(1).try_validate().is_err());
+        assert!(Topology::Mesh2D { w: 0, h: 4 }.try_validate().is_err());
+        assert!(Topology::Mesh2D { w: 1, h: 1 }.try_validate().is_err());
+        assert!(Topology::Hypercube { dim: 0 }.try_validate().is_err());
+        assert!(Topology::Hypercube { dim: 21 }.try_validate().is_err());
+        assert!(Topology::FullyConnected(0).try_validate().is_err());
+        assert!(Topology::Star(1).try_validate().is_err());
+
+        assert!(Topology::Ring(2).try_validate().is_ok());
+        assert!(Topology::Mesh2D { w: 2, h: 1 }.try_validate().is_ok());
+        assert!(Topology::Torus2D { w: 32, h: 32 }.try_validate().is_ok());
+        assert!(Topology::Hypercube { dim: 20 }.try_validate().is_ok());
+    }
+
+    #[test]
+    fn try_validate_rejects_oversized_meshes_without_overflow() {
+        // 100000 * 100000 wraps u32 multiplication; the validator must see
+        // the true product and reject it with a size error, not a wrap.
+        let huge = Topology::Mesh2D {
+            w: 100_000,
+            h: 100_000,
+        };
+        let err = huge.try_validate().unwrap_err();
+        assert!(err.contains("exceeding"), "unexpected error: {err}");
+        // nodes() saturates rather than wrapping for such shapes.
+        assert_eq!(huge.nodes(), u32::MAX);
+
+        let too_big_ring = Topology::Ring((MAX_NODES + 1) as u32);
+        assert!(too_big_ring.try_validate().is_err());
+        // The boundary itself is accepted.
+        assert!(Topology::Ring(MAX_NODES as u32).try_validate().is_ok());
+        assert!(Topology::Mesh2D { w: 1024, h: 1024 }.try_validate().is_ok());
     }
 }

@@ -1,7 +1,7 @@
 //! The discrete-event engine: components, events, and the main loop.
 
 use crate::probe::{EngineProbe, LadderStats};
-use crate::queue::EventQueue;
+use crate::queue::{EventKey, EventQueue};
 use crate::time::{Duration, Time};
 
 /// Identifies a component registered with an [`Engine`].
@@ -45,6 +45,7 @@ pub struct Ctx<'e, M> {
     self_id: CompId,
     queue: &'e mut EventQueue<QueuedEvent<M>>,
     stop_requested: &'e mut bool,
+    key_counters: &'e mut [u64],
 }
 
 struct QueuedEvent<M> {
@@ -66,12 +67,32 @@ impl<M> Ctx<'_, M> {
         self.self_id
     }
 
+    /// Allocate the deterministic tie-break key the *next* send from this
+    /// component would carry, consuming one step of its push counter.
+    ///
+    /// Every scheduling path ([`Ctx::send_after`] and friends) allocates
+    /// keys through here, so a caller that captures an event instead of
+    /// scheduling it locally — a cross-shard egress — keeps this
+    /// component's key sequence exactly in sync with a single-threaded run
+    /// (see `crate::shard`).
+    #[inline]
+    pub fn alloc_key(&mut self) -> EventKey {
+        let seq = self.key_counters[self.self_id];
+        self.key_counters[self.self_id] = seq + 1;
+        EventKey {
+            push_ps: self.now.as_ps(),
+            src: self.self_id as u32,
+            seq,
+        }
+    }
+
     /// Send `payload` to `dst`, delivered after `delay`.
     #[inline]
     pub fn send_after(&mut self, delay: Duration, dst: CompId, payload: M) {
         let src = self.self_id;
+        let key = self.alloc_key();
         self.queue
-            .push(self.now + delay, QueuedEvent { src, dst, payload });
+            .push_keyed(self.now + delay, key, QueuedEvent { src, dst, payload });
     }
 
     /// Send `payload` to `dst` at the current instant (after events already
@@ -121,6 +142,10 @@ pub struct Engine<M: 'static> {
     // moved out of the vector while it runs.
     components: Vec<Box<dyn Component<M>>>,
     names: Vec<String>,
+    // Per-component push counters feeding the deterministic tie-break key
+    // (see `EventKey`); indexed by component id. `post` consumes the
+    // counter of the `src` it is attributed to.
+    key_counters: Vec<u64>,
     events_processed: u64,
     stop_requested: bool,
     initialized: bool,
@@ -144,6 +169,7 @@ impl<M: 'static> Engine<M> {
             queue: EventQueue::new(),
             components: Vec::new(),
             names: Vec::new(),
+            key_counters: Vec::new(),
             events_processed: 0,
             stop_requested: false,
             initialized: false,
@@ -161,6 +187,7 @@ impl<M: 'static> Engine<M> {
         let id = self.components.len();
         self.components.push(Box::new(comp));
         self.names.push(name.into());
+        self.key_counters.push(0);
         id
     }
 
@@ -193,11 +220,48 @@ impl<M: 'static> Engine<M> {
     }
 
     /// Inject an event from outside the simulation (e.g. the initial
-    /// workload). `time` must not be in the past.
+    /// workload). `time` must not be in the past. The event is keyed as if
+    /// `src` had scheduled it now (consuming one step of `src`'s push
+    /// counter), so posts obey the same deterministic tie order as
+    /// component sends.
     pub fn post(&mut self, time: Time, src: CompId, dst: CompId, payload: M) {
         assert!(time >= self.now, "cannot post an event in the past");
         assert!(dst < self.components.len(), "unknown destination component");
-        self.queue.push(time, QueuedEvent { src, dst, payload });
+        assert!(src < self.components.len(), "unknown source component");
+        let seq = self.key_counters[src];
+        self.key_counters[src] = seq + 1;
+        let key = EventKey {
+            push_ps: self.now.as_ps(),
+            src: src as u32,
+            seq,
+        };
+        self.queue
+            .push_keyed(time, key, QueuedEvent { src, dst, payload });
+    }
+
+    /// Inject an event carrying a key allocated elsewhere (by another
+    /// shard's [`Ctx::alloc_key`]). `time` must not be in the past. This is
+    /// the cross-shard ingress: the event slots into the queue exactly
+    /// where the single-threaded run would have placed it.
+    pub fn post_keyed(&mut self, time: Time, key: EventKey, src: CompId, dst: CompId, payload: M) {
+        assert!(time >= self.now, "cannot post an event in the past");
+        assert!(dst < self.components.len(), "unknown destination component");
+        self.queue
+            .push_keyed(time, key, QueuedEvent { src, dst, payload });
+    }
+
+    /// Delivery time of the earliest pending event, if any. Runs component
+    /// `init` first if the engine has never run, so the initial workload is
+    /// visible.
+    pub fn next_event_time(&mut self) -> Option<Time> {
+        self.ensure_init();
+        self.queue.peek_time()
+    }
+
+    /// Run component `init` hooks without delivering any event. Idempotent;
+    /// [`Engine::run`] and friends call this implicitly.
+    pub fn prime(&mut self) {
+        self.ensure_init();
     }
 
     /// Borrow a component's concrete state (for inspection between runs).
@@ -251,6 +315,7 @@ impl<M: 'static> Engine<M> {
                 self_id: id,
                 queue: &mut self.queue,
                 stop_requested: &mut self.stop_requested,
+                key_counters: &mut self.key_counters,
             };
             comp.init(&mut ctx);
         }
@@ -274,6 +339,7 @@ impl<M: 'static> Engine<M> {
             self_id: qe.dst,
             queue: &mut self.queue,
             stop_requested: &mut self.stop_requested,
+            key_counters: &mut self.key_counters,
         };
         self.components[qe.dst].handle(
             Event {
@@ -360,6 +426,7 @@ impl<M: 'static> Engine<M> {
                         self_id: dst,
                         queue: &mut self.queue,
                         stop_requested: &mut self.stop_requested,
+                        key_counters: &mut self.key_counters,
                     };
                     self.components[dst].handle(
                         Event {

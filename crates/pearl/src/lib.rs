@@ -15,8 +15,10 @@
 //!   cycles of some clock; the kernel thinks in picoseconds so components
 //!   with different clocks compose).
 //! * [`Engine`] — the event loop. Events scheduled for the same instant are
-//!   delivered in scheduling order (a stable queue), so simulations are
-//!   reproducible bit-for-bit.
+//!   delivered in a deterministic order derived from simulation state alone
+//!   (schedule instant, scheduling component, its push count — see
+//!   [`EventKey`]), so simulations are reproducible bit-for-bit, and a
+//!   sharded run ([`shard`]) replays the exact single-threaded order.
 //! * [`Component`] — the object trait. A component receives events addressed
 //!   to it and may schedule further events through [`Ctx`].
 //! * [`sync`] — helpers for Pearl-style synchronous (rendezvous) messaging
@@ -47,10 +49,12 @@
 pub mod engine;
 pub mod probe;
 pub mod queue;
+pub mod shard;
 pub mod sync;
 pub mod time;
 
 pub use engine::{CompId, Component, Ctx, Engine, Event, RunResult};
 pub use probe::{EngineProbe, LadderStats};
-pub use queue::EventQueue;
+pub use queue::{EventKey, EventQueue};
+pub use shard::WindowBarrier;
 pub use time::{Duration, Frequency, Time};

@@ -1,9 +1,21 @@
 //! The pending-event set: a stable priority queue ordered by virtual time.
 //!
-//! Events scheduled for the same instant are delivered in the order they
-//! were scheduled (FIFO), which makes every simulation deterministic — a
-//! property the Mermaid trace-validity argument (physical-time interleaving)
-//! relies on.
+//! Events scheduled for the same instant are delivered in a deterministic
+//! order, which makes every simulation reproducible — a property the
+//! Mermaid trace-validity argument (physical-time interleaving) relies on.
+//! Two tie-break regimes share one entry layout (see [`EventKey`]):
+//!
+//! * [`EventQueue::push`] assigns a queue-global monotone sequence, so
+//!   plain pushes pop FIFO among ties — the classic stable-queue contract.
+//! * [`EventQueue::push_keyed`] lets the caller supply the key. The engine
+//!   derives it from *simulation state only* (schedule instant, scheduling
+//!   component, that component's own push count), so the pop order is
+//!   independent of how pushes from different components interleave — the
+//!   property that lets a sharded run replay the exact single-threaded
+//!   order (see `crate::shard`).
+//!
+//! A queue should use one regime or the other; mixing them keeps time
+//! order but leaves same-instant ties between the two regimes unspecified.
 //!
 //! # Two-tier scheduler
 //!
@@ -55,17 +67,42 @@ const REBASE_BATCH: usize = NUM_BUCKETS * 4;
 /// a rebase per delivery.
 const FAR_DRAIN: usize = 2 * NUM_BUCKETS;
 
+/// Deterministic tie-break key for events that share a delivery time.
+///
+/// Ordered lexicographically as `(push_ps, src, seq)`:
+///
+/// * `push_ps` — virtual instant at which the event was scheduled
+///   (earlier-scheduled events deliver first, matching FIFO intuition),
+/// * `src` — id of the scheduling component (ties between components
+///   scheduled at the same instant resolve by id, not by host-side
+///   execution order),
+/// * `seq` — the scheduling component's own monotone push counter.
+///
+/// Every field is derived from simulation state a component can compute
+/// locally, never from global push interleaving — so a sharded engine
+/// reproduces exactly the keys the single-threaded engine assigns, and
+/// with them the exact delivery order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventKey {
+    /// Virtual time (ps) at which the push happened.
+    pub push_ps: u64,
+    /// Scheduling component id.
+    pub src: u32,
+    /// The scheduling component's push count at the time of the push.
+    pub seq: u64,
+}
+
 /// An entry in the queue: an opaque payload tagged with its delivery time
-/// and a monotone sequence number for stable ordering.
+/// and a deterministic tie-break key.
 struct Entry<T> {
     time: Time,
-    seq: u64,
+    key: EventKey,
     item: T,
 }
 
 impl<T> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 impl<T> Eq for Entry<T> {}
@@ -78,12 +115,12 @@ impl<T> PartialOrd for Entry<T> {
 
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // BinaryHeap is a max-heap; invert so the earliest (time, key) pops
         // first.
         other
             .time
             .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
@@ -144,13 +181,34 @@ impl<T> EventQueue<T> {
         q
     }
 
-    /// Insert `item` for delivery at `time`.
+    /// Insert `item` for delivery at `time`. Same-time ties pop FIFO
+    /// (ordered by a queue-global push counter).
     #[inline]
     pub fn push(&mut self, time: Time, item: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = Entry { time, seq, item };
-        let t = time.as_ps();
+        self.push_entry(Entry {
+            time,
+            key: EventKey {
+                push_ps: 0,
+                src: 0,
+                seq,
+            },
+            item,
+        });
+    }
+
+    /// Insert `item` for delivery at `time` with a caller-supplied
+    /// tie-break key (see [`EventKey`]). Same-time ties pop in key order.
+    #[inline]
+    pub fn push_keyed(&mut self, time: Time, key: EventKey, item: T) {
+        self.next_seq += 1; // keeps `total_pushed` meaningful
+        self.push_entry(Entry { time, key, item });
+    }
+
+    #[inline]
+    fn push_entry(&mut self, entry: Entry<T>) {
+        let t = entry.time.as_ps();
         if t < self.cur_end {
             self.current.push(entry);
             return;

@@ -1,0 +1,194 @@
+//! Conservative window synchronization for sharded simulation.
+//!
+//! A sharded run partitions the component graph across worker threads, each
+//! owning a private [`Engine`](crate::Engine). Threads advance in lock-step
+//! *windows*: every round, each shard publishes the timestamp of its next
+//! pending event, the shards agree on the global minimum `m`, and every shard
+//! then executes all events strictly before `m + L`, where `L` is the
+//! *lookahead* — a lower bound on the latency of any cross-shard interaction.
+//! Because an event executing at `t < m + L` can only schedule cross-shard
+//! work at `t' >= t + L >= m + L`, no shard can receive a message timestamped
+//! inside the window it is currently executing, so every shard sees exactly
+//! the events a single-threaded run would deliver, in the same order (given
+//! deterministic [`EventKey`](crate::EventKey) tie-breaking).
+//!
+//! [`WindowBarrier`] is the agreement primitive: a pair of phase barriers plus
+//! a lock-free min-reduction slot per shard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use crate::time::Time;
+
+/// Sentinel published by a shard with no pending events.
+const IDLE: u64 = u64::MAX;
+
+/// Barrier used by sharded runs to agree on the next window start.
+///
+/// Each round has two phases:
+///
+/// 1. [`exchange`](WindowBarrier::exchange) — all shards rendezvous after
+///    flushing their cross-shard outboxes, so every in-flight message is
+///    visible in the destination shard's inbox before anyone computes its
+///    local minimum.
+/// 2. [`agree_min`](WindowBarrier::agree_min) — each shard publishes the
+///    timestamp of its earliest pending event (or "idle") and receives the
+///    global minimum across all shards. `None` means every shard is idle and
+///    the simulation has terminated.
+///
+/// Memory ordering: the per-shard slots are written and read with `Relaxed`
+/// ordering. This is sound because each `agree_min` round is bracketed by
+/// `Barrier::wait` calls, which establish happens-before edges between every
+/// writer and every reader: a shard reads slot values only after the interior
+/// barrier, which all writers have passed; and a shard overwrites its slot in
+/// round *k+1* only after passing that round's [`exchange`] barrier, which the
+/// round-*k* readers must also have passed.
+///
+/// [`exchange`]: WindowBarrier::exchange
+pub struct WindowBarrier {
+    shards: usize,
+    mins: Vec<AtomicU64>,
+    publish: Barrier,
+    resolve: Barrier,
+}
+
+impl WindowBarrier {
+    /// Create a barrier for `shards` participating worker threads.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "WindowBarrier needs at least one shard");
+        Self {
+            shards,
+            mins: (0..shards).map(|_| AtomicU64::new(IDLE)).collect(),
+            publish: Barrier::new(shards),
+            resolve: Barrier::new(shards),
+        }
+    }
+
+    /// Number of participating shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Phase-1 rendezvous: blocks until all shards have arrived.
+    ///
+    /// Call after pushing this round's cross-shard messages into their
+    /// destination channels; on return, every message sent before any peer's
+    /// `exchange` call is available to its destination shard.
+    pub fn exchange(&self) {
+        self.publish.wait();
+    }
+
+    /// Phase-2 min-reduction: publish this shard's earliest pending event
+    /// time and return the global minimum across all shards.
+    ///
+    /// `local` is `None` when the shard has no pending events. Returns `None`
+    /// only when *every* shard is idle, i.e. the simulation has terminated.
+    pub fn agree_min(&self, shard: usize, local: Option<Time>) -> Option<Time> {
+        let raw = local.map_or(IDLE, |t| t.as_ps());
+        self.mins[shard].store(raw, Ordering::Relaxed);
+        self.resolve.wait();
+        let min = self
+            .mins
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(IDLE);
+        if min == IDLE {
+            None
+        } else {
+            Some(Time::from_ps(min))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::thread;
+
+    #[test]
+    fn single_shard_agrees_with_itself() {
+        let b = WindowBarrier::new(1);
+        assert_eq!(
+            b.agree_min(0, Some(Time::from_ps(42))),
+            Some(Time::from_ps(42))
+        );
+        assert_eq!(b.agree_min(0, None), None);
+        assert_eq!(b.shards(), 1);
+    }
+
+    #[test]
+    fn min_reduction_across_threads() {
+        let b = WindowBarrier::new(4);
+        let locals = [Some(700u64), Some(300), None, Some(500)];
+        let (tx, rx) = mpsc::channel();
+        thread::scope(|s| {
+            for (i, l) in locals.iter().enumerate() {
+                let b = &b;
+                let tx = tx.clone();
+                s.spawn(move || {
+                    b.exchange();
+                    let got = b.agree_min(i, l.map(Time::from_ps));
+                    tx.send(got).unwrap();
+                });
+            }
+        });
+        drop(tx);
+        for got in rx {
+            assert_eq!(got, Some(Time::from_ps(300)));
+        }
+    }
+
+    #[test]
+    fn all_idle_terminates() {
+        let b = WindowBarrier::new(3);
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let b = &b;
+                    s.spawn(move || b.agree_min(i, None))
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), None);
+            }
+        });
+    }
+
+    #[test]
+    fn repeated_rounds_reuse_slots() {
+        let b = WindowBarrier::new(2);
+        thread::scope(|s| {
+            let h0 = {
+                let b = &b;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for round in 0..10u64 {
+                        b.exchange();
+                        out.push(b.agree_min(0, Some(Time::from_ps(round * 10 + 5))));
+                    }
+                    out
+                })
+            };
+            let h1 = {
+                let b = &b;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for round in 0..10u64 {
+                        b.exchange();
+                        out.push(b.agree_min(1, Some(Time::from_ps(round * 10 + 7))));
+                    }
+                    out
+                })
+            };
+            let a = h0.join().unwrap();
+            let c = h1.join().unwrap();
+            for (round, (x, y)) in a.iter().zip(c.iter()).enumerate() {
+                let want = Some(Time::from_ps(round as u64 * 10 + 5));
+                assert_eq!(*x, want);
+                assert_eq!(*y, want);
+            }
+        });
+    }
+}

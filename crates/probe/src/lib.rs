@@ -49,7 +49,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 /// What an abstract processor was doing over a virtual-time span.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ActKind {
     /// Executing modelled computation.
     Compute,
@@ -74,7 +74,7 @@ impl ActKind {
 }
 
 /// Kind of memory access, mirroring the memory model's access kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessKind {
     /// Instruction fetch.
     IFetch,
@@ -97,7 +97,7 @@ impl AccessKind {
 
 /// Where a memory access was satisfied, mirroring the memory model's hit
 /// levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HitWhere {
     /// First-level cache hit.
     L1,
@@ -127,7 +127,7 @@ impl HitWhere {
 }
 
 /// Which ladder tier transition the event queue performed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TierMove {
     /// A bucket was promoted wholesale into the current-window heap.
     Promotion,
@@ -153,7 +153,7 @@ impl TierMove {
 /// All times are virtual picoseconds (`pearl::Time`); node/cpu indices
 /// match the model's own numbering. Variants with a `start_ps`/`end_ps`
 /// pair describe a closed span; the rest are instants.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SimEvent {
     /// The engine delivered one event to component `dst`; `pending` is
     /// the queue depth after the pop.
@@ -254,6 +254,19 @@ impl SimEvent {
         }
     }
 
+    /// True for events describing the *engine's* internals (delivery
+    /// bookkeeping, ladder-tier moves) rather than the simulated machine.
+    /// Sharded runs cannot reproduce these bit-for-bit — queue depths and
+    /// tier transitions are per-shard artifacts — so sharded probe merging
+    /// carries model-level events only (see `mermaid-network`'s sharded
+    /// runner and DESIGN.md §11).
+    pub fn is_engine_internal(&self) -> bool {
+        matches!(
+            self,
+            SimEvent::EngineDelivery { .. } | SimEvent::QueueTier { .. }
+        )
+    }
+
     /// The event's anchor timestamp in virtual picoseconds (span start
     /// for span-shaped events).
     pub fn ts_ps(&self) -> u64 {
@@ -281,6 +294,51 @@ pub trait Probe {
     fn record(&mut self, ev: &SimEvent);
 }
 
+/// A sink that just stores every event, in emission order.
+///
+/// Sharded runs attach one buffer per shard and merge the buffers into a
+/// single canonically-ordered stream afterwards (see
+/// [`canonical_sort`]); it is also handy in tests.
+#[derive(Debug, Default)]
+pub struct EventBuffer {
+    events: Vec<SimEvent>,
+}
+
+impl EventBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        EventBuffer::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Take the recorded events out, leaving the buffer empty.
+    pub fn take(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl Probe for EventBuffer {
+    fn record(&mut self, ev: &SimEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Sort events into the canonical order: primarily by anchor timestamp,
+/// with the derived total order on [`SimEvent`] breaking ties.
+///
+/// Emission order is *not* timestamp order (a handler may emit an event
+/// anchored in the future, e.g. a delivery at `now + residue`), so two
+/// equal event *multisets* — such as the streams of a serial and a sharded
+/// run of the same model — canonicalize to the same sequence. This is the
+/// order sharded runs replay merged per-shard buffers in.
+pub fn canonical_sort(events: &mut [SimEvent]) {
+    events.sort_unstable_by(|a, b| a.ts_ps().cmp(&b.ts_ps()).then_with(|| a.cmp(b)));
+}
+
 /// The set of sinks attached to one traced run.
 ///
 /// Concrete optional slots (rather than `Vec<Box<dyn Probe>>`) so results
@@ -295,6 +353,8 @@ pub struct ProbeStack {
     pub jsonl: Option<JsonlSink>,
     /// Wall-clock self-profiler.
     pub profiler: Option<SelfProfiler>,
+    /// Raw event buffer (used by sharded runs; available to tests).
+    pub buffer: Option<EventBuffer>,
 }
 
 impl ProbeStack {
@@ -327,6 +387,12 @@ impl ProbeStack {
         self.profiler = Some(SelfProfiler::new(host_hz));
         self
     }
+
+    /// Attach a raw event buffer.
+    pub fn with_buffer(mut self) -> Self {
+        self.buffer = Some(EventBuffer::new());
+        self
+    }
 }
 
 impl Probe for ProbeStack {
@@ -342,6 +408,9 @@ impl Probe for ProbeStack {
         }
         if let Some(p) = &mut self.profiler {
             p.record(ev);
+        }
+        if let Some(b) = &mut self.buffer {
+            b.record(ev);
         }
     }
 }
@@ -429,6 +498,21 @@ impl ProbeHandle {
     pub fn host_profile(&self) -> Option<HostProfile> {
         self.with_stack(|s| s.profiler.as_ref().map(|p| p.profile()))
             .flatten()
+    }
+
+    /// Drain the attached [`EventBuffer`], if any.
+    pub fn take_buffer(&self) -> Option<Vec<SimEvent>> {
+        self.with_stack(|s| s.buffer.as_mut().map(|b| b.take()))
+            .flatten()
+    }
+
+    /// Replay a pre-recorded event into the attached sinks (used when
+    /// merging per-shard buffers into the caller's stack).
+    #[inline]
+    pub fn replay(&self, ev: &SimEvent) {
+        if let Some(stack) = &self.inner {
+            stack.borrow_mut().record(ev);
+        }
     }
 }
 

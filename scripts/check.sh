@@ -24,9 +24,34 @@ cargo run --release --example traced_run > /dev/null
 
 echo "==> cli: traced simulation emits parseable Chrome-trace JSON"
 trace_file="$(mktemp -t mermaid-check-trace.XXXXXX.json)"
-trap 'rm -f "$trace_file"' EXIT
+serial_out="$(mktemp -t mermaid-check-serial.XXXXXX.txt)"
+sharded_out="$(mktemp -t mermaid-check-sharded.XXXXXX.txt)"
+trap 'rm -f "$trace_file" "$serial_out" "$sharded_out"' EXIT
 cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
     --topology mesh:2x2 --mode task --phases 2 --trace-out "$trace_file" --metrics > /dev/null
 test -s "$trace_file" || { echo "trace file is empty" >&2; exit 1; }
+
+echo "==> cli: sharded run is bit-identical to the serial run"
+for mode in detailed task; do
+    for spec in torus:4x4 ring:8; do
+        # The detailed-mode slowdown figure is host wall-clock based and
+        # legitimately varies run to run — compare everything else.
+        cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+            --topology "$spec" --mode "$mode" --pattern all2all --phases 3 \
+            --shards 1 | grep -v "slowdown" > "$serial_out"
+        cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+            --topology "$spec" --mode "$mode" --pattern all2all --phases 3 \
+            --shards 3 | grep -v "slowdown" > "$sharded_out"
+        diff -u "$serial_out" "$sharded_out" \
+            || { echo "sharded output diverged ($mode $spec)" >&2; exit 1; }
+    done
+done
+
+echo "==> cli: invalid topology specs fail cleanly (no panic)"
+for spec in ring:1 mesh:0x4 hypercube:21 mesh:100000x100000; do
+    if cargo run --release -p mermaid --bin mermaid-cli -- topo "$spec" > /dev/null 2>&1; then
+        echo "spec $spec should have been rejected" >&2; exit 1
+    fi
+done
 
 echo "All checks passed."
