@@ -1,0 +1,777 @@
+//! The workbench command-line driver, as a library.
+//!
+//! The `mermaid-cli` binary is a thin wrapper around [`run`]; keeping the
+//! whole driver here lets integration tests (for example the golden-file
+//! CLI snapshots in `tests/golden_cli.rs`) execute exact CLI invocations
+//! in-process and assert on the rendered output.
+//!
+//! ```text
+//! mermaid-cli table1
+//! mermaid-cli topo <ring:N | mesh:WxH | torus:WxH | hypercube:D | full:N | star:N>
+//! mermaid-cli machines
+//! mermaid-cli simulate --machine <t805|ppc601|paragon|test> --topology <spec>
+//!                      [--app <scientific|integer>] [--pattern <name>]
+//!                      [--phases N] [--ops N] [--seed N]
+//!                      [--mode <detailed|task|direct>] [--watch]
+//!                      [--shards <N|auto>]
+//!                      [--faults <spec|file>] [--fault-seed N]
+//!                      [--trace-out <file>] [--metrics]
+//! mermaid-cli probe --machine <t805|ppc601|paragon|test> [--topology <spec>]
+//! ```
+//!
+//! `sim` is an alias for `simulate`. `--trace-out` writes a Chrome-trace
+//! JSON file of the run (open in `chrome://tracing` or Perfetto);
+//! `--metrics` appends the per-component metrics report and a host-side
+//! profile of the simulator itself. `--shards` runs the communication
+//! model on N worker threads (`auto` = one per host core); sharded runs
+//! are bit-identical to single-threaded ones — with or without faults.
+//!
+//! `--faults` enables deterministic fault injection in the communication
+//! model. Its value is either an inline spec or the path of a file holding
+//! one (the file wins when it exists). Clauses are separated by `;` or
+//! newlines, times are simulated nanoseconds:
+//!
+//! ```text
+//! link:0-1:1000:5000      # cut link 0↔1 at 1 µs, heal at 5 µs
+//! router:3:2000           # crash router 3 at 2 µs, never recovers
+//! drop:1000               # lose 0.1% of packets per link traversal
+//! corrupt:500             # corrupt 0.05% (detected + dropped by checksum)
+//! retries:6 ; timeout:2000 ; cap:32000 ; recv-timeout:1000000
+//! ```
+
+use mermaid_network::{CommResult, FaultSchedule, RetryParams, Topology};
+use mermaid_ops::table1;
+use std::sync::Arc;
+
+use crate::prelude::*;
+use crate::{observer, report, DirectExecSim, SlowdownMeter};
+
+/// The CLI usage text.
+pub fn usage() -> &'static str {
+    "usage:\n  mermaid-cli table1\n  mermaid-cli topo <spec>\n  mermaid-cli machines\n  \
+     mermaid-cli simulate --machine <name> --topology <spec> [--app <mix>] [--pattern <p>] \
+     [--phases N] [--ops N] [--seed N] [--mode <detailed|task|direct>] [--watch] \
+     [--shards <N|auto>] [--faults <spec|file>] [--fault-seed N] [--trace-out <file>] \
+     [--metrics]\n  \
+     mermaid-cli probe --machine <name> [--topology <spec>]\n\n\
+     `sim` is an alias for `simulate`.\n\
+     topology specs: ring:8  mesh:4x4  torus:4x4  hypercube:3  full:8  star:8\n\
+     fault specs:    link:0-1:1000:5000  router:3:2000  drop:1000  corrupt:500\n\
+                     retries:6  timeout:2000  cap:32000  recv-timeout:1000000\n\
+                     (times in simulated ns; `;` or newline separates clauses)"
+}
+
+/// Parsed command-line options (after the subcommand).
+#[derive(Debug, Default)]
+struct Opts {
+    machine: Option<String>,
+    topology: Option<String>,
+    app: Option<String>,
+    pattern: Option<String>,
+    phases: Option<u32>,
+    ops: Option<u64>,
+    seed: Option<u64>,
+    mode: Option<String>,
+    watch: bool,
+    shards: Option<usize>,
+    faults: Option<String>,
+    fault_seed: Option<u64>,
+    trace_out: Option<String>,
+    metrics: bool,
+}
+
+/// Parse a `--shards` value: a thread count ≥ 1, or `auto` for one shard
+/// per available host core.
+fn parse_shards(s: &str) -> Result<usize, String> {
+    if s == "auto" {
+        return Ok(mermaid_network::auto_shards());
+    }
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("bad --shards `{s}` (want a count >= 1 or `auto`)")),
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--machine" => o.machine = Some(value("--machine")?),
+            "--topology" => o.topology = Some(value("--topology")?),
+            "--app" => o.app = Some(value("--app")?),
+            "--pattern" => o.pattern = Some(value("--pattern")?),
+            "--phases" => o.phases = Some(value("--phases")?.parse().map_err(|_| "bad --phases")?),
+            "--ops" => o.ops = Some(value("--ops")?.parse().map_err(|_| "bad --ops")?),
+            "--seed" => o.seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
+            "--mode" => o.mode = Some(value("--mode")?),
+            "--watch" => o.watch = true,
+            "--shards" => o.shards = Some(parse_shards(&value("--shards")?)?),
+            "--faults" => o.faults = Some(value("--faults")?),
+            "--fault-seed" => {
+                o.fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|_| "bad --fault-seed")?,
+                )
+            }
+            "--trace-out" => o.trace_out = Some(value("--trace-out")?),
+            "--metrics" => o.metrics = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+/// Parse a topology spec like `ring:8`, `mesh:4x4`, `hypercube:3`.
+fn parse_topology(spec: &str) -> Result<Topology, String> {
+    let (kind, params) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("topology spec `{spec}` needs kind:params"))?;
+    let num = |s: &str| -> Result<u32, String> {
+        s.parse()
+            .map_err(|_| format!("bad number `{s}` in `{spec}`"))
+    };
+    let topo = match kind {
+        "ring" => Topology::Ring(num(params)?),
+        "full" => Topology::FullyConnected(num(params)?),
+        "star" => Topology::Star(num(params)?),
+        "hypercube" => Topology::Hypercube { dim: num(params)? },
+        "mesh" | "torus" => {
+            let (w, h) = params
+                .split_once('x')
+                .ok_or_else(|| format!("`{spec}` needs WxH"))?;
+            let (w, h) = (num(w)?, num(h)?);
+            if kind == "mesh" {
+                Topology::Mesh2D { w, h }
+            } else {
+                Topology::Torus2D { w, h }
+            }
+        }
+        other => return Err(format!("unknown topology `{other}`")),
+    };
+    topo.try_validate()?;
+    Ok(topo)
+}
+
+fn parse_machine(name: &str, topo: Topology) -> Result<MachineConfig, String> {
+    Ok(match name {
+        "t805" => MachineConfig::t805_multicomputer(topo),
+        "ppc601" => MachineConfig::powerpc601_cluster(topo, 1),
+        "paragon" => {
+            let mut m = MachineConfig::paragon(2, 2);
+            m.network = mermaid_network::NetworkConfig::hw_routed(topo);
+            m.name = format!("Paragon XP/S-class, {}", topo.label());
+            m
+        }
+        "test" => MachineConfig::test_machine(topo),
+        other => {
+            return Err(format!(
+                "unknown machine `{other}` (t805|ppc601|paragon|test)"
+            ))
+        }
+    })
+}
+
+fn parse_pattern(name: &str) -> Result<CommPattern, String> {
+    Ok(match name {
+        "none" => CommPattern::None,
+        "ring" | "nn" => CommPattern::NearestNeighborRing,
+        "all2all" | "alltoall" => CommPattern::AllToAll,
+        "master" | "masterworker" => CommPattern::MasterWorker,
+        "random" => CommPattern::RandomPermutation,
+        "butterfly" => CommPattern::Butterfly,
+        other => return Err(format!("unknown pattern `{other}`")),
+    })
+}
+
+/// Resolve the `--faults` argument into a schedule: the value is a spec
+/// string, or the path of a file containing one (the file wins when it
+/// exists). Retry timing defaults are scaled to the target network.
+fn parse_faults(
+    arg: &str,
+    seed: u64,
+    network: &NetworkConfig,
+) -> Result<Arc<FaultSchedule>, String> {
+    let spec = if std::path::Path::new(arg).is_file() {
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read fault file {arg}: {e}"))?
+    } else {
+        arg.to_string()
+    };
+    let sched = FaultSchedule::parse(&spec, seed, RetryParams::default_for(network))?;
+    sched.try_validate(&network.topology)?;
+    Ok(Arc::new(sched))
+}
+
+/// Render the fault-injection epilogue of a run: headline counters plus
+/// the structured unreachable-pair table when anything actually failed.
+fn fault_summary(comm: &CommResult) -> String {
+    let mut s = format!("\nfault injection: {}\n", comm.delivery().headline());
+    if !comm.unreachable.is_empty() {
+        if let Some(t) = report::degraded_table(comm) {
+            s.push_str(&t.render());
+        }
+    }
+    s
+}
+
+/// Execute one CLI invocation (everything after the program name) and
+/// return the text it would print on stdout.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(cmd) = args.first() else {
+        return Err(
+            "no subcommand (expected one of: table1, topo, machines, simulate/sim, probe)".into(),
+        );
+    };
+    match cmd.as_str() {
+        "table1" => Ok(table1::render()),
+        "topo" => {
+            let spec = args.get(1).ok_or("topo needs a spec")?;
+            let t = parse_topology(spec)?;
+            let mut out = String::new();
+            out.push_str(&format!("topology:  {}\n", t.label()));
+            out.push_str(&format!("nodes:     {}\n", t.nodes()));
+            out.push_str(&format!("links:     {}\n", t.link_count()));
+            out.push_str(&format!("diameter:  {}\n", t.diameter()));
+            out.push_str(&format!(
+                "degree:    {}\n",
+                (0..t.nodes())
+                    .map(|n| t.neighbors(n).len())
+                    .max()
+                    .unwrap_or(0)
+            ));
+            Ok(out)
+        }
+        "machines" => Ok(
+            "t805     Inmos T805 transputer multicomputer (30 MHz, SAF links)\n\
+                          ppc601   Motorola PowerPC 601 nodes, two cache levels, hw-routed net\n\
+                          paragon  Intel Paragon XP/S-class (i860 XP, wormhole mesh links)\n\
+                          test     fast round-number test machine\n"
+                .to_string(),
+        ),
+        "simulate" | "sim" => {
+            let o = parse_opts(&args[1..])?;
+            let topo = parse_topology(o.topology.as_deref().unwrap_or("ring:8"))?;
+            let machine = parse_machine(o.machine.as_deref().unwrap_or("t805"), topo)?;
+            let nodes = topo.nodes();
+            let mix = match o.app.as_deref().unwrap_or("scientific") {
+                "scientific" => InstructionMix::scientific(),
+                "integer" => InstructionMix::integer(),
+                other => return Err(format!("unknown app mix `{other}`")),
+            };
+            let app = StochasticApp {
+                mix,
+                phases: o.phases.unwrap_or(5),
+                ops_per_phase: SizeDist::Fixed(o.ops.unwrap_or(5_000)),
+                pattern: parse_pattern(o.pattern.as_deref().unwrap_or("ring"))?,
+                ..StochasticApp::scientific(nodes)
+            };
+            let seed = o.seed.unwrap_or(1);
+            let gen = StochasticGenerator::new(app, seed);
+
+            // Instrumentation: one probe handle feeds every sink the user
+            // asked for. Disabled (a single branch per event site) when
+            // neither flag is given.
+            let mode = o.mode.as_deref().unwrap_or("detailed");
+            let tracing = o.trace_out.is_some() || o.metrics;
+            if tracing && mode == "direct" {
+                return Err("--trace-out/--metrics need --mode detailed or task".into());
+            }
+            let shards = o.shards.unwrap_or(1);
+            if shards > 1 && mode == "direct" {
+                return Err("--shards needs --mode detailed or task".into());
+            }
+            if shards > 1 && o.watch {
+                return Err(
+                    "--shards cannot be combined with --watch (which runs single-threaded)".into(),
+                );
+            }
+            if o.fault_seed.is_some() && o.faults.is_none() {
+                return Err("--fault-seed needs --faults".into());
+            }
+            let faults = match &o.faults {
+                Some(arg) => {
+                    if mode == "direct" {
+                        return Err("--faults needs --mode detailed or task (direct execution \
+                                    has no communication model to inject into)"
+                            .into());
+                    }
+                    if o.watch {
+                        return Err("--faults cannot be combined with --watch".into());
+                    }
+                    Some(parse_faults(
+                        arg,
+                        o.fault_seed.unwrap_or(1),
+                        &machine.network,
+                    )?)
+                }
+                None => None,
+            };
+            let probe = if tracing {
+                let mut stack = ProbeStack::new();
+                if o.trace_out.is_some() {
+                    stack = stack.with_chrome();
+                }
+                if o.metrics {
+                    stack = stack
+                        .with_metrics()
+                        .with_profiler(crate::host_frequency().as_hz() as f64);
+                }
+                ProbeHandle::new(stack)
+            } else {
+                ProbeHandle::disabled()
+            };
+
+            let mut out = format!("machine: {}\n", machine.name);
+            let mut finish_ps = 0u64;
+            match mode {
+                "detailed" => {
+                    let traces = gen.generate();
+                    let meter = SlowdownMeter::start(nodes, machine.cpu.clock);
+                    let r = HybridSim::new(machine)
+                        .with_probe(probe.clone())
+                        .with_shards(shards)
+                        .with_faults(faults.clone())
+                        .run(&traces);
+                    let slow = meter.finish(r.predicted_time);
+                    finish_ps = r.predicted_time.as_ps();
+                    out.push_str(&format!("predicted time: {}\n\n", r.predicted_time));
+                    out.push_str(&report::hybrid_table(&r).render());
+                    if faults.is_some() {
+                        out.push_str(&fault_summary(&r.comm));
+                    }
+                    out.push_str(&format!(
+                        "\nslowdown {:.1}×/proc, {:.0} target cycles/s\n",
+                        slow.slowdown_per_processor(),
+                        slow.target_cycles_per_host_second()
+                    ));
+                }
+                "task" => {
+                    let traces = gen.generate_task_level();
+                    if o.watch {
+                        let (r, run) = observer::observe_task_level_probed(
+                            machine.network,
+                            &traces,
+                            500,
+                            probe.clone(),
+                            |s| {
+                                eprintln!(
+                                    "t={:>14}ps  events={:>8}  msgs={:>6}  done={}/{}",
+                                    s.virtual_ps, s.events, s.messages, s.nodes_done, nodes
+                                );
+                            },
+                        );
+                        finish_ps = r.finish.as_ps();
+                        out.push_str(&format!("predicted time: {}\n", r.finish));
+                        out.push_str(&format!(
+                            "messages over time: {}\n",
+                            mermaid_stats::chart::sparkline(&run.messages, 40)
+                        ));
+                    } else {
+                        let r = TaskLevelSim::new(machine.network)
+                            .with_probe(probe.clone())
+                            .with_shards(shards)
+                            .with_faults(faults.clone())
+                            .run(&traces);
+                        finish_ps = r.predicted_time.as_ps();
+                        out.push_str(&format!("predicted time: {}\n\n", r.predicted_time));
+                        out.push_str(&report::task_level_table(&r).render());
+                        if faults.is_some() {
+                            out.push_str(&fault_summary(&r.comm));
+                        }
+                    }
+                }
+                "direct" => {
+                    let traces = gen.generate();
+                    let r = DirectExecSim::new(machine).run(&traces);
+                    out.push_str(&format!(
+                        "predicted time: {} (direct-execution estimate; cache-blind)\n",
+                        r.predicted_time
+                    ));
+                }
+                other => return Err(format!("unknown mode `{other}`")),
+            }
+
+            if let Some(path) = &o.trace_out {
+                let json = probe.chrome_trace_json().ok_or("no trace was collected")?;
+                crate::probe::validate_chrome_trace(&json)
+                    .map_err(|e| format!("internal error: emitted trace is invalid: {e}"))?;
+                std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                out.push_str(&format!("trace written: {path}\n"));
+            }
+            if o.metrics {
+                let report = probe
+                    .metrics_report(finish_ps)
+                    .ok_or("no metrics were collected")?;
+                out.push('\n');
+                out.push_str(&report.render());
+                if let Some(profile) = probe.host_profile() {
+                    out.push('\n');
+                    out.push_str(&profile.render());
+                }
+            }
+            Ok(out)
+        }
+        "probe" => {
+            let o = parse_opts(&args[1..])?;
+            let topo = parse_topology(o.topology.as_deref().unwrap_or("ring:4"))?;
+            let machine = parse_machine(o.machine.as_deref().unwrap_or("ppc601"), topo)?;
+            let mut out = format!(
+                "machine: {}\n\nmemory-latency curve (64 B stride):\n",
+                machine.name
+            );
+            let footprints: Vec<u64> = (0..10).map(|i| (4 << 10) << i).collect(); // 4 KiB … 2 MiB
+            for p in crate::memory_stride_probe(&machine, &footprints, 64) {
+                out.push_str(&format!(
+                    "  {:>8} KiB  {:>8.1} ns/access\n",
+                    p.array_bytes / 1024,
+                    p.per_access.as_nanos_f64()
+                ));
+            }
+            out.push_str("\nping-pong (node 0 ↔ 1):\n");
+            for p in crate::ping_pong(&machine, &[64, 1024, 16 * 1024, 262_144], 3) {
+                out.push_str(&format!(
+                    "  {:>7} B  one-way {:>12}  {:>10.2} MB/s\n",
+                    p.bytes,
+                    format!("{}", p.one_way),
+                    p.bandwidth / 1e6
+                ));
+            }
+            Ok(out)
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn topology_specs_parse() {
+        assert_eq!(parse_topology("ring:8").unwrap(), Topology::Ring(8));
+        assert_eq!(
+            parse_topology("mesh:4x2").unwrap(),
+            Topology::Mesh2D { w: 4, h: 2 }
+        );
+        assert_eq!(
+            parse_topology("hypercube:3").unwrap(),
+            Topology::Hypercube { dim: 3 }
+        );
+        assert!(parse_topology("ring").is_err());
+        assert!(parse_topology("blob:3").is_err());
+        assert!(parse_topology("mesh:4").is_err());
+    }
+
+    #[test]
+    fn invalid_topology_specs_are_errors_not_panics() {
+        // Each of these used to reach `Topology::validate()`'s assertions
+        // (or overflow `w*h`) and abort the process; they must now come
+        // back as plain `Err`s.
+        for spec in [
+            "ring:1",
+            "ring:0",
+            "mesh:0x4",
+            "mesh:4x0",
+            "torus:0x4",
+            "mesh:1x1",
+            "hypercube:0",
+            "hypercube:21",
+            "full:1",
+            "star:1",
+            "mesh:100000x100000",
+        ] {
+            let err = parse_topology(spec).expect_err(&format!("`{spec}` should be rejected"));
+            assert!(!err.is_empty());
+        }
+        // ... while the boundary cases stay valid.
+        assert!(parse_topology("ring:2").is_ok());
+        assert!(parse_topology("hypercube:20").is_ok());
+    }
+
+    #[test]
+    fn shards_flag_parses_counts_and_auto() {
+        assert_eq!(parse_shards("1").unwrap(), 1);
+        assert_eq!(parse_shards("4").unwrap(), 4);
+        assert!(parse_shards("auto").unwrap() >= 1);
+        assert!(parse_shards("0").is_err());
+        assert!(parse_shards("-2").is_err());
+        assert!(parse_shards("many").is_err());
+        let o = parse_opts(&s(&["--shards", "3"])).unwrap();
+        assert_eq!(o.shards, Some(3));
+        assert!(parse_opts(&s(&["--shards"])).is_err());
+    }
+
+    #[test]
+    fn no_subcommand_error_lists_the_subcommands() {
+        let err = run(&[]).unwrap_err();
+        for name in ["table1", "topo", "machines", "simulate", "probe"] {
+            assert!(err.contains(name), "`{err}` should mention {name}");
+        }
+    }
+
+    #[test]
+    fn shards_rejects_direct_mode_and_watch() {
+        let err = run(&s(&["sim", "--mode", "direct", "--shards", "2"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = run(&s(&["sim", "--mode", "task", "--shards", "2", "--watch"])).unwrap_err();
+        assert!(err.contains("--watch"), "{err}");
+    }
+
+    #[test]
+    fn sharded_simulate_output_matches_serial() {
+        let base = s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "torus:2x2",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+        ]);
+        let serial = run(&base).unwrap();
+        let mut sharded_args = base.clone();
+        sharded_args.extend(s(&["--shards", "3"]));
+        let sharded = run(&sharded_args).unwrap();
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn opts_parse_flags() {
+        let o = parse_opts(&s(&["--machine", "t805", "--seed", "7", "--watch"])).unwrap();
+        assert_eq!(o.machine.as_deref(), Some("t805"));
+        assert_eq!(o.seed, Some(7));
+        assert!(o.watch);
+        assert!(parse_opts(&s(&["--bogus"])).is_err());
+        assert!(parse_opts(&s(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn table1_subcommand_renders() {
+        let out = run(&s(&["table1"])).unwrap();
+        assert!(out.contains("Table 1"));
+    }
+
+    #[test]
+    fn topo_subcommand_reports_shape() {
+        let out = run(&s(&["topo", "torus:4x4"])).unwrap();
+        assert!(out.contains("nodes:     16"));
+        assert!(out.contains("diameter:  4"));
+    }
+
+    #[test]
+    fn simulate_task_mode_works_end_to_end() {
+        let out = run(&s(&[
+            "simulate",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("predicted time"));
+    }
+
+    #[test]
+    fn simulate_detailed_mode_works_end_to_end() {
+        let out = run(&s(&[
+            "simulate",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:2",
+            "--mode",
+            "detailed",
+            "--phases",
+            "1",
+            "--ops",
+            "200",
+        ]))
+        .unwrap();
+        assert!(out.contains("slowdown"));
+    }
+
+    #[test]
+    fn sim_is_an_alias_for_simulate() {
+        let out = run(&s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("predicted time"));
+    }
+
+    #[test]
+    fn traced_run_writes_a_valid_chrome_trace_and_metrics() {
+        let path = std::env::temp_dir().join("mermaid-cli-test-trace.json");
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(&s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--trace-out",
+            &path_s,
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("trace written"), "{out}");
+        assert!(out.contains("engine/deliveries"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let summary = crate::probe::validate_chrome_trace(&json).unwrap();
+        assert!(summary.delivered_messages.unwrap() > 0);
+    }
+
+    #[test]
+    fn tracing_direct_mode_is_an_error() {
+        let err = run(&s(&["sim", "--mode", "direct", "--metrics"])).unwrap_err();
+        assert!(err.contains("detailed or task"), "{err}");
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn faults_flag_is_rejected_in_direct_and_watch_modes() {
+        let err = run(&s(&["sim", "--mode", "direct", "--faults", "drop:100"])).unwrap_err();
+        assert!(err.contains("--faults"), "{err}");
+        let err = run(&s(&[
+            "sim", "--mode", "task", "--watch", "--faults", "drop:100",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--watch"), "{err}");
+        let err = run(&s(&["sim", "--mode", "task", "--fault-seed", "7"])).unwrap_err();
+        assert!(err.contains("--fault-seed needs --faults"), "{err}");
+    }
+
+    #[test]
+    fn bad_fault_specs_are_errors_not_panics() {
+        for spec in [
+            "frob:1",        // unknown clause
+            "link:0-9:1000", // node out of range on ring:4
+            "link:0-2:1000", // not a link on ring:4
+            "link:0-1:5:4",  // heals before it fails
+            "drop:2000000",  // rate above 1.0
+        ] {
+            let err = run(&s(&[
+                "sim",
+                "--machine",
+                "test",
+                "--topology",
+                "ring:4",
+                "--mode",
+                "task",
+                "--phases",
+                "1",
+                "--faults",
+                spec,
+            ]))
+            .expect_err(&format!("`{spec}` should be rejected"));
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn faulty_task_run_reports_fault_injection() {
+        // A permanent cut right next to node 0 on a small ring: traffic
+        // crossing it fails over or times out, and the run must report it.
+        let out = run(&s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--faults",
+            "link:0-1:0",
+        ]))
+        .unwrap();
+        assert!(out.contains("fault injection:"), "{out}");
+        assert!(out.contains("predicted time"), "{out}");
+    }
+
+    #[test]
+    fn faulty_runs_are_identical_serial_vs_sharded() {
+        let base = s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "torus:2x2",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+            "--faults",
+            "link:0-1:2000:400000; drop:20000",
+            "--fault-seed",
+            "9",
+        ]);
+        let serial = run(&base).unwrap();
+        let mut sharded_args = base.clone();
+        sharded_args.extend(s(&["--shards", "3"]));
+        let sharded = run(&sharded_args).unwrap();
+        assert_eq!(serial, sharded);
+        assert!(serial.contains("fault injection:"), "{serial}");
+    }
+
+    #[test]
+    fn fault_file_is_read_when_it_exists() {
+        let path = std::env::temp_dir().join("mermaid-cli-test-faults.txt");
+        std::fs::write(&path, "# scripted outage\nlink:0-1:1000:500000\n").unwrap();
+        let out = run(&s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--mode",
+            "task",
+            "--phases",
+            "1",
+            "--faults",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("fault injection:"), "{out}");
+    }
+}

@@ -17,9 +17,11 @@
 //! still uses physical-time interleaving (see `mermaid-tracegen`) so that
 //! generating threads never run ahead of the simulator.
 
+use std::sync::Arc;
+
 use mermaid_cpu::{CpuStats, SingleNodeSim};
 use mermaid_memory::{MemStats, MemSystemConfig};
-use mermaid_network::{run_sharded, CommResult, CommSim};
+use mermaid_network::{run_sharded_with_faults, CommResult, CommSim, FaultSchedule};
 use mermaid_ops::{NodeId, Trace, TraceSet};
 use mermaid_probe::ProbeHandle;
 use mermaid_tracegen::InterleavedTraceGen;
@@ -60,6 +62,7 @@ pub struct HybridSim {
     machine: MachineConfig,
     probe: ProbeHandle,
     shards: usize,
+    faults: Option<Arc<FaultSchedule>>,
 }
 
 impl HybridSim {
@@ -70,6 +73,7 @@ impl HybridSim {
             machine,
             probe: ProbeHandle::disabled(),
             shards: 1,
+            faults: None,
         }
     }
 
@@ -91,18 +95,41 @@ impl HybridSim {
         self
     }
 
+    /// Enable deterministic fault injection for the communication phase
+    /// (builder style): scripted link/router faults plus seeded transient
+    /// packet loss/corruption, with the ack/retry/backoff reliability
+    /// protocol armed. The computational phase is unaffected; serial and
+    /// sharded runs stay bit-identical under the same schedule.
+    pub fn with_faults(mut self, faults: Option<Arc<FaultSchedule>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Run the communication model over already-extracted task-level
-    /// traces, honouring the configured shard count.
+    /// traces, honouring the configured shard count and fault schedule.
     fn run_comm(&self, task_traces: &TraceSet) -> CommResult {
         if self.shards > 1 {
-            run_sharded(
+            run_sharded_with_faults(
                 self.machine.network,
                 task_traces,
                 self.probe.clone(),
                 self.shards,
+                self.faults.clone(),
             )
         } else {
-            CommSim::new_with_probe(self.machine.network, task_traces, self.probe.clone()).run()
+            match &self.faults {
+                Some(f) => CommSim::new_with_faults(
+                    self.machine.network,
+                    task_traces,
+                    self.probe.clone(),
+                    Arc::clone(f),
+                )
+                .run(),
+                None => {
+                    CommSim::new_with_probe(self.machine.network, task_traces, self.probe.clone())
+                        .run()
+                }
+            }
         }
     }
 

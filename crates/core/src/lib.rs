@@ -42,6 +42,7 @@
 //! assert!(result.predicted_time > pearl::Time::ZERO);
 //! ```
 
+pub mod cli;
 pub mod direct;
 pub mod hybrid;
 pub mod machines;

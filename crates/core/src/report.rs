@@ -1,6 +1,7 @@
 //! Post-mortem report rendering: turns simulation results into the tables
 //! and summaries of the "visualization and analysis tools" box of Fig. 1.
 
+use mermaid_network::CommResult;
 use mermaid_stats::table::Align;
 use mermaid_stats::Table;
 
@@ -51,6 +52,32 @@ pub fn task_level_table(r: &TaskLevelResult) -> Table {
         ]);
     }
     t
+}
+
+/// Render the degraded-mode summary of a fault-injected run: the
+/// structured evidence of what the network failed to deliver. Returns
+/// `None` when the run saw no degradation (nothing failed, timed out or
+/// was dropped).
+pub fn degraded_table(comm: &CommResult) -> Option<Table> {
+    if !comm.degraded() {
+        return None;
+    }
+    let mut t =
+        Table::new(["sender", "dest", "msg seq", "retries", "gave up at"]).with_title(format!(
+            "Degraded mode: {} message(s) failed, {} recv timeout(s), {} retransmission(s), \
+             {} packet(s) dropped",
+            comm.msgs_failed, comm.recv_timeouts, comm.total_retries, comm.total_dropped
+        ));
+    for u in &comm.unreachable {
+        t.row([
+            u.src.to_string(),
+            u.dst.to_string(),
+            u.seq.to_string(),
+            u.retries.to_string(),
+            format!("{}", u.gave_up),
+        ]);
+    }
+    Some(t)
 }
 
 /// Render a slowdown table in the paper's Section 6 shape.

@@ -7,7 +7,9 @@
 //! The task-level traces come straight from a trace generator (Fig. 4's
 //! task-level quadrants) instead of from the computational model.
 
-use mermaid_network::{run_sharded, CommResult, CommSim, NetworkConfig};
+use std::sync::Arc;
+
+use mermaid_network::{run_sharded_with_faults, CommResult, CommSim, FaultSchedule, NetworkConfig};
 use mermaid_ops::TraceSet;
 use mermaid_probe::ProbeHandle;
 use pearl::Time;
@@ -28,6 +30,7 @@ pub struct TaskLevelSim {
     network: NetworkConfig,
     probe: ProbeHandle,
     shards: usize,
+    faults: Option<Arc<FaultSchedule>>,
 }
 
 impl TaskLevelSim {
@@ -38,6 +41,7 @@ impl TaskLevelSim {
             network,
             probe: ProbeHandle::disabled(),
             shards: 1,
+            faults: None,
         }
     }
 
@@ -57,6 +61,15 @@ impl TaskLevelSim {
         self
     }
 
+    /// Enable deterministic fault injection (builder style): scripted
+    /// link/router faults plus seeded transient packet loss/corruption,
+    /// with the ack/retry/backoff reliability protocol armed. Serial and
+    /// sharded runs stay bit-identical under the same schedule.
+    pub fn with_faults(mut self, faults: Option<Arc<FaultSchedule>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The interconnect configuration.
     pub fn network(&self) -> &NetworkConfig {
         &self.network
@@ -66,9 +79,24 @@ impl TaskLevelSim {
     pub fn run(&self, traces: &TraceSet) -> TaskLevelResult {
         let ops_simulated = traces.total_ops() as u64;
         let comm = if self.shards > 1 {
-            run_sharded(self.network, traces, self.probe.clone(), self.shards)
+            run_sharded_with_faults(
+                self.network,
+                traces,
+                self.probe.clone(),
+                self.shards,
+                self.faults.clone(),
+            )
         } else {
-            CommSim::new_with_probe(self.network, traces, self.probe.clone()).run()
+            match &self.faults {
+                Some(f) => CommSim::new_with_faults(
+                    self.network,
+                    traces,
+                    self.probe.clone(),
+                    Arc::clone(f),
+                )
+                .run(),
+                None => CommSim::new_with_probe(self.network, traces, self.probe.clone()).run(),
+            }
         };
         TaskLevelResult {
             predicted_time: comm.finish,

@@ -26,6 +26,7 @@
 //! task-level [`mermaid_ops::TraceSet`], run it, and read a [`CommResult`].
 
 pub mod config;
+pub mod fault;
 pub mod packet;
 pub mod partition;
 pub mod processor;
@@ -35,7 +36,9 @@ pub mod sim;
 pub mod topology;
 
 pub use config::{LinkParams, NetworkConfig, RouterParams, Routing, Switching};
+pub use fault::{FaultEvent, FaultKind, FaultSchedule, RetryParams};
 pub use partition::{lookahead, Partition};
-pub use sharded::{auto_shards, run_sharded};
+pub use processor::{ProcStats, UnreachableReport};
+pub use sharded::{auto_shards, run_sharded, run_sharded_with_faults};
 pub use sim::{CommResult, CommSim, NodeCommStats};
 pub use topology::{Topology, MAX_NODES};

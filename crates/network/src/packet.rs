@@ -56,6 +56,14 @@ pub struct Packet {
     pub kind: PacketKind,
     /// When the message's send operation was issued (for latency stats).
     pub sent_at: Time,
+    /// Retransmission attempt this packet belongs to (0 = original send).
+    /// Folded into the fault layer's per-traversal hash so a retry of the
+    /// same packet over the same link redraws its transient-loss luck.
+    pub attempt: u32,
+    /// Checksum bit of the fault model: set when the packet was corrupted
+    /// crossing a link, detected (and the packet discarded) at the next
+    /// router's checksum point. Always `false` when faults are disabled.
+    pub corrupted: bool,
 }
 
 /// A contiguous run of packets of one message travelling back-to-back.
@@ -121,6 +129,19 @@ pub enum NetMsg {
     /// Router → its processor: the tail of a packet run has fully arrived;
     /// the earlier packets of the run arrived (and were accounted) before.
     DeliverTrain(Train),
+    /// Scripted fault event, self-posted to the affected router before the
+    /// run starts (see `crate::fault::FaultSchedule`).
+    Fault(crate::fault::FaultKind),
+    /// Processor self-event: check whether the message is still
+    /// unacknowledged and retransmit or give up (fault mode only).
+    RetryCheck(MsgId),
+    /// Processor self-event: watchdog for a blocking receive (fault mode
+    /// only). `epoch` invalidates stale deadlines after the receive
+    /// completes normally.
+    RecvDeadline {
+        /// The blocking-wait epoch this deadline was armed in.
+        epoch: u64,
+    },
 }
 
 #[cfg(test)]
@@ -157,6 +178,8 @@ mod tests {
             msg_bytes: 2500,
             kind: PacketKind::Data { sync: false },
             sent_at: Time::ZERO,
+            attempt: 0,
+            corrupted: false,
         };
         let t = Train { first, len: 3 };
         assert_eq!(t.packet(0, 1024).payload, 1024);

@@ -10,8 +10,36 @@
 //! * `recv` blocks until a message from the named source has fully arrived.
 //! * `asend` returns after the send overhead; `arecv` posts the receive and
 //!   returns immediately (the message is consumed on arrival).
+//!
+//! # Fault mode
+//!
+//! With a [`FaultSchedule`] attached (see `crate::fault`), the processor
+//! runs a transport-level reliability protocol so that lost packets never
+//! wedge the simulation:
+//!
+//! * Every originated message (`send`, `asend`, `put`, `get` request) is
+//!   *tracked*: the receiver acknowledges **arrival** (full reassembly)
+//!   with a control packet, and the sender retransmits on timeout with
+//!   capped exponential backoff — all in simulated time.
+//! * After `max_retries` unanswered retransmissions the sender *gives up*:
+//!   it records a structured [`UnreachableReport`], emits a `MsgGaveUp`
+//!   probe event, unblocks (if it was waiting on that message) and
+//!   continues its trace — degraded results instead of deadlock.
+//! * Blocking receives carry a watchdog deadline; a receive that cannot be
+//!   satisfied (the sender is partitioned away) times out and the trace
+//!   continues, counted in `ProcStats::recv_timeouts`.
+//! * Retransmissions reuse the message id; the receiver deduplicates by
+//!   completed-message id and re-acknowledges duplicates (the original ack
+//!   may itself have been lost).
+//!
+//! In fault mode the rendezvous acknowledgement of a blocking `send` is
+//! subsumed by the arrival acknowledgement: the sender unblocks when the
+//! message has fully *arrived* rather than when it is *consumed*. Fault-free
+//! runs (no schedule attached) are bit-identical to a build without this
+//! layer — every fault branch sits behind an `Option` that short-circuits
+//! to the original path.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use mermaid_ops::{NodeId, Operation};
@@ -21,7 +49,24 @@ use pearl::sync::MatchBox;
 use pearl::{CompId, Component, Ctx, Duration, Event, Time};
 
 use crate::config::NetworkConfig;
+use crate::fault::FaultSchedule;
 use crate::packet::{MsgId, NetMsg, Packet, PacketKind, Train};
+
+/// One sender-side record of a message that exhausted its retries: the
+/// structured degraded-mode evidence that a destination was unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnreachableReport {
+    /// The node that gave up sending.
+    pub src: NodeId,
+    /// The destination that never acknowledged.
+    pub dst: NodeId,
+    /// The failed message's source-local sequence number.
+    pub seq: u64,
+    /// Retransmissions attempted before giving up.
+    pub retries: u32,
+    /// Simulated time at which the sender gave up.
+    pub gave_up: Time,
+}
 
 /// Statistics of one abstract processor.
 #[derive(Debug, Clone)]
@@ -44,12 +89,30 @@ pub struct ProcStats {
     pub get_block: Duration,
     /// `get` operations issued by this node.
     pub gets_issued: u64,
-    /// `get` requests this node serviced for others.
+    /// `get` requests this node serviced for others (re-served duplicates
+    /// of a retried request count again).
     pub gets_served: u64,
     /// One-sided `put` messages consumed at this node.
     pub puts_received: u64,
     /// Round-trip latencies of this node's `get` operations (ps).
     pub get_latency: Histogram,
+    /// Messages entered into the reliability protocol (fault mode only).
+    /// Invariant: `msgs_tracked == msgs_acked + msgs_failed` once the run
+    /// has drained — nothing is silently lost.
+    pub msgs_tracked: u64,
+    /// Tracked messages whose arrival was acknowledged.
+    pub msgs_acked: u64,
+    /// Tracked messages given up on after exhausting retries.
+    pub msgs_failed: u64,
+    /// Retransmissions issued (fault mode only).
+    pub retries: u64,
+    /// Blocking receives abandoned by the fault-mode watchdog.
+    pub recv_timeouts: u64,
+    /// Retries needed per tracked message (0 ⇒ first transmission
+    /// acknowledged; recorded on completion or give-up).
+    pub retry_counts: Histogram,
+    /// Structured reports of destinations this node gave up reaching.
+    pub unreachable: Vec<UnreachableReport>,
     /// When this processor finished its trace (None ⇒ blocked forever:
     /// deadlock or mismatched communication).
     pub finished_at: Option<Time>,
@@ -70,6 +133,13 @@ impl Default for ProcStats {
             gets_served: 0,
             puts_received: 0,
             get_latency: Histogram::log2(),
+            msgs_tracked: 0,
+            msgs_acked: 0,
+            msgs_failed: 0,
+            retries: 0,
+            recv_timeouts: 0,
+            retry_counts: Histogram::log2(),
+            unreachable: Vec::new(),
             finished_at: None,
         }
     }
@@ -100,11 +170,11 @@ enum ProcState {
     /// Waiting for a `compute` timer.
     Computing,
     /// Blocked in a synchronous send since the given time.
-    AwaitAck { since: Time },
+    AwaitAck { since: Time, msg: MsgId },
     /// Blocked in a synchronous receive since the given time.
     AwaitRecv { src: NodeId, since: Time },
     /// Blocked in a one-sided `get` since the given time.
-    AwaitGet { since: Time },
+    AwaitGet { since: Time, msg: MsgId },
     /// Trace exhausted.
     Done,
 }
@@ -114,6 +184,19 @@ enum ProcState {
 struct Assembly {
     got: u32,
     total: u32,
+}
+
+/// Sender-side record of an unacknowledged tracked message (fault mode).
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    dst: NodeId,
+    bytes: u32,
+    kind: PacketKind,
+    /// Retransmissions issued so far (0 = only the original send).
+    attempt: u32,
+    /// When the original send was issued — retransmitted packets keep it,
+    /// so latency still measures issue → delivery.
+    sent_at: Time,
 }
 
 /// The abstract processor of one node.
@@ -129,6 +212,19 @@ pub struct AbstractProcessor {
     send_seq: u64,
     assembling: HashMap<MsgId, Assembly>,
     matcher: MatchBox<NodeId, CompletedMsg, Waiter>,
+    /// The fault schedule, when fault injection is enabled. `None`
+    /// short-circuits every reliability-protocol branch to the original
+    /// fault-free path.
+    faults: Option<Arc<FaultSchedule>>,
+    /// Tracked-but-unacknowledged messages (fault mode only).
+    outstanding: HashMap<MsgId, Outstanding>,
+    /// Messages fully assembled at this node — deduplicates the packets of
+    /// retransmissions (fault mode only).
+    completed: HashSet<MsgId>,
+    /// Monotone counter invalidating stale `RecvDeadline` watchdogs: bumped
+    /// every time the trace advances, so a deadline armed for an earlier
+    /// blocking wait can never fire into a later one.
+    wait_epoch: u64,
     /// Instrumentation (disabled by default; observation only, never read
     /// back into model behaviour).
     probe: ProbeHandle,
@@ -154,6 +250,10 @@ impl AbstractProcessor {
             send_seq: 0,
             assembling: HashMap::new(),
             matcher: MatchBox::new(),
+            faults: None,
+            outstanding: HashMap::new(),
+            completed: HashSet::new(),
+            wait_epoch: 0,
             probe: ProbeHandle::disabled(),
             stats: ProcStats::default(),
         }
@@ -162,6 +262,13 @@ impl AbstractProcessor {
     /// Attach an instrumentation handle (builder style).
     pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
         self.probe = probe;
+        self
+    }
+
+    /// Attach a fault schedule (builder style); `None` keeps the exact
+    /// fault-free behaviour.
+    pub fn with_faults(mut self, faults: Option<Arc<FaultSchedule>>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -177,6 +284,9 @@ impl AbstractProcessor {
 
     /// Split a message into packets and inject them after `delay`.
     /// Returns the message id (used to correlate `get` replies).
+    ///
+    /// In fault mode the new message enters the reliability protocol: it is
+    /// recorded as outstanding and a retry check is armed.
     fn inject_message_kind(
         &mut self,
         dst: NodeId,
@@ -190,18 +300,36 @@ impl AbstractProcessor {
             seq: self.send_seq,
         };
         self.send_seq += 1;
-        self.inject_message_as(id, dst, bytes, kind, delay, ctx);
+        self.inject_message_as(id, dst, bytes, kind, 0, delay, ctx);
+        if let Some(faults) = self.faults.clone() {
+            self.outstanding.insert(
+                id,
+                Outstanding {
+                    dst,
+                    bytes,
+                    kind,
+                    attempt: 0,
+                    sent_at: ctx.now(),
+                },
+            );
+            self.stats.msgs_tracked += 1;
+            ctx.timer(delay + faults.retry.timeout(0), NetMsg::RetryCheck(id));
+        }
         id
     }
 
     /// Inject a message under an explicit id (used for `get` replies, which
-    /// carry the *requester's* message id back).
+    /// carry the *requester's* message id back). `attempt` tags the packets
+    /// for the fault layer's per-traversal hash: replies to a retried `get`
+    /// request inherit the request's attempt so they redraw their loss luck.
+    #[allow(clippy::too_many_arguments)]
     fn inject_message_as(
         &mut self,
         id: MsgId,
         dst: NodeId,
         bytes: u32,
         kind: PacketKind,
+        attempt: u32,
         delay: Duration,
         ctx: &mut Ctx<'_, NetMsg>,
     ) {
@@ -216,6 +344,25 @@ impl AbstractProcessor {
                 sync: matches!(kind, PacketKind::Data { sync: true }),
             });
         }
+        self.inject_packets(id, dst, bytes, kind, attempt, ctx.now(), delay, ctx);
+    }
+
+    /// Packetise and hand to the router — the transmission path shared by
+    /// original sends and fault-mode retransmissions (which keep the
+    /// original `sent_at` and carry a fresh `attempt`, but do not count as
+    /// new messages in the statistics).
+    #[allow(clippy::too_many_arguments)]
+    fn inject_packets(
+        &mut self,
+        id: MsgId,
+        dst: NodeId,
+        bytes: u32,
+        kind: PacketKind,
+        attempt: u32,
+        sent_at: Time,
+        delay: Duration,
+        ctx: &mut Ctx<'_, NetMsg>,
+    ) {
         let count = self.cfg.packets_for(bytes);
         let payload_max = self.cfg.router.max_packet_payload;
         let first = Packet {
@@ -226,10 +373,24 @@ impl AbstractProcessor {
             payload: bytes.min(payload_max),
             msg_bytes: bytes,
             kind,
-            sent_at: ctx.now(),
+            sent_at,
+            attempt,
+            corrupted: false,
         };
         if count == 1 {
             ctx.send_after(delay, self.router_comp, NetMsg::Inject(first));
+        } else if self.faults.is_some() {
+            // Fault mode never coalesces: each packet must keep its own
+            // identity (index, checksum bit, loss draw), so the burst is
+            // injected packet by packet.
+            let train = Train { first, len: count };
+            for i in 0..count {
+                ctx.send_after(
+                    delay,
+                    self.router_comp,
+                    NetMsg::Inject(train.packet(i, payload_max)),
+                );
+            }
         } else {
             // All packets are ready at the same instant — hand the router
             // the whole burst as one event (it expands them with the exact
@@ -247,26 +408,34 @@ impl AbstractProcessor {
         sync: bool,
         delay: Duration,
         ctx: &mut Ctx<'_, NetMsg>,
-    ) {
-        self.inject_message_kind(dst, bytes, PacketKind::Data { sync }, delay, ctx);
+    ) -> MsgId {
+        self.inject_message_kind(dst, bytes, PacketKind::Data { sync }, delay, ctx)
     }
 
-    /// Send the rendezvous acknowledgement for a consumed sync message.
-    fn inject_ack(&mut self, msg: CompletedMsg, delay: Duration, ctx: &mut Ctx<'_, NetMsg>) {
+    /// Send an acknowledgement control packet for message `id` back to its
+    /// sender. Fault-free: the rendezvous ack of a blocking send, sent on
+    /// consumption. Fault mode: the arrival ack of the reliability
+    /// protocol, tagged with the `attempt` of the packet that completed the
+    /// message so the ack's own loss draws differ per retransmission.
+    fn inject_ack(&mut self, id: MsgId, attempt: u32, delay: Duration, ctx: &mut Ctx<'_, NetMsg>) {
         let pkt = Packet {
-            msg: msg.id,
-            dst: msg.id.src,
+            msg: id,
+            dst: id.src,
             index: 0,
             count: 1,
             payload: 0,
             msg_bytes: 0,
             kind: PacketKind::Ack,
             sent_at: ctx.now(),
+            attempt,
+            corrupted: false,
         };
         ctx.send_after(delay, self.router_comp, NetMsg::Inject(pkt));
     }
 
-    /// Consume a completed message (statistics + ack).
+    /// Consume a completed message (statistics + rendezvous ack). In fault
+    /// mode the arrival ack has already been sent at reassembly, so no
+    /// consumption ack is due.
     fn consume(&mut self, msg: CompletedMsg, ack_delay: Duration, ctx: &mut Ctx<'_, NetMsg>) {
         self.stats.msgs_received += 1;
         self.stats
@@ -279,14 +448,16 @@ impl AbstractProcessor {
             bytes: msg.bytes,
             latency_ps: msg.arrived.since(msg.sent_at).as_ps(),
         });
-        if msg.sync {
-            self.inject_ack(msg, ack_delay, ctx);
+        if msg.sync && self.faults.is_none() {
+            self.inject_ack(msg.id, 0, ack_delay, ctx);
         }
     }
 
     /// Process trace operations until the processor blocks or finishes.
     fn advance(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
         self.state = ProcState::Running;
+        // Any watchdog armed for an earlier blocking wait is now stale.
+        self.wait_epoch = self.wait_epoch.wrapping_add(1);
         while self.cursor < self.trace.len() {
             let op = self.trace[self.cursor];
             self.cursor += 1;
@@ -306,8 +477,11 @@ impl AbstractProcessor {
                 }
                 Operation::Send { bytes, dst } => {
                     let overhead = self.cfg.software.send_overhead;
-                    self.inject_message(dst, bytes, true, overhead, ctx);
-                    self.state = ProcState::AwaitAck { since: ctx.now() };
+                    let msg = self.inject_message(dst, bytes, true, overhead, ctx);
+                    self.state = ProcState::AwaitAck {
+                        since: ctx.now(),
+                        msg,
+                    };
                     return;
                 }
                 Operation::ASend { bytes, dst } => {
@@ -342,6 +516,16 @@ impl AbstractProcessor {
                                 src,
                                 since: ctx.now(),
                             };
+                            if let Some(faults) = &self.faults {
+                                // Watchdog: a partitioned-away sender must
+                                // not wedge this node forever.
+                                ctx.timer(
+                                    faults.retry.recv_timeout,
+                                    NetMsg::RecvDeadline {
+                                        epoch: self.wait_epoch,
+                                    },
+                                );
+                            }
                             return;
                         }
                     }
@@ -369,14 +553,17 @@ impl AbstractProcessor {
                     }
                     let overhead = self.cfg.software.send_overhead;
                     self.stats.gets_issued += 1;
-                    self.inject_message_kind(
+                    let msg = self.inject_message_kind(
                         from,
                         0,
                         PacketKind::GetRequest { bytes },
                         overhead,
                         ctx,
                     );
-                    self.state = ProcState::AwaitGet { since: ctx.now() };
+                    self.state = ProcState::AwaitGet {
+                        since: ctx.now(),
+                        msg,
+                    };
                     return;
                 }
                 other => panic!(
@@ -418,12 +605,146 @@ impl AbstractProcessor {
         })
     }
 
+    /// An arrival acknowledgement came back for a tracked message (fault
+    /// mode). Duplicates (from re-acked retransmissions, or acks racing a
+    /// retry) are ignored.
+    fn on_transport_ack(&mut self, id: MsgId, ctx: &mut Ctx<'_, NetMsg>) {
+        let Some(out) = self.outstanding.remove(&id) else {
+            return; // already acknowledged, or already given up on
+        };
+        self.stats.msgs_acked += 1;
+        self.stats.retry_counts.record(out.attempt as u64);
+        if let ProcState::AwaitAck { since, msg } = self.state {
+            if msg == id {
+                self.stats.send_block += ctx.now().since(since);
+                self.probe.emit(|| SimEvent::Activation {
+                    node: self.node,
+                    kind: ActKind::SendBlock,
+                    start_ps: since.as_ps(),
+                    end_ps: ctx.now().as_ps(),
+                });
+                self.advance(ctx);
+            }
+        }
+    }
+
+    /// A retry-check timer fired: retransmit the message if it is still
+    /// unacknowledged, or give up once the retry budget is spent.
+    fn on_retry_check(&mut self, id: MsgId, ctx: &mut Ctx<'_, NetMsg>) {
+        let faults = self
+            .faults
+            .clone()
+            .unwrap_or_else(|| panic!("node {}: retry check without a fault schedule", self.node));
+        let Some(out) = self.outstanding.get(&id).copied() else {
+            return; // acknowledged in the meantime — stale timer
+        };
+        if out.attempt >= faults.retry.max_retries {
+            self.give_up(id, out, ctx);
+            return;
+        }
+        let attempt = out.attempt + 1;
+        self.outstanding
+            .get_mut(&id)
+            .expect("checked above")
+            .attempt = attempt;
+        self.stats.retries += 1;
+        self.probe.emit(|| SimEvent::MsgRetry {
+            ts_ps: ctx.now().as_ps(),
+            src: self.node,
+            dst: out.dst,
+            attempt,
+        });
+        // Transport-level retransmission: no software send overhead, the
+        // original issue time is kept for latency accounting.
+        self.inject_packets(
+            id,
+            out.dst,
+            out.bytes,
+            out.kind,
+            attempt,
+            out.sent_at,
+            Duration::ZERO,
+            ctx,
+        );
+        ctx.timer(faults.retry.timeout(attempt), NetMsg::RetryCheck(id));
+    }
+
+    /// Exhausted the retry budget: record the unreachable destination,
+    /// unblock if this message was holding the trace, and move on.
+    fn give_up(&mut self, id: MsgId, out: Outstanding, ctx: &mut Ctx<'_, NetMsg>) {
+        self.outstanding.remove(&id);
+        self.stats.msgs_failed += 1;
+        self.stats.retry_counts.record(out.attempt as u64);
+        let now = ctx.now();
+        self.stats.unreachable.push(UnreachableReport {
+            src: self.node,
+            dst: out.dst,
+            seq: id.seq,
+            retries: out.attempt,
+            gave_up: now,
+        });
+        self.probe.emit(|| SimEvent::MsgGaveUp {
+            ts_ps: now.as_ps(),
+            src: self.node,
+            dst: out.dst,
+            retries: out.attempt,
+        });
+        match self.state {
+            ProcState::AwaitAck { since, msg } if msg == id => {
+                self.stats.send_block += now.since(since);
+                self.probe.emit(|| SimEvent::Activation {
+                    node: self.node,
+                    kind: ActKind::SendBlock,
+                    start_ps: since.as_ps(),
+                    end_ps: now.as_ps(),
+                });
+                self.advance(ctx);
+            }
+            ProcState::AwaitGet { since, msg } if msg == id => {
+                self.stats.get_block += now.since(since);
+                self.probe.emit(|| SimEvent::Activation {
+                    node: self.node,
+                    kind: ActKind::GetBlock,
+                    start_ps: since.as_ps(),
+                    end_ps: now.as_ps(),
+                });
+                self.advance(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    /// The blocking-receive watchdog fired. If the same wait is still in
+    /// progress (matching epoch), abandon the receive and continue the
+    /// trace — the matching send was lost or its sender is unreachable.
+    fn on_recv_deadline(&mut self, epoch: u64, ctx: &mut Ctx<'_, NetMsg>) {
+        if epoch != self.wait_epoch {
+            return; // stale: that wait completed long ago
+        }
+        let ProcState::AwaitRecv { since, .. } = self.state else {
+            return; // the wait was satisfied but the trace has not advanced
+                    // past the receive overhead yet
+        };
+        let now = ctx.now();
+        self.stats.recv_timeouts += 1;
+        self.stats.recv_block += now.since(since);
+        self.probe.emit(|| SimEvent::Activation {
+            node: self.node,
+            kind: ActKind::RecvBlock,
+            start_ps: since.as_ps(),
+            end_ps: now.as_ps(),
+        });
+        self.advance(ctx);
+    }
+
     fn on_deliver(&mut self, pkt: Packet, ctx: &mut Ctx<'_, NetMsg>) {
         match pkt.kind {
             PacketKind::GetRequest { bytes } => {
                 // Service the one-sided read: reply with the data after the
                 // software service cost, without touching our own trace
-                // progress (DMA-like).
+                // progress (DMA-like). A retried request is re-served — the
+                // previous reply may have been lost — and the reply inherits
+                // the request's attempt for the fault layer's hash.
                 self.stats.gets_served += 1;
                 let requester = pkt.msg.src;
                 self.inject_message_as(
@@ -431,15 +752,29 @@ impl AbstractProcessor {
                     requester,
                     bytes,
                     PacketKind::GetReply,
+                    pkt.attempt,
                     self.cfg.software.recv_overhead,
                     ctx,
                 );
             }
             PacketKind::GetReply => {
+                if self.faults.is_some() && self.completed.contains(&pkt.msg) {
+                    return; // duplicate of an already-completed reply
+                }
                 if self.assemble(&pkt, ctx.now()).is_none() {
                     return;
                 }
-                let ProcState::AwaitGet { since } = self.state else {
+                if self.faults.is_some() {
+                    self.completed.insert(pkt.msg);
+                    let Some(out) = self.outstanding.remove(&pkt.msg) else {
+                        // We already gave up on this get and moved on —
+                        // drop the late reply.
+                        return;
+                    };
+                    self.stats.msgs_acked += 1;
+                    self.stats.retry_counts.record(out.attempt as u64);
+                }
+                let ProcState::AwaitGet { since, .. } = self.state else {
                     panic!(
                         "node {}: get reply {:?} while not waiting (state {:?})",
                         self.node, pkt.msg, self.state
@@ -459,12 +794,28 @@ impl AbstractProcessor {
                 self.advance(ctx);
             }
             PacketKind::OneWay => {
+                if self.faults.is_some() && self.completed.contains(&pkt.msg) {
+                    // Duplicate put: the earlier arrival ack may have been
+                    // lost — re-acknowledge on the tail packet.
+                    if pkt.index + 1 == pkt.count {
+                        self.inject_ack(pkt.msg, pkt.attempt, Duration::ZERO, ctx);
+                    }
+                    return;
+                }
                 if self.assemble(&pkt, ctx.now()).is_some() {
                     self.stats.puts_received += 1;
+                    if self.faults.is_some() {
+                        self.completed.insert(pkt.msg);
+                        self.inject_ack(pkt.msg, pkt.attempt, Duration::ZERO, ctx);
+                    }
                 }
             }
             PacketKind::Ack => {
-                let ProcState::AwaitAck { since } = self.state else {
+                if self.faults.is_some() {
+                    self.on_transport_ack(pkt.msg, ctx);
+                    return;
+                }
+                let ProcState::AwaitAck { since, .. } = self.state else {
                     panic!(
                         "node {}: unexpected ack for message {:?} in state {:?}",
                         self.node, pkt.msg, self.state
@@ -480,9 +831,25 @@ impl AbstractProcessor {
                 self.advance(ctx);
             }
             PacketKind::Data { .. } => {
+                if self.faults.is_some() && self.completed.contains(&pkt.msg) {
+                    // Duplicate from a retransmission of a message we
+                    // already assembled — the arrival ack may have been
+                    // lost; re-acknowledge on the tail packet so the sender
+                    // can complete.
+                    if pkt.index + 1 == pkt.count {
+                        self.inject_ack(pkt.msg, pkt.attempt, Duration::ZERO, ctx);
+                    }
+                    return;
+                }
                 let Some(msg) = self.assemble(&pkt, ctx.now()) else {
                     return;
                 };
+                if self.faults.is_some() {
+                    // Arrival acknowledgement of the reliability protocol
+                    // (for sync sends this replaces the rendezvous ack).
+                    self.completed.insert(msg.id);
+                    self.inject_ack(msg.id, pkt.attempt, Duration::ZERO, ctx);
+                }
                 // Async receives posted earlier claim the message first.
                 if self.matcher.has_waiter(&msg.id.src) {
                     let w = self
@@ -541,6 +908,8 @@ impl Component<NetMsg> for AbstractProcessor {
                     self.on_deliver(train.packet(i, payload_max), ctx);
                 }
             }
+            NetMsg::RetryCheck(id) => self.on_retry_check(id, ctx),
+            NetMsg::RecvDeadline { epoch } => self.on_recv_deadline(epoch, ctx),
             other => panic!(
                 "processor {} received unexpected event {other:?}",
                 self.node
@@ -559,6 +928,26 @@ mod tests {
         assert_eq!(s.msgs_sent, 0);
         assert_eq!(s.finished_at, None);
         assert_eq!(s.msg_latency.count(), 0);
+        assert_eq!(s.msgs_tracked, 0);
+        assert_eq!(s.retry_counts.count(), 0);
+        assert!(s.unreachable.is_empty());
+    }
+
+    #[test]
+    fn unreachable_reports_order_by_source_then_destination() {
+        let a = UnreachableReport {
+            src: 0,
+            dst: 3,
+            seq: 7,
+            retries: 6,
+            gave_up: Time::from_ps(10),
+        };
+        let b = UnreachableReport {
+            src: 1,
+            dst: 0,
+            ..a
+        };
+        assert!(a < b);
     }
 
     // Behavioural tests for the processor live in `sim.rs`, where a full

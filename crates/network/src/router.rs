@@ -3,15 +3,16 @@
 //! by hop with a configurable routing and switching strategy.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
 use mermaid_ops::NodeId;
-use mermaid_probe::{ProbeHandle, SimEvent};
+use mermaid_probe::{DropReason, ProbeHandle, SimEvent};
 use pearl::{CompId, Component, Ctx, Duration, Event, EventKey, Time};
 
 use crate::config::{LinkParams, RouterParams, Routing, Switching};
+use crate::fault::{FaultKind, FaultSchedule};
 use crate::packet::{NetMsg, Packet, Train};
 use crate::topology::Topology;
 
@@ -58,6 +59,30 @@ pub struct RouterStats {
     /// Per-neighbour busy time (for link-utilisation reports).
     // BTreeMap so stats (and their Debug rendering) are deterministic.
     pub per_link_busy: BTreeMap<NodeId, Duration>,
+    /// Packets discarded because no minimal output link was up.
+    pub dropped_link_down: u64,
+    /// Packets discarded because this router was down when they arrived.
+    pub dropped_router_down: u64,
+    /// Packets discarded at this router's checksum point (corrupted on the
+    /// incoming link).
+    pub dropped_corrupt: u64,
+    /// Packets lost to transient faults on this router's output links
+    /// (they consumed link bandwidth, then vanished).
+    pub dropped_transient: u64,
+    /// Packets this router's output links corrupted in flight.
+    pub corrupted: u64,
+    /// Packets steered around a failed preferred output link.
+    pub rerouted: u64,
+}
+
+impl RouterStats {
+    /// Total packets this router discarded, for any fault reason.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_link_down
+            + self.dropped_router_down
+            + self.dropped_corrupt
+            + self.dropped_transient
+    }
 }
 
 /// One node's router.
@@ -78,6 +103,14 @@ pub struct Router {
     probe: ProbeHandle,
     /// Cross-shard egress (sharded runs only; `None` single-threaded).
     cross: Option<CrossShard>,
+    /// The fault schedule (`None` = fault layer disabled: every check
+    /// below short-circuits on this option, so a healthy run takes the
+    /// exact pre-fault code path).
+    faults: Option<Arc<FaultSchedule>>,
+    /// Outgoing links currently down (fault mode only).
+    down_links: HashSet<NodeId>,
+    /// Whether this router itself is currently down (fault mode only).
+    down: bool,
     /// Statistics.
     pub stats: RouterStats,
 }
@@ -102,6 +135,9 @@ impl Router {
             out_busy: HashMap::new(),
             probe: ProbeHandle::disabled(),
             cross: None,
+            faults: None,
+            down_links: HashSet::new(),
+            down: false,
             stats: RouterStats::default(),
         }
     }
@@ -115,6 +151,13 @@ impl Router {
     /// Attach cross-shard egress wiring (builder style; sharded runs only).
     pub fn with_cross_shard(mut self, cross: CrossShard) -> Self {
         self.cross = Some(cross);
+        self
+    }
+
+    /// Attach a fault schedule (builder style). `None` keeps the fault
+    /// layer switched off entirely.
+    pub fn with_faults(mut self, faults: Option<Arc<FaultSchedule>>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -137,7 +180,7 @@ impl Router {
                 return;
             }
         }
-        ctx.send_after(at.since(ctx.now()), dst, msg);
+        ctx.send_at(at, dst, msg);
     }
 
     /// Wire size of a packet: payload plus header.
@@ -217,12 +260,101 @@ impl Router {
         start + self.link.wire_latency + head_adv
     }
 
+    /// Account and announce a discarded packet (fault mode only).
+    fn drop_packet(&mut self, pkt: &Packet, at: Time, reason: DropReason) {
+        match reason {
+            DropReason::LinkDown => self.stats.dropped_link_down += 1,
+            DropReason::RouterDown => self.stats.dropped_router_down += 1,
+            DropReason::Corrupt => self.stats.dropped_corrupt += 1,
+            DropReason::Transient => self.stats.dropped_transient += 1,
+        }
+        self.probe.emit(|| SimEvent::PacketDropped {
+            ts_ps: at.as_ps(),
+            node: self.node,
+            src: pkt.msg.src,
+            seq: pkt.msg.seq,
+            reason,
+        });
+    }
+
+    /// Apply a scripted fault. Transfers already reserved on a link run to
+    /// completion — a fault changes the fate of packets that *arrive*
+    /// after it, matching a status register the router consults per hop.
+    fn apply_fault(&mut self, kind: FaultKind, now: Time) {
+        match kind {
+            FaultKind::LinkDown { to, .. } => {
+                self.down_links.insert(to);
+                self.probe.emit(|| SimEvent::LinkFault {
+                    ts_ps: now.as_ps(),
+                    node: self.node,
+                    to,
+                    up: false,
+                });
+            }
+            FaultKind::LinkUp { to, .. } => {
+                self.down_links.remove(&to);
+                self.probe.emit(|| SimEvent::LinkFault {
+                    ts_ps: now.as_ps(),
+                    node: self.node,
+                    to,
+                    up: true,
+                });
+            }
+            FaultKind::RouterDown { .. } => {
+                self.down = true;
+                self.probe.emit(|| SimEvent::RouterFault {
+                    ts_ps: now.as_ps(),
+                    node: self.node,
+                    up: false,
+                });
+            }
+            FaultKind::RouterUp { .. } => {
+                self.down = false;
+                self.probe.emit(|| SimEvent::RouterFault {
+                    ts_ps: now.as_ps(),
+                    node: self.node,
+                    up: true,
+                });
+            }
+        }
+    }
+
+    /// Pick an *up* output port for a packet: the healthy-path choice when
+    /// its link is up, otherwise the earliest-free minimal alternative
+    /// that is (adaptive rerouting, even under dimension-order routing).
+    /// `None` when every minimal output is down. The second component is
+    /// true when the packet was steered off its preferred port.
+    fn pick_next_up(&self, pkt: &Packet) -> Option<(NodeId, bool)> {
+        let preferred = self.pick_next(pkt);
+        if self.down_links.is_empty() || !self.down_links.contains(&preferred) {
+            return Some((preferred, false));
+        }
+        self.topo
+            .minimal_next_hops(self.node, pkt.dst)
+            .into_iter()
+            .filter(|n| !self.down_links.contains(n))
+            .min_by_key(|&n| (self.out_busy.get(&n).copied().unwrap_or(Time::ZERO), n))
+            .map(|n| (n, true))
+    }
+
     /// Handle a packet whose head is at this router at `now`. `streamed`
     /// is true when the packet body may still be arriving (cut-through
     /// forwarding), false when the packet is fully local (injection or
     /// store-and-forward arrival).
     fn handle_packet(&mut self, pkt: Packet, streamed: bool, ctx: &mut Ctx<'_, NetMsg>) {
         let now = ctx.now();
+        if self.faults.is_some() {
+            if self.down {
+                self.drop_packet(&pkt, now, DropReason::RouterDown);
+                return;
+            }
+            if pkt.corrupted {
+                // Checksum point: corruption on the incoming link is
+                // detected here and the packet discarded.
+                self.drop_packet(&pkt, now, DropReason::Corrupt);
+                return;
+            }
+        }
         if pkt.dst == self.node {
             // Eject to the local processor once the tail has arrived.
             let residue = self.tail_residue(&pkt, streamed);
@@ -236,9 +368,42 @@ impl Router {
             return;
         }
         // Forward: pick the next hop, wait for the output link, serialise.
-        let next = self.pick_next(&pkt);
+        let Some((next, rerouted)) = self.pick_next_up(&pkt) else {
+            self.drop_packet(&pkt, now, DropReason::LinkDown);
+            return;
+        };
+        if rerouted {
+            self.stats.rerouted += 1;
+            self.probe.emit(|| SimEvent::Reroute {
+                ts_ps: now.as_ps(),
+                node: self.node,
+                to: next,
+            });
+        }
         let arrive = self.reserve(next, &pkt, now);
-        self.send_router(ctx, next, arrive, NetMsg::Forward(pkt));
+        let mut fwd = pkt;
+        if let Some(faults) = self.faults.clone() {
+            // Stateless per-traversal draws: verdicts depend only on the
+            // packet's identity and the link, never on event order.
+            if faults.drops_packet(self.node, next, &pkt) {
+                // The packet consumed the wire (the link was reserved
+                // above), then vanished.
+                self.drop_packet(&pkt, now, DropReason::Transient);
+                return;
+            }
+            if faults.corrupts_packet(self.node, next, &pkt) {
+                fwd.corrupted = true;
+                self.stats.corrupted += 1;
+                self.probe.emit(|| SimEvent::PacketCorrupted {
+                    ts_ps: now.as_ps(),
+                    node: self.node,
+                    to: next,
+                    src: pkt.msg.src,
+                    seq: pkt.msg.seq,
+                });
+            }
+        }
+        self.send_router(ctx, next, arrive, NetMsg::Forward(fwd));
     }
 
     /// Head-arrival gap on the incoming link between two consecutive
@@ -269,6 +434,22 @@ impl Router {
     /// including per-arrival adaptive route choice — event for event.
     fn handle_train(&mut self, train: Train, injected: bool, ctx: &mut Ctx<'_, NetMsg>) {
         let now = ctx.now();
+        if self.faults.is_some() && train.len >= 2 {
+            // Fault mode never coalesces: a train carries one checksum bit
+            // and one identity for the whole run, but fault draws are
+            // per-packet per-link. Fault-mode processors inject packets
+            // individually, and fault-mode routers (this branch) never
+            // emit a train, so a multi-packet run can only be a fresh
+            // injection — expand it in place.
+            debug_assert!(injected, "fault-mode routers never emit trains");
+            let payload_max = self.params.max_packet_payload;
+            let me = self.router_comps[self.node as usize];
+            self.handle_packet(train.packet(0, payload_max), false, ctx);
+            for i in 1..train.len {
+                ctx.send_now(me, NetMsg::Inject(train.packet(i, payload_max)));
+            }
+            return;
+        }
         let streamed = !injected && !matches!(self.params.switching, Switching::StoreAndForward);
         if train.len < 2 {
             // Degenerate run: behave exactly like the scalar event.
@@ -371,6 +552,7 @@ impl Component<NetMsg> for Router {
             }
             NetMsg::InjectTrain(train) => self.handle_train(train, true, ctx),
             NetMsg::ForwardTrain(train) => self.handle_train(train, false, ctx),
+            NetMsg::Fault(kind) => self.apply_fault(kind, ctx.now()),
             other => panic!("router {} received unexpected event {other:?}", self.node),
         }
     }
@@ -412,6 +594,8 @@ mod tests {
             msg_bytes: payload,
             kind: PacketKind::Data { sync: false },
             sent_at: Time::ZERO,
+            attempt: 0,
+            corrupted: false,
         }
     }
 
@@ -523,6 +707,8 @@ mod tests {
                 msg_bytes,
                 kind: PacketKind::Data { sync: false },
                 sent_at: Time::ZERO,
+                attempt: 0,
+                corrupted: false,
             };
 
             let (mut e_pkt, sinks_pkt) = line(4, switching);

@@ -27,6 +27,7 @@ use mermaid_probe::{canonical_sort, ProbeHandle, ProbeStack, SimEvent};
 use pearl::{CompId, Component, Ctx, Duration, Engine, Event, Time, WindowBarrier};
 
 use crate::config::NetworkConfig;
+use crate::fault::FaultSchedule;
 use crate::packet::NetMsg;
 use crate::partition::{lookahead, Partition};
 use crate::processor::AbstractProcessor;
@@ -85,11 +86,33 @@ pub fn run_sharded(
     probe: ProbeHandle,
     shards: usize,
 ) -> CommResult {
+    run_sharded_with_faults(cfg, traces, probe, shards, None)
+}
+
+/// [`run_sharded`] with deterministic fault injection: bit-identical to
+/// `CommSim::new_with_faults(cfg, traces, probe, faults).run()`.
+///
+/// Scripted fault events are self-events of the affected router, so each
+/// shard posts only its own nodes' events — in the same per-node order as
+/// the serial engine — before priming, which consumes exactly the serial
+/// per-component key counters. Per-packet transient losses and corruptions
+/// are drawn from a stateless seeded hash over the packet's identity and
+/// the link it crosses, so the draw is the same whichever shard makes it.
+pub fn run_sharded_with_faults(
+    cfg: NetworkConfig,
+    traces: &TraceSet,
+    probe: ProbeHandle,
+    shards: usize,
+    faults: Option<Arc<FaultSchedule>>,
+) -> CommResult {
     cfg.validate();
     let part = Partition::contiguous(cfg.topology, shards);
     let la = lookahead(&cfg);
     if part.shards() <= 1 || la == Duration::ZERO {
-        return CommSim::new_with_probe(cfg, traces, probe).run();
+        return match faults {
+            Some(f) => CommSim::new_with_faults(cfg, traces, probe, f).run(),
+            None => CommSim::new_with_probe(cfg, traces, probe).run(),
+        };
     }
     let n = cfg.topology.nodes();
     assert_eq!(
@@ -123,10 +146,11 @@ pub fn run_sharded(
             .enumerate()
             .map(|(s, rx)| {
                 let txs = txs.clone();
+                let faults = faults.clone();
                 let (part, barrier, arrivals) = (&part, &barrier, &arrivals);
                 scope.spawn(move || {
                     shard_worker(
-                        s, cfg, traces, part, la, barrier, arrivals, txs, rx, want_probe,
+                        s, cfg, traces, part, la, barrier, arrivals, txs, rx, want_probe, faults,
                     )
                 })
             })
@@ -154,6 +178,7 @@ fn shard_worker(
     txs: Vec<SyncSender<OutMsg>>,
     rx: Receiver<OutMsg>,
     want_probe: bool,
+    faults: Option<Arc<FaultSchedule>>,
 ) -> ShardOut {
     let n = part.nodes();
     let k = part.shards() as u64;
@@ -185,6 +210,7 @@ fn shard_worker(
                     Arc::clone(&router_ids),
                 )
                 .with_probe(my_probe.clone())
+                .with_faults(faults.clone())
                 .with_cross_shard(CrossShard {
                     local: Arc::clone(&local_mask),
                     outbox: outbox.clone(),
@@ -199,10 +225,28 @@ fn shard_worker(
             engine.add_component(
                 format!("proc{node}"),
                 AbstractProcessor::new(node, traces.trace(node).shared_ops(), node as usize, cfg)
-                    .with_probe(my_probe.clone()),
+                    .with_probe(my_probe.clone())
+                    .with_faults(faults.clone()),
             );
         } else {
             engine.add_component(format!("proc{node}"), Phantom);
+        }
+    }
+    // Post this shard's scripted fault events *before* priming, exactly as
+    // the serial engine posts them before running: fault events are
+    // self-events of their router, so posting only the local nodes' events
+    // (in the same per-node schedule order) consumes the same per-component
+    // key counters and yields serial-identical event keys.
+    if let Some(f) = &faults {
+        for node in range.clone() {
+            for ev in f.events_for(node) {
+                engine.post(
+                    ev.at,
+                    node as CompId,
+                    node as CompId,
+                    NetMsg::Fault(ev.kind),
+                );
+            }
         }
     }
     engine.prime();
@@ -282,26 +326,12 @@ fn shard_worker(
 /// collection exactly).
 fn merge(outs: Vec<ShardOut>, probe: &ProbeHandle) -> CommResult {
     let mut nodes = Vec::new();
-    let mut msg_latency = mermaid_stats::Histogram::log2();
-    let mut finish = Time::ZERO;
-    let mut unfinished = Vec::new();
-    let mut total_messages = 0;
-    let mut total_bytes = 0;
     let mut events = 0;
     let mut probe_events = Vec::new();
     for out in outs {
         events += out.events;
         probe_events.extend(out.probe_events);
-        for nc in out.nodes {
-            match nc.proc.finished_at {
-                Some(t) => finish = finish.max(t),
-                None => unfinished.push(nc.node),
-            }
-            msg_latency.merge(&nc.proc.msg_latency);
-            total_messages += nc.proc.msgs_received;
-            total_bytes += nc.proc.bytes_sent;
-            nodes.push(nc);
-        }
+        nodes.extend(out.nodes);
     }
     if probe.is_enabled() {
         canonical_sort(&mut probe_events);
@@ -312,16 +342,7 @@ fn merge(outs: Vec<ShardOut>, probe: &ProbeHandle) -> CommResult {
     // The window loop only terminates once every shard's event set has
     // drained, so — unlike a mid-run snapshot — unfinished here means
     // deadlocked, exactly as in the serial terminal collect.
-    CommResult {
-        finish,
-        all_done: unfinished.is_empty(),
-        deadlocked: unfinished,
-        nodes,
-        events,
-        msg_latency,
-        total_messages,
-        total_bytes,
-    }
+    CommResult::from_nodes(nodes, events, true)
 }
 
 #[cfg(test)]

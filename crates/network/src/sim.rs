@@ -8,8 +8,9 @@ use mermaid_stats::Histogram;
 use pearl::{CompId, Duration, Engine, Time};
 
 use crate::config::NetworkConfig;
+use crate::fault::FaultSchedule;
 use crate::packet::NetMsg;
-use crate::processor::{AbstractProcessor, ProcStats};
+use crate::processor::{AbstractProcessor, ProcStats, UnreachableReport};
 use crate::router::{Router, RouterStats};
 
 /// Per-node results of a communication simulation.
@@ -46,9 +47,102 @@ pub struct CommResult {
     pub total_messages: u64,
     /// Total payload bytes sent.
     pub total_bytes: u64,
+    /// Structured degraded-mode reports: every (sender, destination,
+    /// message) that exhausted its retries, in node order then give-up
+    /// order. Empty on healthy runs.
+    pub unreachable: Vec<UnreachableReport>,
+    /// Total retransmissions issued across all nodes (fault mode).
+    pub total_retries: u64,
+    /// Tracked messages given up on across all nodes (fault mode).
+    pub msgs_failed: u64,
+    /// Blocking receives abandoned by the fault-mode watchdog.
+    pub recv_timeouts: u64,
+    /// Packets discarded by routers (link/router down, corruption,
+    /// transient loss).
+    pub total_dropped: u64,
 }
 
 impl CommResult {
+    /// Fold per-node statistics into a result, mirroring the serial
+    /// collection field for field — the single aggregation path shared by
+    /// [`CommSim::run`] and the sharded merge, so the two can never
+    /// diverge. `drained` states whether the event set has drained (only a
+    /// drained set proves deadlock).
+    pub(crate) fn from_nodes(nodes: Vec<NodeCommStats>, events: u64, drained: bool) -> CommResult {
+        let mut msg_latency = Histogram::log2();
+        let mut finish = Time::ZERO;
+        let mut unfinished = Vec::new();
+        let mut total_messages = 0;
+        let mut total_bytes = 0;
+        let mut unreachable = Vec::new();
+        let mut total_retries = 0;
+        let mut msgs_failed = 0;
+        let mut recv_timeouts = 0;
+        let mut total_dropped = 0;
+        for nc in &nodes {
+            match nc.proc.finished_at {
+                Some(t) => finish = finish.max(t),
+                None => unfinished.push(nc.node),
+            }
+            msg_latency.merge(&nc.proc.msg_latency);
+            total_messages += nc.proc.msgs_received;
+            total_bytes += nc.proc.bytes_sent;
+            unreachable.extend(nc.proc.unreachable.iter().copied());
+            total_retries += nc.proc.retries;
+            msgs_failed += nc.proc.msgs_failed;
+            recv_timeouts += nc.proc.recv_timeouts;
+            total_dropped += nc.router.dropped();
+        }
+        CommResult {
+            finish,
+            all_done: unfinished.is_empty(),
+            deadlocked: if drained { unfinished } else { Vec::new() },
+            nodes,
+            events,
+            msg_latency,
+            total_messages,
+            total_bytes,
+            unreachable,
+            total_retries,
+            msgs_failed,
+            recv_timeouts,
+            total_dropped,
+        }
+    }
+
+    /// True when the run degraded under faults: messages failed, receives
+    /// timed out, or packets were dropped.
+    pub fn degraded(&self) -> bool {
+        self.msgs_failed > 0 || self.recv_timeouts > 0 || self.total_dropped > 0
+    }
+
+    /// Roll the per-node reliability counters into one delivered-vs-
+    /// dropped picture (see [`mermaid_stats::DeliveryStats`]). On a
+    /// fault-free run everything is zero and `delivered_fraction()` is
+    /// `None`.
+    pub fn delivery(&self) -> mermaid_stats::DeliveryStats {
+        let mut d = mermaid_stats::DeliveryStats::new();
+        for nc in &self.nodes {
+            d.tracked += nc.proc.msgs_tracked;
+            d.acked += nc.proc.msgs_acked;
+            d.failed += nc.proc.msgs_failed;
+            d.retries += nc.proc.retries;
+            d.recv_timeouts += nc.proc.recv_timeouts;
+            d.dropped_packets += nc.router.dropped();
+            d.attempts.merge(&nc.proc.retry_counts);
+        }
+        d
+    }
+
+    /// The distinct (sender, destination) pairs reported unreachable,
+    /// sorted and deduplicated.
+    pub fn unreachable_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut pairs: Vec<(NodeId, NodeId)> =
+            self.unreachable.iter().map(|u| (u.src, u.dst)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
     /// Aggregate busy time across all links.
     pub fn total_link_busy(&self) -> Duration {
         self.nodes.iter().map(|n| n.router.link_busy).sum()
@@ -100,7 +194,39 @@ impl CommSim {
     /// Instrumentation is strictly observational — a traced run produces
     /// bit-identical virtual-time results to an untraced one.
     pub fn new_with_probe(cfg: NetworkConfig, traces: &TraceSet, probe: ProbeHandle) -> Self {
+        CommSim::build(cfg, traces, probe, None)
+    }
+
+    /// Like [`CommSim::new_with_probe`], with deterministic fault injection:
+    /// the schedule's scripted link/router events are posted into the
+    /// engine before the run starts, routers draw per-packet transient
+    /// losses and corruptions from the schedule's seeded hash, and the
+    /// processors run the ack/retry/backoff reliability protocol (see
+    /// `crate::fault` and the module docs of `crate::processor`).
+    ///
+    /// Panics when the schedule references nodes or links the topology
+    /// does not have.
+    pub fn new_with_faults(
+        cfg: NetworkConfig,
+        traces: &TraceSet,
+        probe: ProbeHandle,
+        faults: Arc<FaultSchedule>,
+    ) -> Self {
+        CommSim::build(cfg, traces, probe, Some(faults))
+    }
+
+    fn build(
+        cfg: NetworkConfig,
+        traces: &TraceSet,
+        probe: ProbeHandle,
+        faults: Option<Arc<FaultSchedule>>,
+    ) -> Self {
         cfg.validate();
+        if let Some(f) = &faults {
+            if let Err(e) = f.try_validate(&cfg.topology) {
+                panic!("invalid fault schedule for {}: {e}", cfg.topology.label());
+            }
+        }
         let n = cfg.topology.nodes();
         // Compare as usize — casting `traces.nodes()` down to u32 could
         // truncate an oversized trace set into a spurious match.
@@ -131,7 +257,8 @@ impl CommSim {
                     proc_ids[node as usize],
                     Arc::clone(&router_ids),
                 )
-                .with_probe(probe.clone()),
+                .with_probe(probe.clone())
+                .with_faults(faults.clone()),
             );
         }
         for node in 0..n {
@@ -143,8 +270,26 @@ impl CommSim {
                     router_ids[node as usize],
                     cfg,
                 )
-                .with_probe(probe.clone()),
+                .with_probe(probe.clone())
+                .with_faults(faults.clone()),
             );
+        }
+        if let Some(f) = &faults {
+            // Post the scripted fault events before the run, node by node
+            // in schedule order. They are self-events of the affected
+            // router, so a sharded mirror engine posting only *its* nodes'
+            // events consumes exactly the same per-component key counters —
+            // the foundation of serial/sharded bit-identity under faults.
+            for node in 0..n {
+                for ev in f.events_for(node) {
+                    engine.post(
+                        ev.at,
+                        node as CompId,
+                        node as CompId,
+                        NetMsg::Fault(ev.kind),
+                    );
+                }
+            }
         }
         CommSim {
             engine,
@@ -184,11 +329,6 @@ impl CommSim {
     fn collect(&self) -> CommResult {
         let n = self.nodes;
         let mut nodes = Vec::with_capacity(n as usize);
-        let mut msg_latency = Histogram::log2();
-        let mut finish = Time::ZERO;
-        let mut unfinished = Vec::new();
-        let mut total_messages = 0;
-        let mut total_bytes = 0;
         for node in 0..n {
             let router = self
                 .engine
@@ -198,13 +338,6 @@ impl CommSim {
                 .engine
                 .component::<AbstractProcessor>((n + node) as usize)
                 .expect("processor component");
-            match proc.stats.finished_at {
-                Some(t) => finish = finish.max(t),
-                None => unfinished.push(node),
-            }
-            msg_latency.merge(&proc.stats.msg_latency);
-            total_messages += proc.stats.msgs_received;
-            total_bytes += proc.stats.bytes_sent;
             nodes.push(NodeCommStats {
                 node,
                 proc: proc.stats.clone(),
@@ -215,16 +348,7 @@ impl CommSim {
         // unblock the node again, i.e. when the event set has drained; a
         // mid-run snapshot must not cry deadlock over work in progress.
         let idle = self.engine.pending_events() == 0;
-        CommResult {
-            finish,
-            all_done: unfinished.is_empty(),
-            deadlocked: if idle { unfinished } else { Vec::new() },
-            nodes,
-            events: self.engine.events_processed(),
-            msg_latency,
-            total_messages,
-            total_bytes,
-        }
+        CommResult::from_nodes(nodes, self.engine.events_processed(), idle)
     }
 }
 

@@ -102,6 +102,16 @@ impl<M> Ctx<'_, M> {
         self.send_after(Duration::ZERO, dst, payload);
     }
 
+    /// Send `payload` to `dst` delivered at the absolute instant `at`.
+    ///
+    /// Panics if `at` is in the past — the same rule as every other
+    /// scheduling path.
+    #[inline]
+    pub fn send_at(&mut self, at: Time, dst: CompId, payload: M) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.send_after(at.since(self.now), dst, payload);
+    }
+
     /// Schedule a message to *this* component after `delay` — a timer.
     #[inline]
     pub fn timer(&mut self, delay: Duration, payload: M) {
@@ -511,6 +521,76 @@ mod tests {
             ]
         );
         assert_eq!(e.events_processed(), 3);
+    }
+
+    /// Schedules itself at fixed *absolute* instants via `send_at`.
+    struct AbsoluteScheduler {
+        at: Vec<Time>,
+        fired_at: Vec<Time>,
+    }
+
+    impl Component<Msg> for AbsoluteScheduler {
+        fn init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            let me = ctx.self_id();
+            for &t in &self.at {
+                ctx.send_at(t, me, Msg::Tick);
+            }
+        }
+        fn handle(&mut self, ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            assert_eq!(ev.payload, Msg::Tick);
+            self.fired_at.push(ctx.now());
+        }
+    }
+
+    #[test]
+    fn send_at_delivers_at_exact_absolute_instants() {
+        // Posted out of order at init time; delivery order is by instant,
+        // FIFO within an instant (two events land at 7 ns).
+        let mut e = Engine::new();
+        let id = e.add_component(
+            "abs",
+            AbsoluteScheduler {
+                at: vec![
+                    Time::from_ns(7),
+                    Time::from_ns(3),
+                    Time::from_ns(7),
+                    Time::ZERO,
+                ],
+                fired_at: Vec::new(),
+            },
+        );
+        assert_eq!(e.run(), RunResult::Drained);
+        let c = e.component::<AbsoluteScheduler>(id).unwrap();
+        assert_eq!(
+            c.fired_at,
+            vec![
+                Time::ZERO,
+                Time::from_ns(3),
+                Time::from_ns(7),
+                Time::from_ns(7)
+            ]
+        );
+    }
+
+    /// Fires once, then tries to schedule into the past.
+    struct PastScheduler;
+
+    impl Component<Msg> for PastScheduler {
+        fn init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.timer(Duration::from_ns(5), Msg::Tick);
+        }
+        fn handle(&mut self, _ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            let me = ctx.self_id();
+            ctx.send_at(Time::from_ns(1), me, Msg::Tick); // now is 5 ns
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn send_at_rejects_instants_in_the_past() {
+        let mut e = Engine::new();
+        e.add_component("past", PastScheduler);
+        e.run();
     }
 
     struct Forwarder {

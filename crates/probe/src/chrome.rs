@@ -259,6 +259,73 @@ impl Probe for ChromeTraceSink {
                 let args = Value::Map(vec![kv("wait_ps", u(wait_ps))]);
                 self.span("bus", start_ps, end_ps, PID_MEMORY, node as u64, args);
             }
+            SimEvent::LinkFault {
+                ts_ps,
+                node,
+                to,
+                up,
+            } => {
+                let name = if up { "link_up" } else { "link_down" };
+                let args = Value::Map(vec![kv("to", u(to as u64))]);
+                self.instant(name, ts_ps, PID_LINKS, node as u64, args);
+            }
+            SimEvent::RouterFault { ts_ps, node, up } => {
+                let name = if up { "router_up" } else { "router_down" };
+                self.instant(name, ts_ps, PID_NETWORK, node as u64, Value::Map(vec![]));
+            }
+            SimEvent::PacketDropped {
+                ts_ps,
+                node,
+                src,
+                seq,
+                reason,
+            } => {
+                let name = format!("drop:{}", reason.label());
+                let args = Value::Map(vec![kv("src", u(src as u64)), kv("seq", u(seq))]);
+                self.instant(&name, ts_ps, PID_NETWORK, node as u64, args);
+            }
+            SimEvent::PacketCorrupted {
+                ts_ps,
+                node,
+                to,
+                src,
+                seq,
+            } => {
+                let args = Value::Map(vec![
+                    kv("to", u(to as u64)),
+                    kv("src", u(src as u64)),
+                    kv("seq", u(seq)),
+                ]);
+                self.instant("corrupt", ts_ps, PID_LINKS, node as u64, args);
+            }
+            SimEvent::MsgRetry {
+                ts_ps,
+                src,
+                dst,
+                attempt,
+            } => {
+                let args = Value::Map(vec![
+                    kv("dst", u(dst as u64)),
+                    kv("attempt", u(attempt as u64)),
+                ]);
+                self.instant("msg_retry", ts_ps, PID_NETWORK, src as u64, args);
+            }
+            SimEvent::MsgGaveUp {
+                ts_ps,
+                src,
+                dst,
+                retries,
+            } => {
+                let args = Value::Map(vec![
+                    kv("dst", u(dst as u64)),
+                    kv("retries", u(retries as u64)),
+                ]);
+                self.instant("msg_gave_up", ts_ps, PID_NETWORK, src as u64, args);
+            }
+            SimEvent::Reroute { ts_ps, node, to } => {
+                let args = Value::Map(vec![kv("to", u(to as u64))]);
+                self.instant("reroute", ts_ps, PID_NETWORK, node as u64, args);
+            }
         }
     }
 }

@@ -126,6 +126,31 @@ impl HitWhere {
     }
 }
 
+/// Why a router discarded a packet (fault layer; see `mermaid-network`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropReason {
+    /// The chosen output link was down and no minimal alternative was up.
+    LinkDown,
+    /// The router itself was down when the packet arrived.
+    RouterDown,
+    /// The packet failed its checksum (corrupted on a previous link).
+    Corrupt,
+    /// A transient per-packet loss on an otherwise healthy link.
+    Transient,
+}
+
+impl DropReason {
+    /// Stable lower-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::LinkDown => "link_down",
+            DropReason::RouterDown => "router_down",
+            DropReason::Corrupt => "corrupt",
+            DropReason::Transient => "transient",
+        }
+    }
+}
+
 /// Which ladder tier transition the event queue performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TierMove {
@@ -234,6 +259,50 @@ pub enum SimEvent {
         end_ps: u64,
         wait_ps: u64,
     },
+    /// A scripted fault toggled the status of the link `node` → `to`.
+    LinkFault {
+        ts_ps: u64,
+        node: u32,
+        to: u32,
+        up: bool,
+    },
+    /// A scripted fault toggled a whole router up or down.
+    RouterFault { ts_ps: u64, node: u32, up: bool },
+    /// A router discarded a packet of message `src`:`seq`.
+    PacketDropped {
+        ts_ps: u64,
+        node: u32,
+        src: u32,
+        seq: u64,
+        reason: DropReason,
+    },
+    /// A packet of message `src`:`seq` was corrupted crossing the link
+    /// `node` → `to` (detected and discarded at the next checksum point).
+    PacketCorrupted {
+        ts_ps: u64,
+        node: u32,
+        to: u32,
+        src: u32,
+        seq: u64,
+    },
+    /// A processor retransmitted an unacknowledged message (`attempt` is
+    /// 1-based: the first retry is attempt 1).
+    MsgRetry {
+        ts_ps: u64,
+        src: u32,
+        dst: u32,
+        attempt: u32,
+    },
+    /// A processor exhausted its retries and reported `dst` unreachable.
+    MsgGaveUp {
+        ts_ps: u64,
+        src: u32,
+        dst: u32,
+        retries: u32,
+    },
+    /// A router steered a packet around a failed link (the chosen
+    /// alternative output is `to`).
+    Reroute { ts_ps: u64, node: u32, to: u32 },
 }
 
 impl SimEvent {
@@ -251,6 +320,13 @@ impl SimEvent {
             SimEvent::CacheAccess { .. } => "cache_access",
             SimEvent::CacheEvict { .. } => "cache_evict",
             SimEvent::BusTransaction { .. } => "bus_transaction",
+            SimEvent::LinkFault { .. } => "link_fault",
+            SimEvent::RouterFault { .. } => "router_fault",
+            SimEvent::PacketDropped { .. } => "packet_dropped",
+            SimEvent::PacketCorrupted { .. } => "packet_corrupted",
+            SimEvent::MsgRetry { .. } => "msg_retry",
+            SimEvent::MsgGaveUp { .. } => "msg_gave_up",
+            SimEvent::Reroute { .. } => "reroute",
         }
     }
 
@@ -278,7 +354,14 @@ impl SimEvent {
             | SimEvent::PacketForward { ts_ps, .. }
             | SimEvent::PacketDeliver { ts_ps, .. }
             | SimEvent::CacheAccess { ts_ps, .. }
-            | SimEvent::CacheEvict { ts_ps, .. } => ts_ps,
+            | SimEvent::CacheEvict { ts_ps, .. }
+            | SimEvent::LinkFault { ts_ps, .. }
+            | SimEvent::RouterFault { ts_ps, .. }
+            | SimEvent::PacketDropped { ts_ps, .. }
+            | SimEvent::PacketCorrupted { ts_ps, .. }
+            | SimEvent::MsgRetry { ts_ps, .. }
+            | SimEvent::MsgGaveUp { ts_ps, .. }
+            | SimEvent::Reroute { ts_ps, .. } => ts_ps,
             SimEvent::Activation { start_ps, .. }
             | SimEvent::LinkBusy { start_ps, .. }
             | SimEvent::BusTransaction { start_ps, .. } => start_ps,
@@ -653,5 +736,17 @@ mod tests {
         };
         assert_eq!(ev.label(), "activation");
         assert_eq!(ev.ts_ps(), 5);
+        assert_eq!(DropReason::LinkDown.label(), "link_down");
+        assert_eq!(DropReason::Corrupt.label(), "corrupt");
+        let drop = SimEvent::PacketDropped {
+            ts_ps: 7,
+            node: 2,
+            src: 0,
+            seq: 3,
+            reason: DropReason::Transient,
+        };
+        assert_eq!(drop.label(), "packet_dropped");
+        assert_eq!(drop.ts_ps(), 7);
+        assert!(!drop.is_engine_internal());
     }
 }

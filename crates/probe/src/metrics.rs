@@ -230,6 +230,40 @@ impl Probe for MetricsAggregator {
                     .add(&format!("mem{node}/bus_wait_ps"), wait_ps);
                 self.finish_ps = self.finish_ps.max(end_ps);
             }
+            SimEvent::LinkFault { up, .. } => {
+                self.counters.incr(if up {
+                    "fault/link_up"
+                } else {
+                    "fault/link_down"
+                });
+            }
+            SimEvent::RouterFault { up, .. } => {
+                self.counters.incr(if up {
+                    "fault/router_up"
+                } else {
+                    "fault/router_down"
+                });
+            }
+            SimEvent::PacketDropped { node, reason, .. } => {
+                self.counters.incr(&format!("node{node}/pkts_dropped"));
+                self.counters
+                    .incr(&format!("net/dropped_{}", reason.label()));
+            }
+            SimEvent::PacketCorrupted { .. } => {
+                self.counters.incr("net/corrupted");
+            }
+            SimEvent::MsgRetry { src, .. } => {
+                self.counters.incr(&format!("node{src}/retries"));
+                self.counters.incr("net/retries");
+            }
+            SimEvent::MsgGaveUp { src, .. } => {
+                self.counters.incr(&format!("node{src}/gave_up"));
+                self.counters.incr("net/msgs_failed");
+            }
+            SimEvent::Reroute { node, .. } => {
+                self.counters.incr(&format!("node{node}/reroutes"));
+                self.counters.incr("net/reroutes");
+            }
         }
     }
 }

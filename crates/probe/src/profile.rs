@@ -28,6 +28,13 @@ fn category(ev: &SimEvent) -> &'static str {
         SimEvent::CacheAccess { .. }
         | SimEvent::CacheEvict { .. }
         | SimEvent::BusTransaction { .. } => "memory",
+        SimEvent::LinkFault { .. }
+        | SimEvent::RouterFault { .. }
+        | SimEvent::PacketDropped { .. }
+        | SimEvent::PacketCorrupted { .. }
+        | SimEvent::MsgRetry { .. }
+        | SimEvent::MsgGaveUp { .. }
+        | SimEvent::Reroute { .. } => "fault",
     }
 }
 

@@ -162,6 +162,75 @@ pub(crate) fn event_value(ev: &SimEvent) -> Value {
             m.push(kv("end_ps", u(end_ps)));
             m.push(kv("wait_ps", u(wait_ps)));
         }
+        SimEvent::LinkFault {
+            ts_ps,
+            node,
+            to,
+            up,
+        } => {
+            m.push(kv("ts_ps", u(ts_ps)));
+            m.push(kv("node", u(node as u64)));
+            m.push(kv("to", u(to as u64)));
+            m.push(kv("up", Value::Bool(up)));
+        }
+        SimEvent::RouterFault { ts_ps, node, up } => {
+            m.push(kv("ts_ps", u(ts_ps)));
+            m.push(kv("node", u(node as u64)));
+            m.push(kv("up", Value::Bool(up)));
+        }
+        SimEvent::PacketDropped {
+            ts_ps,
+            node,
+            src,
+            seq,
+            reason,
+        } => {
+            m.push(kv("ts_ps", u(ts_ps)));
+            m.push(kv("node", u(node as u64)));
+            m.push(kv("src", u(src as u64)));
+            m.push(kv("seq", u(seq)));
+            m.push(kv("reason", s(reason.label())));
+        }
+        SimEvent::PacketCorrupted {
+            ts_ps,
+            node,
+            to,
+            src,
+            seq,
+        } => {
+            m.push(kv("ts_ps", u(ts_ps)));
+            m.push(kv("node", u(node as u64)));
+            m.push(kv("to", u(to as u64)));
+            m.push(kv("src", u(src as u64)));
+            m.push(kv("seq", u(seq)));
+        }
+        SimEvent::MsgRetry {
+            ts_ps,
+            src,
+            dst,
+            attempt,
+        } => {
+            m.push(kv("ts_ps", u(ts_ps)));
+            m.push(kv("src", u(src as u64)));
+            m.push(kv("dst", u(dst as u64)));
+            m.push(kv("attempt", u(attempt as u64)));
+        }
+        SimEvent::MsgGaveUp {
+            ts_ps,
+            src,
+            dst,
+            retries,
+        } => {
+            m.push(kv("ts_ps", u(ts_ps)));
+            m.push(kv("src", u(src as u64)));
+            m.push(kv("dst", u(dst as u64)));
+            m.push(kv("retries", u(retries as u64)));
+        }
+        SimEvent::Reroute { ts_ps, node, to } => {
+            m.push(kv("ts_ps", u(ts_ps)));
+            m.push(kv("node", u(node as u64)));
+            m.push(kv("to", u(to as u64)));
+        }
     }
     Value::Map(m)
 }

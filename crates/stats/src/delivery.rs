@@ -1,0 +1,145 @@
+//! Delivered-vs-dropped accounting for fault-injected runs.
+//!
+//! When the communication model runs with fault injection enabled, each
+//! abstract processor tracks its reliable sends (acked vs given-up) and
+//! each router counts the packets it dropped. This accumulator rolls
+//! those per-component numbers into one run-level delivery picture — the
+//! "did the machine degrade, and by how much" headline of a robustness
+//! experiment. Plain data with a merge, like the rest of this crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Histogram;
+
+/// Run-level delivery accounting under fault injection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryStats {
+    /// Reliably-tracked messages issued (fault mode only; 0 otherwise).
+    pub tracked: u64,
+    /// Tracked messages that were acknowledged end-to-end.
+    pub acked: u64,
+    /// Tracked messages abandoned after exhausting their retry budget.
+    pub failed: u64,
+    /// Retransmissions performed across all senders.
+    pub retries: u64,
+    /// Blocking receives that hit the degraded-mode watchdog deadline.
+    pub recv_timeouts: u64,
+    /// Packets dropped in the network (link/router down, loss, corruption).
+    pub dropped_packets: u64,
+    /// Attempt index at which each tracked message completed or was
+    /// abandoned (`0` = delivered first try; log₂ buckets).
+    pub attempts: Histogram,
+}
+
+impl Default for DeliveryStats {
+    fn default() -> Self {
+        DeliveryStats {
+            tracked: 0,
+            acked: 0,
+            failed: 0,
+            retries: 0,
+            recv_timeouts: 0,
+            dropped_packets: 0,
+            attempts: Histogram::log2(),
+        }
+    }
+}
+
+impl DeliveryStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of tracked messages that made it through (`None` when
+    /// nothing was tracked — e.g. a fault-free run).
+    pub fn delivered_fraction(&self) -> Option<f64> {
+        (self.tracked > 0).then(|| self.acked as f64 / self.tracked as f64)
+    }
+
+    /// Whether the run degraded at all: anything failed, timed out, or
+    /// was dropped on the wire.
+    pub fn degraded(&self) -> bool {
+        self.failed > 0 || self.recv_timeouts > 0 || self.dropped_packets > 0
+    }
+
+    /// Conservation invariant of the reliability protocol: once a run has
+    /// drained, every tracked message was either acked or given up on.
+    pub fn conserved(&self) -> bool {
+        self.tracked == self.acked + self.failed
+    }
+
+    /// Fold another accumulator in (e.g. one per node, or per shard).
+    pub fn merge(&mut self, other: &DeliveryStats) {
+        self.tracked += other.tracked;
+        self.acked += other.acked;
+        self.failed += other.failed;
+        self.retries += other.retries;
+        self.recv_timeouts += other.recv_timeouts;
+        self.dropped_packets += other.dropped_packets;
+        self.attempts.merge(&other.attempts);
+    }
+
+    /// One-line summary for reports and CLI output.
+    pub fn headline(&self) -> String {
+        format!(
+            "{} packet(s) dropped, {} retransmission(s), {} message(s) failed, \
+             {} recv timeout(s)",
+            self.dropped_packets, self.retries, self.failed, self.recv_timeouts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeliveryStats {
+        let mut d = DeliveryStats::new();
+        d.tracked = 10;
+        d.acked = 8;
+        d.failed = 2;
+        d.retries = 5;
+        d.dropped_packets = 7;
+        d.attempts.record_n(1, 8);
+        d.attempts.record_n(3, 2);
+        d
+    }
+
+    #[test]
+    fn fractions_and_flags() {
+        let d = sample();
+        assert_eq!(d.delivered_fraction(), Some(0.8));
+        assert!(d.degraded());
+        assert!(d.conserved());
+
+        let clean = DeliveryStats::new();
+        assert_eq!(clean.delivered_fraction(), None);
+        assert!(!clean.degraded());
+        assert!(clean.conserved());
+    }
+
+    #[test]
+    fn merge_adds_fields_and_histograms() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.tracked, 20);
+        assert_eq!(a.acked, 16);
+        assert_eq!(a.failed, 4);
+        assert_eq!(a.retries, 10);
+        assert_eq!(a.dropped_packets, 14);
+        assert_eq!(a.attempts.count(), 20);
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn headline_mentions_every_counter() {
+        let d = sample();
+        let h = d.headline();
+        assert!(h.contains("7 packet(s) dropped"), "{h}");
+        assert!(h.contains("5 retransmission(s)"), "{h}");
+        assert!(h.contains("2 message(s) failed"), "{h}");
+        assert!(h.contains("0 recv timeout(s)"), "{h}");
+    }
+}

@@ -17,6 +17,7 @@
 pub mod chart;
 pub mod counter;
 pub mod csv;
+pub mod delivery;
 pub mod gnuplot;
 pub mod histogram;
 pub mod summary;
@@ -25,6 +26,7 @@ pub mod timeseries;
 pub mod utilization;
 
 pub use counter::{Counter, Counters};
+pub use delivery::DeliveryStats;
 pub use histogram::Histogram;
 pub use summary::Summary;
 pub use table::Table;

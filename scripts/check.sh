@@ -47,6 +47,37 @@ for mode in detailed task; do
     done
 done
 
+echo "==> tier-1: fault-injection conformance suite"
+cargo test -q --test fault_injection
+
+echo "==> cli: faulty runs are bit-identical serial vs sharded"
+# A scripted outage (link 0-1 down at 2 us, healed at 60 us) plus 2%
+# transient loss: retries recover everything, and the sharded run must
+# reproduce the serial output byte for byte.
+for spec in "link:0-1:2000:60000; drop:20000" "link:15-11:0; link:15-14:0"; do
+    cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+        --topology mesh:4x4 --mode task --pattern all2all --phases 2 \
+        --faults "$spec" --fault-seed 9 --shards 1 > "$serial_out"
+    cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+        --topology mesh:4x4 --mode task --pattern all2all --phases 2 \
+        --faults "$spec" --fault-seed 9 --shards 3 > "$sharded_out"
+    diff -u "$serial_out" "$sharded_out" \
+        || { echo "faulty sharded output diverged ($spec)" >&2; exit 1; }
+    grep -q "fault injection:" "$serial_out" \
+        || { echo "fault summary missing from output ($spec)" >&2; exit 1; }
+done
+# The permanent corner partition must surface the degraded-mode report.
+grep -q "Degraded mode:" "$serial_out" \
+    || { echo "degraded-mode report missing for permanent partition" >&2; exit 1; }
+
+echo "==> cli: bad fault specs fail cleanly (no panic)"
+for spec in "frob:1" "link:0-99:1000" "drop:2000000"; do
+    if cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+        --topology ring:4 --mode task --faults "$spec" > /dev/null 2>&1; then
+        echo "fault spec $spec should have been rejected" >&2; exit 1
+    fi
+done
+
 echo "==> cli: invalid topology specs fail cleanly (no panic)"
 for spec in ring:1 mesh:0x4 hypercube:21 mesh:100000x100000; do
     if cargo run --release -p mermaid --bin mermaid-cli -- topo "$spec" > /dev/null 2>&1; then

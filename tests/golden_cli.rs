@@ -1,0 +1,184 @@
+//! Golden-file snapshot tests for the CLI.
+//!
+//! Each case runs an exact `mermaid-cli` invocation in-process (via
+//! [`mermaid::cli::run`]) and compares the rendered output byte-for-byte
+//! against a checked-in snapshot under `tests/golden/`. Only fully
+//! deterministic invocations are snapshotted — task-level simulations
+//! (no wall-clock slowdown lines) and static reports.
+//!
+//! To regenerate the snapshots after an intentional output change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_cli
+//! ```
+//!
+//! then review the diff under `tests/golden/` like any other code change.
+
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Run a CLI invocation and compare (or, with `BLESS=1`, rewrite) its
+/// golden snapshot.
+fn check(name: &str, args: &[&str]) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let out = mermaid::cli::run(&args).unwrap_or_else(|e| panic!("{name}: CLI failed: {e}"));
+    let path = golden_dir().join(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, &out).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {} — run `BLESS=1 cargo test --test golden_cli` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        out,
+        want,
+        "output of `{}` drifted from {} — if intentional, regenerate with \
+         `BLESS=1 cargo test --test golden_cli` and review the diff",
+        args.join(" "),
+        path.display()
+    );
+}
+
+#[test]
+fn golden_table1() {
+    check("table1.txt", &["table1"]);
+}
+
+#[test]
+fn golden_topo_report() {
+    check("topo_mesh4x4.txt", &["topo", "mesh:4x4"]);
+}
+
+#[test]
+fn golden_task_sim_healthy() {
+    check(
+        "sim_task_healthy.txt",
+        &[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "mesh:4x4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+            "--seed",
+            "5",
+        ],
+    );
+}
+
+#[test]
+fn golden_task_sim_faulty_partition() {
+    // The acceptance scenario: corner node 15 of a 4×4 mesh loses both
+    // links permanently; the snapshot pins the degraded-mode report
+    // (unreachable pairs, retry counts) exactly.
+    check(
+        "sim_task_faulty_partition.txt",
+        &[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "mesh:4x4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+            "--seed",
+            "5",
+            "--faults",
+            "link:15-11:0; link:15-14:0",
+            "--fault-seed",
+            "3",
+        ],
+    );
+}
+
+#[test]
+fn golden_task_sim_faulty_transient() {
+    // A healing outage plus background loss: everything is delivered, but
+    // the fault headline records the drops and retransmissions.
+    check(
+        "sim_task_faulty_transient.txt",
+        &[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:8",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+            "--seed",
+            "5",
+            "--faults",
+            "link:0-1:2000:60000; drop:20000",
+            "--fault-seed",
+            "9",
+        ],
+    );
+}
+
+#[test]
+fn golden_faulty_runs_are_shard_invariant() {
+    // The faulty snapshots above are single-threaded; this pins the same
+    // invocation with `--shards 3` to the same golden file, so the
+    // snapshot itself witnesses serial/sharded bit-identity.
+    for (name, faults) in [
+        (
+            "sim_task_faulty_partition.txt",
+            "link:15-11:0; link:15-14:0",
+        ),
+        ("sim_task_healthy.txt", ""),
+    ] {
+        if std::env::var_os("BLESS").is_some() {
+            continue; // blessing is done by the serial tests
+        }
+        let mut args = vec![
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "mesh:4x4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+            "--seed",
+            "5",
+            "--shards",
+            "3",
+        ];
+        if !faults.is_empty() {
+            args.extend(["--faults", faults, "--fault-seed", "3"]);
+        }
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let out = mermaid::cli::run(&args).unwrap();
+        let want = std::fs::read_to_string(golden_dir().join(name)).unwrap_or_else(|_| {
+            panic!("missing golden file {name} — run `BLESS=1 cargo test --test golden_cli`")
+        });
+        assert_eq!(
+            out, want,
+            "sharded run diverged from the serial snapshot {name}"
+        );
+    }
+}

@@ -1,4 +1,16 @@
 //! Property-based tests over the workbench's core invariants.
+//!
+//! ## Regression files
+//!
+//! Upstream proptest persists failing seeds to
+//! `tests/proptests.proptest-regressions` and replays them before new
+//! cases. The **vendored** stand-in (`vendor/proptest`) does not: it has
+//! no shrinking and ignores regression files entirely; its RNG stream is
+//! seeded deterministically from each test's name, so a failure
+//! reproduces by simply re-running the same test. When a property fails,
+//! the panic message reports the raw inputs — pin them as an ordinary
+//! `#[test]` if they are worth keeping, and optionally record the shrunk
+//! form in the regressions file for the day the real crate returns.
 
 use proptest::prelude::*;
 
@@ -169,7 +181,76 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random fault schedules over random balanced traffic never panic or
+    /// deadlock the communication model, and the reliability protocol
+    /// conserves messages: once drained, every tracked message was either
+    /// acknowledged or reported failed — none vanish.
+    #[test]
+    fn random_fault_schedules_never_deadlock_and_conserve_messages(
+        topo_kind in 0u8..4,
+        fault_seed in 0u64..1_000,
+        n_faults in 0usize..5,
+        drop_ppm in 0u32..60_000,
+        corrupt_ppm in 0u32..30_000,
+        pairs in prop::collection::vec((0u32..8, 0u32..8, 64u32..8_192), 1..20)
+    ) {
+        use std::sync::Arc;
+        use mermaid_network::{CommSim, FaultSchedule, NetworkConfig, RetryParams};
+        use mermaid_ops::TraceSet;
+        use pearl::Time;
+
+        let topo = match topo_kind {
+            0 => Topology::Ring(8),
+            1 => Topology::Mesh2D { w: 4, h: 2 },
+            2 => Topology::Torus2D { w: 4, h: 2 },
+            _ => Topology::Hypercube { dim: 3 },
+        };
+        let cfg = NetworkConfig::test(topo);
+
+        // Balanced async traffic: sends first, then the matching receives.
+        let mut ts = TraceSet::new(8);
+        for &(src, dst, bytes) in &pairs {
+            ts.trace_mut(src).push(Operation::ASend { bytes, dst });
+        }
+        for &(src, dst, _) in &pairs {
+            ts.trace_mut(dst).push(Operation::Recv { src });
+        }
+
+        // A random-but-seeded schedule: scripted link outages drawn from
+        // the topology plus background loss and corruption.
+        let faults = Arc::new(
+            FaultSchedule::new(fault_seed)
+                .with_retry(RetryParams::default_for(&cfg))
+                .with_drop_ppm(drop_ppm)
+                .with_corrupt_ppm(corrupt_ppm)
+                .random_link_faults(&topo, n_faults, Time::from_us(300)),
+        );
+
+        let r = CommSim::new_with_faults(cfg, &ts, mermaid_probe::ProbeHandle::disabled(), faults)
+            .run();
+
+        // Degraded or not, the run must complete: the watchdogs turn any
+        // starved receive into a timeout instead of a deadlock.
+        prop_assert!(r.all_done, "deadlocked: {:?}", r.deadlocked);
+
+        // Conservation, globally and per sender.
+        let d = r.delivery();
+        prop_assert!(d.conserved(), "tracked={} acked={} failed={}", d.tracked, d.acked, d.failed);
+        prop_assert_eq!(d.tracked as usize, pairs.len());
+        for nc in &r.nodes {
+            prop_assert_eq!(
+                nc.proc.msgs_tracked,
+                nc.proc.msgs_acked + nc.proc.msgs_failed,
+                "node {} leaked a tracked message", nc.node
+            );
+        }
+        // Every failure is matched by a structured report.
+        prop_assert_eq!(r.unreachable.len() as u64, r.msgs_failed);
+        // Deliveries + failures account for every message sent.
+        prop_assert_eq!(r.total_messages + r.msgs_failed, pairs.len() as u64);
+    }
 
     /// Arbitrary balanced communication patterns never deadlock the
     /// communication model (async sends + matching blocking receives).
