@@ -17,6 +17,7 @@
 //!                      [--faults <spec|file>] [--fault-seed N]
 //!                      [--trace-out <file>] [--metrics]
 //! mermaid-cli probe --machine <t805|ppc601|paragon|test> [--topology <spec>]
+//! mermaid-cli campaign <spec|file> --out <dir> [--jobs <N|auto>] [--limit N] [--dry-run]
 //! ```
 //!
 //! `sim` is an alias for `simulate`. `--trace-out` writes a Chrome-trace
@@ -38,6 +39,14 @@
 //! corrupt:500             # corrupt 0.05% (detected + dropped by checksum)
 //! retries:6 ; timeout:2000 ; cap:32000 ; recv-timeout:1000000
 //! ```
+//!
+//! `campaign` expands a declarative grid spec (see [`crate::campaign`] and
+//! DESIGN.md §13) into a deterministic run list, fans it out over worker
+//! threads, and streams one JSONL record per completed run into
+//! `<out>/runs.jsonl` (plus an RFC-4180 CSV view in `<out>/summary.csv`).
+//! Re-running the same campaign skips every already-recorded run —
+//! interrupt it freely. `--limit N` executes at most N new runs,
+//! `--dry-run` prints the expanded run list without simulating.
 
 use mermaid_network::{CommResult, FaultSchedule, RetryParams, Topology};
 use mermaid_ops::table1;
@@ -53,12 +62,15 @@ pub fn usage() -> &'static str {
      [--phases N] [--ops N] [--seed N] [--mode <detailed|task|direct>] [--watch] \
      [--shards <N|auto>] [--faults <spec|file>] [--fault-seed N] [--trace-out <file>] \
      [--metrics]\n  \
-     mermaid-cli probe --machine <name> [--topology <spec>]\n\n\
+     mermaid-cli probe --machine <name> [--topology <spec>]\n  \
+     mermaid-cli campaign <spec|file> --out <dir> [--jobs <N|auto>] [--limit N] [--dry-run]\n\n\
      `sim` is an alias for `simulate`.\n\
      topology specs: ring:8  mesh:4x4  torus:4x4  hypercube:3  full:8  star:8\n\
      fault specs:    link:0-1:1000:5000  router:3:2000  drop:1000  corrupt:500\n\
                      retries:6  timeout:2000  cap:32000  recv-timeout:1000000\n\
-                     (times in simulated ns; `;` or newline separates clauses)"
+                     (times in simulated ns; `;` or newline separates clauses)\n\
+     campaign spec:  topo = ring:8, torus:4x4; pattern = ring, all2all; seed = 1, 2\n\
+                     (key = value list per clause; see DESIGN.md section 13)"
 }
 
 /// Parsed command-line options (after the subcommand).
@@ -92,10 +104,54 @@ fn parse_shards(s: &str) -> Result<usize, String> {
     }
 }
 
+/// Largest accepted `--phases` value. Workload sizes beyond this are
+/// almost certainly typos (every node materialises its whole trace).
+pub(crate) const MAX_PHASES: u32 = 1_000_000;
+/// Largest accepted `--ops` (operations per phase) value.
+pub(crate) const MAX_OPS_PER_PHASE: u64 = 1_000_000_000;
+
+/// Parse a `--phases` value: a compute+communicate phase count in
+/// `1..=MAX_PHASES`. Zero would generate an empty workload that predicts
+/// a meaningless zero-length run, so it is rejected with a diagnostic
+/// instead of silently succeeding.
+pub(crate) fn parse_phases(s: &str) -> Result<u32, String> {
+    match s.parse::<u32>() {
+        Ok(0) => Err(format!(
+            "bad --phases `{s}` (0 phases is an empty workload — want 1..={MAX_PHASES})"
+        )),
+        Ok(n) if n <= MAX_PHASES => Ok(n),
+        _ => Err(format!(
+            "bad --phases `{s}` (want a count in 1..={MAX_PHASES})"
+        )),
+    }
+}
+
+/// Parse an `--ops` value: operations per phase in `1..=MAX_OPS_PER_PHASE`.
+pub(crate) fn parse_ops(s: &str) -> Result<u64, String> {
+    match s.parse::<u64>() {
+        Ok(0) => Err(format!(
+            "bad --ops `{s}` (0 ops per phase is an empty workload — want 1..={MAX_OPS_PER_PHASE})"
+        )),
+        Ok(n) if n <= MAX_OPS_PER_PHASE => Ok(n),
+        _ => Err(format!(
+            "bad --ops `{s}` (want operations per phase in 1..={MAX_OPS_PER_PHASE})"
+        )),
+    }
+}
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts::default();
+    let mut seen = std::collections::BTreeSet::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        // Silent last-wins on repeated flags hides mistakes in scripted
+        // invocations (`--seed 1 --seed 2` ran with seed 2); every flag —
+        // including booleans — may be given at most once.
+        if flag.starts_with("--") && !seen.insert(flag.clone()) {
+            return Err(format!(
+                "duplicate flag `{flag}` (each flag may be given once)"
+            ));
+        }
         let mut value = |name: &str| -> Result<String, String> {
             it.next()
                 .cloned()
@@ -106,8 +162,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--topology" => o.topology = Some(value("--topology")?),
             "--app" => o.app = Some(value("--app")?),
             "--pattern" => o.pattern = Some(value("--pattern")?),
-            "--phases" => o.phases = Some(value("--phases")?.parse().map_err(|_| "bad --phases")?),
-            "--ops" => o.ops = Some(value("--ops")?.parse().map_err(|_| "bad --ops")?),
+            "--phases" => o.phases = Some(parse_phases(&value("--phases")?)?),
+            "--ops" => o.ops = Some(parse_ops(&value("--ops")?)?),
             "--seed" => o.seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--mode" => o.mode = Some(value("--mode")?),
             "--watch" => o.watch = true,
@@ -129,7 +185,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 /// Parse a topology spec like `ring:8`, `mesh:4x4`, `hypercube:3`.
-fn parse_topology(spec: &str) -> Result<Topology, String> {
+pub(crate) fn parse_topology(spec: &str) -> Result<Topology, String> {
     let (kind, params) = spec
         .split_once(':')
         .ok_or_else(|| format!("topology spec `{spec}` needs kind:params"))?;
@@ -159,7 +215,7 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
     Ok(topo)
 }
 
-fn parse_machine(name: &str, topo: Topology) -> Result<MachineConfig, String> {
+pub(crate) fn parse_machine(name: &str, topo: Topology) -> Result<MachineConfig, String> {
     Ok(match name {
         "t805" => MachineConfig::t805_multicomputer(topo),
         "ppc601" => MachineConfig::powerpc601_cluster(topo, 1),
@@ -178,7 +234,7 @@ fn parse_machine(name: &str, topo: Topology) -> Result<MachineConfig, String> {
     })
 }
 
-fn parse_pattern(name: &str) -> Result<CommPattern, String> {
+pub(crate) fn parse_pattern(name: &str) -> Result<CommPattern, String> {
     Ok(match name {
         "none" => CommPattern::None,
         "ring" | "nn" => CommPattern::NearestNeighborRing,
@@ -220,12 +276,92 @@ fn fault_summary(comm: &CommResult) -> String {
     s
 }
 
+/// Run the `campaign` subcommand: resolve the spec (inline or file, the
+/// file winning when it exists — same convention as `--faults`), parse
+/// the campaign-specific flags, and drive [`crate::campaign::run_campaign`].
+fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
+    let Some(spec_arg) = args.first() else {
+        return Err("campaign needs a spec (inline, or the path of a spec file)".into());
+    };
+    let spec_text = if std::path::Path::new(spec_arg).is_file() {
+        std::fs::read_to_string(spec_arg)
+            .map_err(|e| format!("cannot read campaign file {spec_arg}: {e}"))?
+    } else {
+        spec_arg.clone()
+    };
+    let spec = crate::campaign::CampaignSpec::parse(&spec_text)?;
+
+    let mut out_dir: Option<String> = None;
+    let mut jobs: usize = 1;
+    let mut limit: Option<usize> = None;
+    let mut dry_run = false;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        if flag.starts_with("--") && !seen.insert(flag.clone()) {
+            return Err(format!(
+                "duplicate flag `{flag}` (each flag may be given once)"
+            ));
+        }
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--out" => out_dir = Some(value("--out")?),
+            "--jobs" => {
+                let v = value("--jobs")?;
+                jobs = if v == "auto" {
+                    crate::sweep::auto_workers()
+                } else {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => return Err(format!("bad --jobs `{v}` (want a count >= 1 or `auto`)")),
+                    }
+                };
+            }
+            "--limit" => {
+                let v = value("--limit")?;
+                limit = Some(match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("bad --limit `{v}` (want a count >= 1)")),
+                });
+            }
+            "--dry-run" => dry_run = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    if dry_run {
+        let runs = spec.expand()?;
+        let mut out = format!("campaign: {} run(s) expanded (dry run)\n", runs.len());
+        for r in &runs {
+            out.push_str(&format!("  {}  {}\n", r.config_hash(), r.canonical()));
+        }
+        return Ok(out);
+    }
+    let out_dir = out_dir.ok_or("campaign needs --out <dir> (or --dry-run)")?;
+    let outcome = crate::campaign::run_campaign(
+        &spec,
+        &crate::campaign::CampaignOptions {
+            out_dir: std::path::PathBuf::from(out_dir),
+            jobs,
+            limit,
+            progress: true,
+        },
+    )?;
+    Ok(outcome.report)
+}
+
 /// Execute one CLI invocation (everything after the program name) and
 /// return the text it would print on stdout.
 pub fn run(args: &[String]) -> Result<String, String> {
     let Some(cmd) = args.first() else {
         return Err(
-            "no subcommand (expected one of: table1, topo, machines, simulate/sim, probe)".into(),
+            "no subcommand (expected one of: table1, topo, machines, simulate/sim, \
+                    probe, campaign)"
+                .into(),
         );
     };
     match cmd.as_str() {
@@ -444,6 +580,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             }
             Ok(out)
         }
+        "campaign" => run_campaign_cmd(&args[1..]),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -514,9 +651,61 @@ mod tests {
     #[test]
     fn no_subcommand_error_lists_the_subcommands() {
         let err = run(&[]).unwrap_err();
-        for name in ["table1", "topo", "machines", "simulate", "probe"] {
+        for name in [
+            "table1", "topo", "machines", "simulate", "probe", "campaign",
+        ] {
             assert!(err.contains(name), "`{err}` should mention {name}");
         }
+    }
+
+    #[test]
+    fn campaign_dry_run_lists_the_expanded_grid() {
+        let out = run(&s(&[
+            "campaign",
+            "topo = ring:4, mesh:2x2; pattern = ring, all2all; phases = 1; ops = 200",
+            "--dry-run",
+        ]))
+        .unwrap();
+        assert!(out.contains("4 run(s) expanded (dry run)"), "{out}");
+        assert!(out.contains("campaign-v1"), "{out}");
+        assert_eq!(out.lines().count(), 5, "{out}");
+    }
+
+    #[test]
+    fn campaign_flag_errors_are_actionable() {
+        let spec = "topo = ring:4; phases = 1; ops = 200";
+        assert!(run(&s(&["campaign"])).unwrap_err().contains("spec"));
+        let err = run(&s(&["campaign", spec])).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+        let err = run(&s(&["campaign", spec, "--out", "x", "--jobs", "0"])).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        let err = run(&s(&["campaign", spec, "--out", "x", "--limit", "junk"])).unwrap_err();
+        assert!(err.contains("--limit"), "{err}");
+        let err = run(&s(&["campaign", spec, "--out", "a", "--out", "b"])).unwrap_err();
+        assert!(err.contains("duplicate flag"), "{err}");
+        let err = run(&s(&["campaign", "topo = ring:4; frob = 1", "--dry-run"])).unwrap_err();
+        assert!(err.contains("unknown campaign key"), "{err}");
+    }
+
+    #[test]
+    fn campaign_runs_resume_and_report() {
+        let dir = std::env::temp_dir().join(format!("mermaid-cli-campaign-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_str().unwrap().to_string();
+        let spec = "topo = ring:4, mesh:2x2; pattern = ring; phases = 1; ops = 200";
+        let first = run(&s(&["campaign", spec, "--out", &dir_s])).unwrap();
+        assert!(
+            first.contains("2 run(s) expanded, 0 already recorded, 2 executed"),
+            "{first}"
+        );
+        assert!(first.contains("Campaign comparison"), "{first}");
+        // Re-running finds everything recorded and does no new work.
+        let second = run(&s(&["campaign", spec, "--out", &dir_s])).unwrap();
+        assert!(
+            second.contains("2 run(s) expanded, 2 already recorded, 0 executed"),
+            "{second}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -557,6 +746,49 @@ mod tests {
         assert!(o.watch);
         assert!(parse_opts(&s(&["--bogus"])).is_err());
         assert!(parse_opts(&s(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected_not_last_wins() {
+        // `--seed 1 --seed 2` used to silently run with seed 2.
+        let err = parse_opts(&s(&["--seed", "1", "--seed", "2"])).unwrap_err();
+        assert!(err.contains("duplicate flag `--seed`"), "{err}");
+        // Booleans too: `--watch --watch` is a scripting mistake.
+        let err = parse_opts(&s(&["--watch", "--watch"])).unwrap_err();
+        assert!(err.contains("duplicate flag `--watch`"), "{err}");
+        // Different flags still coexist.
+        assert!(parse_opts(&s(&["--seed", "1", "--phases", "2"])).is_ok());
+        // End to end: the CLI surfaces the diagnostic.
+        let err = run(&s(&["sim", "--machine", "test", "--machine", "test"])).unwrap_err();
+        assert!(err.contains("duplicate flag"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_phases_and_ops_are_rejected() {
+        // `--phases 0` / `--ops 0` used to produce empty workloads with a
+        // meaningless zero-time prediction and no diagnostic.
+        let err = parse_phases("0").unwrap_err();
+        assert!(err.contains("empty workload"), "{err}");
+        let err = parse_ops("0").unwrap_err();
+        assert!(err.contains("empty workload"), "{err}");
+        // Absurd values and garbage are bounded with actionable messages.
+        assert!(parse_phases("9999999999").is_err());
+        assert!(parse_phases("many").is_err());
+        assert!(parse_ops("99999999999999999999").is_err());
+        assert!(parse_ops("-5").is_err());
+        // Boundaries stay valid.
+        assert_eq!(parse_phases("1").unwrap(), 1);
+        assert_eq!(parse_phases(&MAX_PHASES.to_string()).unwrap(), MAX_PHASES);
+        assert_eq!(parse_ops("1").unwrap(), 1);
+        assert_eq!(
+            parse_ops(&MAX_OPS_PER_PHASE.to_string()).unwrap(),
+            MAX_OPS_PER_PHASE
+        );
+        // End to end through the CLI.
+        let err = run(&s(&["sim", "--machine", "test", "--phases", "0"])).unwrap_err();
+        assert!(err.contains("--phases"), "{err}");
+        let err = run(&s(&["sim", "--machine", "test", "--ops", "0"])).unwrap_err();
+        assert!(err.contains("--ops"), "{err}");
     }
 
     #[test]

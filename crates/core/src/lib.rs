@@ -42,6 +42,7 @@
 //! assert!(result.predicted_time > pearl::Time::ZERO);
 //! ```
 
+pub mod campaign;
 pub mod cli;
 pub mod direct;
 pub mod hybrid;
@@ -55,6 +56,7 @@ pub mod smp;
 pub mod sweep;
 pub mod tasklevel;
 
+pub use campaign::{CampaignRecord, CampaignSpec, RunConfig};
 pub use direct::{DirectExecSim, DirectExecStaticCosts};
 pub use hybrid::{HybridResult, HybridSim, NodeComputeStats};
 pub use machines::MachineConfig;
@@ -63,7 +65,7 @@ pub use microbench::{detect_capacity_edges, memory_stride_probe, ping_pong};
 pub use observer::{observe_task_level, observe_task_level_probed, ProgressSample, RunTrace};
 pub use slowdown::{host_frequency, SlowdownMeter, SlowdownReport};
 pub use smp::{SmpHybridResult, SmpHybridSim, SmpWorkload};
-pub use sweep::{labelled_sweep, parallel_sweep};
+pub use sweep::{labelled_sweep, parallel_sweep, parallel_sweep_streaming};
 pub use tasklevel::{TaskLevelResult, TaskLevelSim};
 
 /// The instrumentation layer (re-exported from `mermaid-probe`): attach a

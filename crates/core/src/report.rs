@@ -4,7 +4,9 @@
 use mermaid_network::CommResult;
 use mermaid_stats::table::Align;
 use mermaid_stats::Table;
+use pearl::Time;
 
+use crate::campaign::CampaignRecord;
 use crate::hybrid::HybridResult;
 use crate::slowdown::SlowdownReport;
 use crate::tasklevel::TaskLevelResult;
@@ -80,6 +82,71 @@ pub fn degraded_table(comm: &CommResult) -> Option<Table> {
     Some(t)
 }
 
+/// Render the campaign comparison table: records grouped by workload (in
+/// first-appearance order — i.e. spec expansion order), each group ranked
+/// by predicted time with ties broken on the config hash, so the table is
+/// byte-stable regardless of execution order. The `vs best` column is the
+/// slowdown relative to the group's winner; latency tails come from the
+/// runs' log₂ histograms.
+pub fn campaign_table(records: &[&CampaignRecord]) -> Table {
+    let mut t = Table::new([
+        "workload",
+        "rank",
+        "architecture",
+        "predicted",
+        "vs best",
+        "lat p50",
+        "lat p99",
+        "lat max",
+        "dropped",
+    ])
+    .with_title("Campaign comparison: architectures ranked per workload")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    let mut workloads: Vec<String> = Vec::new();
+    for r in records {
+        let key = r.config.workload_key();
+        if !workloads.contains(&key) {
+            workloads.push(key);
+        }
+    }
+    for key in &workloads {
+        let mut group: Vec<&&CampaignRecord> = records
+            .iter()
+            .filter(|r| r.config.workload_key() == *key)
+            .collect();
+        group.sort_by_key(|r| (r.predicted_ps, r.config_hash.clone()));
+        let best = group[0].predicted_ps.max(1);
+        for (rank, r) in group.iter().enumerate() {
+            t.row([
+                if rank == 0 {
+                    key.clone()
+                } else {
+                    String::new()
+                },
+                (rank + 1).to_string(),
+                r.config.architecture_label(),
+                format!("{}", Time::from_ps(r.predicted_ps)),
+                format!("{:.2}x", r.predicted_ps as f64 / best as f64),
+                format!("{}", Time::from_ps(r.latency_p50_ps)),
+                format!("{}", Time::from_ps(r.latency_p99_ps)),
+                format!("{}", Time::from_ps(r.latency_max_ps)),
+                r.delivery.dropped_packets.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// Render a slowdown table in the paper's Section 6 shape.
 pub fn slowdown_table(rows: &[(String, SlowdownReport)]) -> Table {
     let mut t = Table::new([
@@ -141,6 +208,24 @@ mod tests {
         let tt = task_level_table(&task);
         assert_eq!(tt.len(), 3);
         assert!(tt.to_csv().lines().count() == 4);
+    }
+
+    #[test]
+    fn campaign_table_ranks_within_workloads() {
+        use crate::campaign::{execute_run, CampaignSpec};
+        let spec = CampaignSpec::parse(
+            "topo = ring:4, full:4; pattern = ring, all2all; phases = 1; ops = 200",
+        )
+        .unwrap();
+        let records: Vec<_> = spec.expand().unwrap().iter().map(execute_run).collect();
+        let refs: Vec<&_> = records.iter().collect();
+        let t = campaign_table(&refs);
+        assert_eq!(t.len(), 4, "two workloads x two architectures");
+        let s = t.render();
+        // Each workload group leads with its best architecture at 1.00x.
+        assert!(s.contains("1.00x"), "{s}");
+        assert!(s.contains("ring:4"), "{s}");
+        assert!(s.contains("full:4"), "{s}");
     }
 
     #[test]

@@ -10,6 +10,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// One worker thread per available host core (at least one).
+pub fn auto_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Run `f` over every configuration, in parallel, preserving input order.
 ///
 /// `f` must be deterministic for reproducible sweeps (every simulator in
@@ -20,18 +27,46 @@ where
     T: Send,
     F: Fn(&C) -> T + Sync,
 {
+    parallel_sweep_streaming(configs, auto_workers(), f, |_, _| {})
+}
+
+/// [`parallel_sweep`] with an explicit worker count and a streaming
+/// completion hook: `on_done(index, &result)` fires as each configuration
+/// finishes (in completion order, from whichever worker ran it), so long
+/// campaigns can persist results incrementally instead of waiting for the
+/// final barrier. `on_done` is serialised behind a lock — it never runs
+/// concurrently with itself — and the returned vector still preserves
+/// input order.
+pub fn parallel_sweep_streaming<C, T, F, S>(
+    configs: Vec<C>,
+    workers: usize,
+    f: F,
+    on_done: S,
+) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+    S: Fn(usize, &T) + Sync,
+{
     let n = configs.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = workers.clamp(1, n);
     if workers <= 1 {
-        return configs.iter().map(&f).collect();
+        return configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let out = f(c);
+                on_done(i, &out);
+                out
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
+    let done = Mutex::new(());
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     // std::thread::scope joins every worker on exit and re-raises the first
     // worker panic, so panics in `f` propagate to the caller.
@@ -43,6 +78,10 @@ where
                     return;
                 }
                 let out = f(&configs[i]);
+                {
+                    let _g = done.lock().unwrap();
+                    on_done(i, &out);
+                }
                 *slots[i].lock().unwrap() = Some(out);
             });
         }
@@ -123,6 +162,39 @@ mod tests {
             x + 10
         });
         assert_eq!(out, vec![("a".to_string(), 11), ("b".to_string(), 12)]);
+    }
+
+    #[test]
+    fn streaming_sweep_reports_every_completion_and_preserves_order() {
+        use std::collections::BTreeSet;
+        use std::sync::Mutex;
+        let inputs: Vec<u64> = (0..33).collect();
+        let seen = Mutex::new(BTreeSet::new());
+        let out = parallel_sweep_streaming(
+            inputs.clone(),
+            4,
+            |&x| x + 1,
+            |i, &r| {
+                assert_eq!(r, i as u64 + 1, "callback got a mismatched result");
+                assert!(seen.lock().unwrap().insert(i), "index {i} reported twice");
+            },
+        );
+        assert_eq!(out, inputs.iter().map(|x| x + 1).collect::<Vec<_>>());
+        assert_eq!(seen.lock().unwrap().len(), inputs.len());
+    }
+
+    #[test]
+    fn streaming_sweep_serial_path_also_streams() {
+        use std::sync::Mutex;
+        let order = Mutex::new(Vec::new());
+        let out = parallel_sweep_streaming(
+            vec![10u32, 20, 30],
+            1,
+            |&x| x,
+            |i, _| order.lock().unwrap().push(i),
+        );
+        assert_eq!(out, vec![10, 20, 30]);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
     }
 
     #[test]

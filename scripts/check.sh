@@ -85,4 +85,26 @@ for spec in ring:1 mesh:0x4 hypercube:21 mesh:100000x100000; do
     fi
 done
 
+echo "==> cli: campaign smoke (run, resume, golden CSV)"
+# A tiny 3-topology x 2-pattern grid: 6 runs. The first invocation records
+# all of them; the second must find everything recorded and do zero new
+# work (the resume contract); the CSV view is pinned to a golden snapshot
+# (BLESS=1 cargo test --test campaign_end_to_end regenerates it).
+campaign_dir="$(mktemp -d -t mermaid-check-campaign.XXXXXX)"
+campaign_out="$(mktemp -t mermaid-check-campaign-out.XXXXXX.txt)"
+trap 'rm -f "$trace_file" "$serial_out" "$sharded_out" "$campaign_out"; rm -rf "$campaign_dir"' EXIT
+campaign_spec="topo = ring:4, mesh:2x2, torus:2x2; pattern = ring, all2all; machine = test; phases = 2; ops = 500; seed = 5"
+cargo run --release -p mermaid --bin mermaid-cli -- campaign "$campaign_spec" \
+    --out "$campaign_dir" --jobs 2 2> /dev/null > "$campaign_out"
+grep -q "6 run(s) expanded, 0 already recorded, 6 executed" "$campaign_out" \
+    || { echo "campaign did not execute the full grid" >&2; cat "$campaign_out" >&2; exit 1; }
+[ "$(wc -l < "$campaign_dir/runs.jsonl")" -eq 6 ] \
+    || { echo "expected 6 JSONL records" >&2; exit 1; }
+cargo run --release -p mermaid --bin mermaid-cli -- campaign "$campaign_spec" \
+    --out "$campaign_dir" --jobs 2 2> /dev/null > "$campaign_out"
+grep -q "6 run(s) expanded, 6 already recorded, 0 executed" "$campaign_out" \
+    || { echo "campaign resume re-ran recorded work" >&2; cat "$campaign_out" >&2; exit 1; }
+diff -u tests/golden/campaign_summary.csv "$campaign_dir/summary.csv" \
+    || { echo "campaign CSV diverged from the golden snapshot" >&2; exit 1; }
+
 echo "All checks passed."

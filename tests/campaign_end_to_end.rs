@@ -1,0 +1,223 @@
+//! End-to-end campaign runner tests: determinism, resume, and scale.
+//!
+//! The campaign contract (DESIGN.md §13) is that the recorded outputs are
+//! a pure function of the spec: independent of worker count, of
+//! kill/resume boundaries, and of the order runs happen to finish in.
+//! These tests drive `mermaid::campaign` through real simulations and
+//! compare the persisted artifacts byte-for-byte.
+//!
+//! The golden CSV snapshot follows the `tests/golden_cli.rs` convention:
+//! `BLESS=1 cargo test --test campaign_end_to_end` regenerates it.
+
+use std::path::{Path, PathBuf};
+
+use mermaid::campaign::{
+    load_records, run_campaign, CampaignOptions, CampaignSpec, CSV_FILE, RUNS_FILE,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mermaid-campaign-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn opts(dir: &Path, jobs: usize) -> CampaignOptions {
+    CampaignOptions {
+        out_dir: dir.to_path_buf(),
+        jobs,
+        limit: None,
+        progress: false,
+    }
+}
+
+/// The JSONL stream sorted by line (completion order is nondeterministic
+/// under parallel execution; content must not be).
+fn sorted_jsonl(dir: &Path) -> Vec<String> {
+    let data = std::fs::read_to_string(dir.join(RUNS_FILE)).unwrap();
+    assert!(data.ends_with('\n'), "stream must end on a record boundary");
+    let mut lines: Vec<String> = data.lines().map(str::to_string).collect();
+    lines.sort();
+    lines
+}
+
+fn csv(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join(CSV_FILE)).unwrap()
+}
+
+/// The aggregated comparison table of a campaign report — the part that
+/// must be identical across out dirs and resume histories (the headline
+/// legitimately differs: it counts this invocation's new work).
+fn report_table(report: &str) -> &str {
+    let i = report
+        .find("Campaign comparison")
+        .expect("report has no comparison table");
+    &report[i..]
+}
+
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec::parse(
+        "topo = ring:4, mesh:2x2; pattern = ring, all2all; phases = 1; ops = 300; seed = 1, 2",
+    )
+    .unwrap()
+}
+
+#[test]
+fn same_spec_twice_is_byte_identical() {
+    let spec = tiny_spec();
+    let (a, b) = (temp_dir("twice-a"), temp_dir("twice-b"));
+    let ra = run_campaign(&spec, &opts(&a, 4)).unwrap();
+    let rb = run_campaign(&spec, &opts(&b, 4)).unwrap();
+    assert_eq!(ra.executed, 8);
+    assert_eq!(rb.executed, 8);
+    assert_eq!(sorted_jsonl(&a), sorted_jsonl(&b));
+    assert_eq!(csv(&a), csv(&b));
+    assert_eq!(
+        report_table(&ra.report),
+        report_table(&rb.report),
+        "aggregated report must match too"
+    );
+    std::fs::remove_dir_all(&a).ok();
+    std::fs::remove_dir_all(&b).ok();
+}
+
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    let spec = tiny_spec();
+    let (serial, parallel) = (temp_dir("ser"), temp_dir("par"));
+    run_campaign(&spec, &opts(&serial, 1)).unwrap();
+    run_campaign(&spec, &opts(&parallel, 8)).unwrap();
+    assert_eq!(sorted_jsonl(&serial), sorted_jsonl(&parallel));
+    assert_eq!(csv(&serial), csv(&parallel));
+    std::fs::remove_dir_all(&serial).ok();
+    std::fs::remove_dir_all(&parallel).ok();
+}
+
+#[test]
+fn kill_and_resume_matches_an_uninterrupted_run() {
+    let spec = tiny_spec();
+    let fresh = temp_dir("fresh");
+    run_campaign(&spec, &opts(&fresh, 2)).unwrap();
+
+    // "Kill" the campaign twice by budgeting it to 3 new runs per
+    // invocation; each restart re-expands and runs only the gap.
+    let resumed = temp_dir("resumed");
+    let mut o = opts(&resumed, 2);
+    o.limit = Some(3);
+    let first = run_campaign(&spec, &o).unwrap();
+    assert_eq!((first.executed, first.pending), (3, 5));
+    let second = run_campaign(&spec, &o).unwrap();
+    assert_eq!(
+        (second.recorded_before, second.executed, second.pending),
+        (3, 3, 2)
+    );
+    o.limit = None;
+    let last = run_campaign(&spec, &o).unwrap();
+    assert_eq!(
+        (last.recorded_before, last.executed, last.pending),
+        (6, 2, 0)
+    );
+
+    assert_eq!(sorted_jsonl(&fresh), sorted_jsonl(&resumed));
+    assert_eq!(csv(&fresh), csv(&resumed));
+    let fresh_again = run_campaign(&spec, &opts(&fresh, 2)).unwrap();
+    assert_eq!(
+        report_table(&last.report),
+        report_table(&fresh_again.report)
+    );
+    std::fs::remove_dir_all(&fresh).ok();
+    std::fs::remove_dir_all(&resumed).ok();
+}
+
+#[test]
+fn a_torn_final_line_is_dropped_and_reexecuted() {
+    let spec = tiny_spec();
+    let dir = temp_dir("torn");
+    run_campaign(&spec, &opts(&dir, 1)).unwrap();
+    let clean_jsonl = sorted_jsonl(&dir);
+    let clean_csv = csv(&dir);
+
+    // Tear the final record mid-write: strip the trailing newline and
+    // half the last line — the footprint of a SIGKILL during append.
+    let path = dir.join(RUNS_FILE);
+    let data = std::fs::read_to_string(&path).unwrap();
+    let keep = data.len() - 40;
+    std::fs::write(&path, &data[..keep]).unwrap();
+    assert_eq!(load_records(&path).unwrap().len(), 7, "torn tail dropped");
+
+    // Resume: exactly the torn run re-executes, and the artifacts heal to
+    // byte-identical.
+    let outcome = run_campaign(&spec, &opts(&dir, 1)).unwrap();
+    assert_eq!((outcome.recorded_before, outcome.executed), (7, 1));
+    assert_eq!(sorted_jsonl(&dir), clean_jsonl);
+    assert_eq!(csv(&dir), clean_csv);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hundred_run_grid_completes_in_one_invocation() {
+    // The acceptance-criteria scale test: a ≥100-run grid, streamed in a
+    // single invocation. 3 topologies × 2 patterns × 3 seeds × 3 phase
+    // counts × 2 ops values = 108 runs, each a real simulation.
+    let spec = CampaignSpec::parse(
+        "topo = ring:4, mesh:2x2, full:4; pattern = ring, all2all; \
+         seed = 1, 2, 3; phases = 1, 2, 3; ops = 100, 200",
+    )
+    .unwrap();
+    assert_eq!(spec.expand().unwrap().len(), 108);
+    let dir = temp_dir("grid108");
+    let outcome = run_campaign(&spec, &opts(&dir, 8)).unwrap();
+    assert_eq!(
+        (outcome.expanded, outcome.executed, outcome.pending),
+        (108, 108, 0)
+    );
+    assert_eq!(sorted_jsonl(&dir).len(), 108);
+    // Every record is loadable and keyed by its own config's hash.
+    let records = load_records(&dir.join(RUNS_FILE)).unwrap();
+    assert_eq!(records.len(), 108);
+    for r in &records {
+        assert_eq!(r.config_hash, r.config.config_hash());
+        assert!(r.all_done);
+        assert!(r.predicted_ps > 0);
+    }
+    // The CSV view covers every run plus a header.
+    assert_eq!(csv(&dir).lines().count(), 109);
+    // Immediately re-running does zero new work.
+    let again = run_campaign(&spec, &opts(&dir, 8)).unwrap();
+    assert_eq!((again.recorded_before, again.executed), (108, 0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn golden_campaign_summary_csv() {
+    // Snapshot of the CSV view for the check.sh smoke campaign. The same
+    // spec runs there against the installed binary; here it pins the
+    // exact bytes. BLESS=1 regenerates after intentional changes.
+    let spec = CampaignSpec::parse(
+        "topo = ring:4, mesh:2x2, torus:2x2; pattern = ring, all2all; \
+         machine = test; phases = 2; ops = 500; seed = 5",
+    )
+    .unwrap();
+    let dir = temp_dir("golden");
+    run_campaign(&spec, &opts(&dir, 2)).unwrap();
+    let got = csv(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let golden =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/campaign_summary.csv");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {} — run `BLESS=1 cargo test --test campaign_end_to_end`",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "campaign CSV drifted — if intentional, regenerate with \
+         `BLESS=1 cargo test --test campaign_end_to_end` and review the diff"
+    );
+}

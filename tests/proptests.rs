@@ -169,6 +169,32 @@ proptest! {
         prop_assert_eq!(hops, topo.distance(src, dst));
     }
 
+    /// RFC-4180 CSV round trip: `parse_line` inverts `csv_line` for
+    /// arbitrary fields, including ones holding commas, quotes, CR, and LF
+    /// — the characters whose mishandling silently corrupts rows (campaign
+    /// summaries embed fault specs and machine names in CSV cells).
+    #[test]
+    fn csv_line_roundtrips_through_parse_line(
+        raw in prop::collection::vec(prop::collection::vec(0usize..10, 0..24), 1..6)
+    ) {
+        use mermaid_stats::csv::{csv_field, csv_line, parse_line};
+        const ALPHABET: [char; 10] = [',', '"', '\r', '\n', 'a', 'B', ' ', 'é', '7', ':'];
+        let fields: Vec<String> = raw
+            .iter()
+            .map(|ixs| ixs.iter().map(|&i| ALPHABET[i]).collect())
+            .collect();
+        let line = csv_line(&fields);
+        prop_assert!(line.ends_with('\n'));
+        let parsed = parse_line(&line[..line.len() - 1])
+            .map_err(TestCaseError::fail)?;
+        prop_assert_eq!(&parsed, &fields);
+        // Field-level identity too: each quoted field alone is one field.
+        for f in &fields {
+            let back = parse_line(&csv_field(f)).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(&back, &vec![f.clone()]);
+        }
+    }
+
     /// Statistics category counts always partition the total.
     #[test]
     fn stats_categories_partition(ops in prop::collection::vec(op_strategy(), 0..300)) {
