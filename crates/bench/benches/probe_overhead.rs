@@ -54,6 +54,18 @@ fn bench(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+    g.bench_function("attribution", |b| {
+        b.iter_batched(
+            || traces.clone(),
+            |ts| {
+                let probe = ProbeHandle::new(ProbeStack::new().with_attribution());
+                TaskLevelSim::new(t805_16().network)
+                    .with_probe(probe)
+                    .run(&ts)
+            },
+            BatchSize::LargeInput,
+        )
+    });
     g.bench_function("on", |b| {
         b.iter_batched(
             || traces.clone(),

@@ -158,6 +158,20 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Per-run bottleneck-attribution headline, recorded when the campaign
+/// runs with attribution enabled: which latency component dominated the
+/// delivered messages and how hot the busiest link ran. Deterministic and
+/// shard-invariant, like the full `attribution.json` it is distilled from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrHeadline {
+    /// Name of the dominant latency component (`queue`, `wire`, …).
+    pub dominant: String,
+    /// The dominant component's share of total summed latency, in ppm.
+    pub dominant_share_ppm: u64,
+    /// Utilization of the busiest link over the run horizon, in ppm.
+    pub max_link_util_ppm: u64,
+}
+
 /// One self-contained campaign record: everything a later analysis pass
 /// needs without re-running the simulation. Serialised as one JSON line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -188,6 +202,9 @@ pub struct CampaignRecord {
     pub latency_max_ps: u64,
     /// Delivery accounting (all-zero outside fault mode).
     pub delivery: DeliveryStats,
+    /// Attribution headline (`None` unless the campaign ran with
+    /// attribution enabled).
+    pub attribution: Option<AttrHeadline>,
 }
 
 impl CampaignRecord {
@@ -221,6 +238,9 @@ impl CampaignRecord {
             "retries",
             "msgs_failed",
             "recv_timeouts",
+            "attr_dominant",
+            "attr_dominant_share_ppm",
+            "attr_max_link_util_ppm",
         ])
     }
 
@@ -255,6 +275,15 @@ impl CampaignRecord {
             self.delivery.retries.to_string(),
             self.delivery.failed.to_string(),
             self.delivery.recv_timeouts.to_string(),
+            self.attribution
+                .as_ref()
+                .map_or(String::new(), |a| a.dominant.clone()),
+            self.attribution
+                .as_ref()
+                .map_or(String::new(), |a| a.dominant_share_ppm.to_string()),
+            self.attribution
+                .as_ref()
+                .map_or(String::new(), |a| a.max_link_util_ppm.to_string()),
         ])
     }
 }
@@ -601,6 +630,14 @@ fn sample_preserving_order<T>(items: Vec<T>, n: usize, seed: u64) -> Vec<T> {
 /// configuration was validated at expansion time, so failures here are
 /// simulator invariant violations, not user errors.
 pub fn execute_run(cfg: &RunConfig) -> CampaignRecord {
+    execute_run_opts(cfg, false)
+}
+
+/// [`execute_run`] with the attribution pass switchable: when enabled,
+/// the run carries a bottleneck-attribution sink and the record's
+/// [`AttrHeadline`] is filled in. The predicted results are identical
+/// either way (the sink only observes).
+pub fn execute_run_opts(cfg: &RunConfig, attribution: bool) -> CampaignRecord {
     let topo = parse_topology(&cfg.topo).expect("validated at expansion");
     let machine = parse_machine(&cfg.machine, topo).expect("validated at expansion");
     let pattern = parse_pattern(&cfg.pattern).expect("validated at expansion");
@@ -629,10 +666,16 @@ pub fn execute_run(cfg: &RunConfig) -> CampaignRecord {
         Some(Arc::new(sched))
     };
 
+    let probe = if attribution {
+        ProbeHandle::new(ProbeStack::new().with_attribution())
+    } else {
+        ProbeHandle::disabled()
+    };
     let (predicted, comm, ops_simulated) = match cfg.mode.as_str() {
         "detailed" => {
             let traces = gen.generate();
             let r = HybridSim::new(machine)
+                .with_probe(probe.clone())
                 .with_shards(cfg.shards)
                 .with_faults(faults)
                 .run(&traces);
@@ -641,12 +684,21 @@ pub fn execute_run(cfg: &RunConfig) -> CampaignRecord {
         _ => {
             let traces = gen.generate_task_level();
             let r = TaskLevelSim::new(machine.network)
+                .with_probe(probe.clone())
                 .with_shards(cfg.shards)
                 .with_faults(faults)
                 .run(&traces);
             (r.predicted_time, r.comm, r.ops_simulated)
         }
     };
+    let attribution = probe.attribution_report(predicted.as_ps()).map(|r| {
+        let (dominant, dominant_share_ppm, max_link_util_ppm) = r.headline();
+        AttrHeadline {
+            dominant: dominant.to_string(),
+            dominant_share_ppm,
+            max_link_util_ppm,
+        }
+    });
 
     let pct = |p: f64| comm.msg_latency.percentile(p).unwrap_or(0);
     CampaignRecord {
@@ -663,6 +715,7 @@ pub fn execute_run(cfg: &RunConfig) -> CampaignRecord {
         latency_p99_ps: pct(99.0),
         latency_max_ps: comm.msg_latency.max().unwrap_or(0),
         delivery: comm.delivery(),
+        attribution,
     }
 }
 
@@ -715,6 +768,10 @@ pub struct CampaignOptions {
     pub limit: Option<usize>,
     /// Echo per-run completion lines to stderr.
     pub progress: bool,
+    /// Attach a bottleneck-attribution sink to every new run and record
+    /// its [`AttrHeadline`]. Runs recorded without attribution keep their
+    /// empty headline until re-run (records are resumed, not recomputed).
+    pub attribution: bool,
 }
 
 /// Summary of a completed (or budget-limited) campaign invocation.
@@ -794,39 +851,40 @@ pub fn run_campaign(
         let sink = Mutex::new((file, 0usize, None::<String>));
         let total = todo.len();
         let progress = opts.progress;
-        let new_records =
-            sweep::parallel_sweep_streaming(todo, opts.jobs, execute_run, |_, rec| {
-                let mut guard = sink.lock().unwrap();
-                let (file, done, err) = &mut *guard;
-                if err.is_some() {
+        let attribution = opts.attribution;
+        let worker = move |cfg: &RunConfig| execute_run_opts(cfg, attribution);
+        let new_records = sweep::parallel_sweep_streaming(todo, opts.jobs, worker, |_, rec| {
+            let mut guard = sink.lock().unwrap();
+            let (file, done, err) = &mut *guard;
+            if err.is_some() {
+                return;
+            }
+            let line = match serde_json::to_string(rec) {
+                Ok(l) => l,
+                Err(e) => {
+                    *err = Some(format!("cannot serialise campaign record: {e:?}"));
                     return;
                 }
-                let line = match serde_json::to_string(rec) {
-                    Ok(l) => l,
-                    Err(e) => {
-                        *err = Some(format!("cannot serialise campaign record: {e:?}"));
-                        return;
-                    }
-                };
-                if let Err(e) = file
-                    .write_all(line.as_bytes())
-                    .and_then(|_| file.write_all(b"\n"))
-                    .and_then(|_| file.flush())
-                {
-                    *err = Some(format!("cannot append to {}: {e}", runs_path.display()));
-                    return;
-                }
-                *done += 1;
-                if progress {
-                    eprintln!(
-                        "campaign: [{done}/{total}] {} {} {} -> {}",
-                        rec.config.topo,
-                        rec.config.pattern,
-                        rec.config_hash,
-                        Time::from_ps(rec.predicted_ps)
-                    );
-                }
-            });
+            };
+            if let Err(e) = file
+                .write_all(line.as_bytes())
+                .and_then(|_| file.write_all(b"\n"))
+                .and_then(|_| file.flush())
+            {
+                *err = Some(format!("cannot append to {}: {e}", runs_path.display()));
+                return;
+            }
+            *done += 1;
+            if progress {
+                eprintln!(
+                    "campaign: [{done}/{total}] {} {} {} -> {}",
+                    rec.config.topo,
+                    rec.config.pattern,
+                    rec.config_hash,
+                    Time::from_ps(rec.predicted_ps)
+                );
+            }
+        });
         if let Some(e) = sink.into_inner().unwrap().2 {
             return Err(e);
         }
@@ -1027,6 +1085,29 @@ mod tests {
         assert!(rec.all_done);
         assert!(rec.predicted_ps > 0);
         assert_eq!(rec.config_hash, rec.config.config_hash());
+    }
+
+    #[test]
+    fn attribution_headline_is_recorded_only_when_enabled() {
+        let cfg = &tiny_spec().expand().unwrap()[0];
+        let plain = execute_run(cfg);
+        assert_eq!(plain.attribution, None);
+        let attr = execute_run_opts(cfg, true);
+        let h = attr.attribution.clone().expect("headline recorded");
+        assert!(!h.dominant.is_empty());
+        assert!(h.dominant_share_ppm <= 1_000_000);
+        assert!(h.max_link_util_ppm > 0);
+        // The attribution pass only observes — predictions are unchanged.
+        assert_eq!(plain.predicted_ps, attr.predicted_ps);
+        assert_eq!(plain.events, attr.events);
+        assert_eq!(plain.msgs_delivered, attr.msgs_delivered);
+        // The CSV row carries the headline columns; empty when absent.
+        assert!(attr.csv_row().contains(&h.dominant));
+        assert!(plain.csv_row().trim_end().ends_with(",,"));
+        // And the record round-trips with the headline intact.
+        let line = serde_json::to_string(&attr).unwrap();
+        let back: CampaignRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, attr);
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //!                      [--app <scientific|integer>] [--pattern <name>]
 //!                      [--phases N] [--ops N] [--seed N]
 //!                      [--mode <detailed|task|direct>] [--watch]
-//!                      [--shards <N|auto>]
+//!                      [--shards <N|auto>] [--shard-profile]
 //!                      [--faults <spec|file>] [--fault-seed N]
-//!                      [--trace-out <file>] [--metrics]
+//!                      [--trace-out <file>] [--metrics] [--attribution <file>]
+//! mermaid-cli analyze [same workload flags as simulate] [--json <file>]
 //! mermaid-cli probe --machine <t805|ppc601|paragon|test> [--topology <spec>]
 //! mermaid-cli campaign <spec|file> --out <dir> [--jobs <N|auto>] [--limit N] [--dry-run]
+//!                      [--attribution]
 //! ```
 //!
 //! `sim` is an alias for `simulate`. `--trace-out` writes a Chrome-trace
@@ -26,6 +28,18 @@
 //! profile of the simulator itself. `--shards` runs the communication
 //! model on N worker threads (`auto` = one per host core); sharded runs
 //! are bit-identical to single-threaded ones — with or without faults.
+//!
+//! `analyze` answers "where did the time go": it runs the simulation with
+//! the bottleneck-attribution sink attached and renders the latency
+//! decomposition (serialization / wire / routing / queueing / retry
+//! components of every delivered message), the hottest links and routers,
+//! and an ASCII utilization heatmap. `--json <file>` additionally writes
+//! the machine-readable `attribution.json`. The same report is available
+//! from a normal run via `sim --attribution <file>`. Attribution output is
+//! deterministic and byte-identical between serial and sharded runs.
+//! `--shard-profile` (sharded runs only) appends each worker's self-profile
+//! — barrier wait versus event-execution time, window occupancy,
+//! cross-shard message volume; host wall-clock, so *not* deterministic.
 //!
 //! `--faults` enables deterministic fault injection in the communication
 //! model. Its value is either an inline spec or the path of a file holding
@@ -60,11 +74,14 @@ pub fn usage() -> &'static str {
     "usage:\n  mermaid-cli table1\n  mermaid-cli topo <spec>\n  mermaid-cli machines\n  \
      mermaid-cli simulate --machine <name> --topology <spec> [--app <mix>] [--pattern <p>] \
      [--phases N] [--ops N] [--seed N] [--mode <detailed|task|direct>] [--watch] \
-     [--shards <N|auto>] [--faults <spec|file>] [--fault-seed N] [--trace-out <file>] \
-     [--metrics]\n  \
+     [--shards <N|auto>] [--shard-profile] [--faults <spec|file>] [--fault-seed N] \
+     [--trace-out <file>] [--metrics] [--attribution <file>]\n  \
+     mermaid-cli analyze [same workload flags as simulate] [--json <file>]\n  \
      mermaid-cli probe --machine <name> [--topology <spec>]\n  \
-     mermaid-cli campaign <spec|file> --out <dir> [--jobs <N|auto>] [--limit N] [--dry-run]\n\n\
-     `sim` is an alias for `simulate`.\n\
+     mermaid-cli campaign <spec|file> --out <dir> [--jobs <N|auto>] [--limit N] [--dry-run] \
+     [--attribution]\n\n\
+     `sim` is an alias for `simulate`. `analyze` renders the bottleneck-attribution \
+     report (latency decomposition, hottest links/routers, utilization heatmap).\n\
      topology specs: ring:8  mesh:4x4  torus:4x4  hypercube:3  full:8  star:8\n\
      fault specs:    link:0-1:1000:5000  router:3:2000  drop:1000  corrupt:500\n\
                      retries:6  timeout:2000  cap:32000  recv-timeout:1000000\n\
@@ -90,6 +107,9 @@ struct Opts {
     fault_seed: Option<u64>,
     trace_out: Option<String>,
     metrics: bool,
+    attribution: Option<String>,
+    json: Option<String>,
+    shard_profile: bool,
 }
 
 /// Parse a `--shards` value: a thread count ≥ 1, or `auto` for one shard
@@ -178,6 +198,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--trace-out" => o.trace_out = Some(value("--trace-out")?),
             "--metrics" => o.metrics = true,
+            "--attribution" => o.attribution = Some(value("--attribution")?),
+            "--json" => o.json = Some(value("--json")?),
+            "--shard-profile" => o.shard_profile = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -264,6 +287,53 @@ fn parse_faults(
     Ok(Arc::new(sched))
 }
 
+/// Write a run artifact to `path`, diagnosing a missing parent directory
+/// up front — the common scripted mistake — with the path *and* the cause,
+/// instead of the bare OS error `std::fs::write` would surface.
+fn write_output_file(path: &str, data: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if let Some(dir) = p.parent() {
+        if !dir.as_os_str().is_empty() && !dir.is_dir() {
+            return Err(format!(
+                "cannot write {path}: output directory `{}` does not exist (create it first)",
+                dir.display()
+            ));
+        }
+    }
+    std::fs::write(p, data).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Render the `--shard-profile` epilogue. The numbers are host wall-clock
+/// — they vary run to run and are deliberately excluded from the
+/// deterministic serial-vs-sharded output guarantees.
+fn shard_profile_section(p: Option<&mermaid_network::ShardProfile>) -> String {
+    match p {
+        Some(p) => format!(
+            "\nshard self-profile (host wall-clock; varies between runs):\n{}",
+            p.render()
+        ),
+        None => "\nshard self-profile: none (the run fell back to the serial path)\n".to_string(),
+    }
+}
+
+/// Build the stochastic workload generator shared by `simulate` and
+/// `analyze` from the parsed options.
+fn build_generator(o: &Opts, nodes: u32) -> Result<StochasticGenerator, String> {
+    let mix = match o.app.as_deref().unwrap_or("scientific") {
+        "scientific" => InstructionMix::scientific(),
+        "integer" => InstructionMix::integer(),
+        other => return Err(format!("unknown app mix `{other}`")),
+    };
+    let app = StochasticApp {
+        mix,
+        phases: o.phases.unwrap_or(5),
+        ops_per_phase: SizeDist::Fixed(o.ops.unwrap_or(5_000)),
+        pattern: parse_pattern(o.pattern.as_deref().unwrap_or("ring"))?,
+        ..StochasticApp::scientific(nodes)
+    };
+    Ok(StochasticGenerator::new(app, o.seed.unwrap_or(1)))
+}
+
 /// Render the fault-injection epilogue of a run: headline counters plus
 /// the structured unreachable-pair table when anything actually failed.
 fn fault_summary(comm: &CommResult) -> String {
@@ -295,6 +365,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
     let mut jobs: usize = 1;
     let mut limit: Option<usize> = None;
     let mut dry_run = false;
+    let mut attribution = false;
     let mut seen = std::collections::BTreeSet::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -329,6 +400,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
                 });
             }
             "--dry-run" => dry_run = true,
+            "--attribution" => attribution = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -349,6 +421,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
             jobs,
             limit,
             progress: true,
+            attribution,
         },
     )?;
     Ok(outcome.report)
@@ -360,7 +433,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let Some(cmd) = args.first() else {
         return Err(
             "no subcommand (expected one of: table1, topo, machines, simulate/sim, \
-                    probe, campaign)"
+                    analyze, probe, campaign)"
                 .into(),
         );
     };
@@ -392,31 +465,25 @@ pub fn run(args: &[String]) -> Result<String, String> {
         ),
         "simulate" | "sim" => {
             let o = parse_opts(&args[1..])?;
+            if o.json.is_some() {
+                return Err(
+                    "--json belongs to `analyze`; with sim use --attribution <file>".into(),
+                );
+            }
             let topo = parse_topology(o.topology.as_deref().unwrap_or("ring:8"))?;
             let machine = parse_machine(o.machine.as_deref().unwrap_or("t805"), topo)?;
             let nodes = topo.nodes();
-            let mix = match o.app.as_deref().unwrap_or("scientific") {
-                "scientific" => InstructionMix::scientific(),
-                "integer" => InstructionMix::integer(),
-                other => return Err(format!("unknown app mix `{other}`")),
-            };
-            let app = StochasticApp {
-                mix,
-                phases: o.phases.unwrap_or(5),
-                ops_per_phase: SizeDist::Fixed(o.ops.unwrap_or(5_000)),
-                pattern: parse_pattern(o.pattern.as_deref().unwrap_or("ring"))?,
-                ..StochasticApp::scientific(nodes)
-            };
-            let seed = o.seed.unwrap_or(1);
-            let gen = StochasticGenerator::new(app, seed);
+            let gen = build_generator(&o, nodes)?;
 
             // Instrumentation: one probe handle feeds every sink the user
             // asked for. Disabled (a single branch per event site) when
-            // neither flag is given.
+            // no flag is given.
             let mode = o.mode.as_deref().unwrap_or("detailed");
-            let tracing = o.trace_out.is_some() || o.metrics;
+            let tracing = o.trace_out.is_some() || o.metrics || o.attribution.is_some();
             if tracing && mode == "direct" {
-                return Err("--trace-out/--metrics need --mode detailed or task".into());
+                return Err(
+                    "--trace-out/--metrics/--attribution need --mode detailed or task".into(),
+                );
             }
             let shards = o.shards.unwrap_or(1);
             if shards > 1 && mode == "direct" {
@@ -426,6 +493,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 return Err(
                     "--shards cannot be combined with --watch (which runs single-threaded)".into(),
                 );
+            }
+            if o.shard_profile && shards <= 1 {
+                return Err("--shard-profile needs --shards with at least 2 workers".into());
             }
             if o.fault_seed.is_some() && o.faults.is_none() {
                 return Err("--fault-seed needs --faults".into());
@@ -458,6 +528,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         .with_metrics()
                         .with_profiler(crate::host_frequency().as_hz() as f64);
                 }
+                if o.attribution.is_some() {
+                    stack = stack.with_attribution();
+                }
                 ProbeHandle::new(stack)
             } else {
                 ProbeHandle::disabled()
@@ -486,6 +559,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         slow.slowdown_per_processor(),
                         slow.target_cycles_per_host_second()
                     ));
+                    if o.shard_profile {
+                        out.push_str(&shard_profile_section(r.shard_profile.as_ref()));
+                    }
                 }
                 "task" => {
                     let traces = gen.generate_task_level();
@@ -520,6 +596,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         if faults.is_some() {
                             out.push_str(&fault_summary(&r.comm));
                         }
+                        if o.shard_profile {
+                            out.push_str(&shard_profile_section(r.shard_profile.as_ref()));
+                        }
                     }
                 }
                 "direct" => {
@@ -537,8 +616,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 let json = probe.chrome_trace_json().ok_or("no trace was collected")?;
                 crate::probe::validate_chrome_trace(&json)
                     .map_err(|e| format!("internal error: emitted trace is invalid: {e}"))?;
-                std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                write_output_file(path, &json)?;
                 out.push_str(&format!("trace written: {path}\n"));
+            }
+            if let Some(path) = &o.attribution {
+                let report = probe
+                    .attribution_report(finish_ps)
+                    .ok_or("no attribution was collected")?;
+                write_output_file(path, &report.to_json())?;
+                out.push_str(&format!("attribution written: {path}\n"));
             }
             if o.metrics {
                 let report = probe
@@ -550,6 +636,81 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     out.push('\n');
                     out.push_str(&profile.render());
                 }
+            }
+            Ok(out)
+        }
+        "analyze" => {
+            let o = parse_opts(&args[1..])?;
+            if o.watch || o.trace_out.is_some() || o.metrics {
+                return Err("analyze renders the attribution report; use `sim` for \
+                            --watch/--trace-out/--metrics"
+                    .into());
+            }
+            if o.attribution.is_some() {
+                return Err("analyze always attributes; write the JSON with --json <file>".into());
+            }
+            let topo = parse_topology(o.topology.as_deref().unwrap_or("ring:8"))?;
+            let machine = parse_machine(o.machine.as_deref().unwrap_or("t805"), topo)?;
+            let gen = build_generator(&o, topo.nodes())?;
+            // Analyze targets the communication network, so the fast
+            // task-level mode is the default; `--mode detailed` attributes
+            // the same run with the computational model in front.
+            let mode = o.mode.as_deref().unwrap_or("task");
+            let shards = o.shards.unwrap_or(1);
+            if o.shard_profile && shards <= 1 {
+                return Err("--shard-profile needs --shards with at least 2 workers".into());
+            }
+            if o.fault_seed.is_some() && o.faults.is_none() {
+                return Err("--fault-seed needs --faults".into());
+            }
+            let faults = match &o.faults {
+                Some(arg) => Some(parse_faults(
+                    arg,
+                    o.fault_seed.unwrap_or(1),
+                    &machine.network,
+                )?),
+                None => None,
+            };
+            let probe = ProbeHandle::new(ProbeStack::new().with_attribution());
+            let mut out = format!("machine: {}\n", machine.name);
+            let (finish_ps, shard_profile) = match mode {
+                "task" => {
+                    let traces = gen.generate_task_level();
+                    let r = TaskLevelSim::new(machine.network)
+                        .with_probe(probe.clone())
+                        .with_shards(shards)
+                        .with_faults(faults.clone())
+                        .run(&traces);
+                    out.push_str(&format!("predicted time: {}\n", r.predicted_time));
+                    (r.predicted_time.as_ps(), r.shard_profile)
+                }
+                "detailed" => {
+                    let traces = gen.generate();
+                    let r = HybridSim::new(machine)
+                        .with_probe(probe.clone())
+                        .with_shards(shards)
+                        .with_faults(faults.clone())
+                        .run(&traces);
+                    out.push_str(&format!("predicted time: {}\n", r.predicted_time));
+                    (r.predicted_time.as_ps(), r.shard_profile)
+                }
+                other => {
+                    return Err(format!(
+                        "analyze needs --mode detailed or task (got `{other}`)"
+                    ))
+                }
+            };
+            let report = probe
+                .attribution_report(finish_ps)
+                .ok_or("no attribution was collected")?;
+            out.push('\n');
+            out.push_str(&report.render());
+            if let Some(path) = &o.json {
+                write_output_file(path, &report.to_json())?;
+                out.push_str(&format!("attribution written: {path}\n"));
+            }
+            if o.shard_profile {
+                out.push_str(&shard_profile_section(shard_profile.as_ref()));
             }
             Ok(out)
         }
@@ -652,10 +813,168 @@ mod tests {
     fn no_subcommand_error_lists_the_subcommands() {
         let err = run(&[]).unwrap_err();
         for name in [
-            "table1", "topo", "machines", "simulate", "probe", "campaign",
+            "table1", "topo", "machines", "simulate", "analyze", "probe", "campaign",
         ] {
             assert!(err.contains(name), "`{err}` should mention {name}");
         }
+    }
+
+    #[test]
+    fn analyze_renders_the_attribution_report() {
+        let out = run(&s(&[
+            "analyze",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--phases",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("predicted time"), "{out}");
+        assert!(out.contains("Latency decomposition"), "{out}");
+        assert!(out.contains("Hottest links"), "{out}");
+        assert!(out.contains("Hottest routers"), "{out}");
+        assert!(out.contains("heatmap"), "{out}");
+    }
+
+    #[test]
+    fn analyze_output_is_byte_identical_serial_vs_sharded() {
+        let dir = std::env::temp_dir();
+        let a = dir.join(format!("mermaid-attr-serial-{}.json", std::process::id()));
+        let b = dir.join(format!("mermaid-attr-sharded-{}.json", std::process::id()));
+        let base = s(&[
+            "analyze",
+            "--machine",
+            "test",
+            "--topology",
+            "torus:2x2",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+        ]);
+        let mut serial_args = base.clone();
+        serial_args.extend(s(&["--json", a.to_str().unwrap()]));
+        let mut sharded_args = base.clone();
+        sharded_args.extend(s(&["--shards", "3", "--json", b.to_str().unwrap()]));
+        let serial = run(&serial_args).unwrap();
+        let sharded = run(&sharded_args).unwrap();
+        let aj = std::fs::read_to_string(&a).unwrap();
+        let bj = std::fs::read_to_string(&b).unwrap();
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+        // stdout differs only in the --json path echoed at the end.
+        assert_eq!(
+            serial.replace(a.to_str().unwrap(), "X"),
+            sharded.replace(b.to_str().unwrap(), "X")
+        );
+        assert_eq!(aj, bj, "attribution.json must be shard-invariant");
+        assert!(aj.contains("\"schema\":\"mermaid-attribution-v1\""), "{aj}");
+    }
+
+    #[test]
+    fn analyze_rejects_direct_mode_and_sim_only_flags() {
+        let err = run(&s(&["analyze", "--mode", "direct"])).unwrap_err();
+        assert!(err.contains("detailed or task"), "{err}");
+        let err = run(&s(&["analyze", "--metrics"])).unwrap_err();
+        assert!(err.contains("use `sim`"), "{err}");
+        let err = run(&s(&["analyze", "--watch"])).unwrap_err();
+        assert!(err.contains("use `sim`"), "{err}");
+        let err = run(&s(&["analyze", "--attribution", "x.json"])).unwrap_err();
+        assert!(err.contains("--json"), "{err}");
+        let err = run(&s(&["sim", "--json", "x.json"])).unwrap_err();
+        assert!(err.contains("--attribution"), "{err}");
+    }
+
+    #[test]
+    fn sim_attribution_flag_writes_the_json_artifact() {
+        let path =
+            std::env::temp_dir().join(format!("mermaid-sim-attr-{}.json", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(&s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--attribution",
+            &path_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("attribution written"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            json.starts_with("{\"schema\":\"mermaid-attribution-v1\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn missing_output_directory_is_an_actionable_error() {
+        let bogus = "/nonexistent-mermaid-dir/out.json";
+        for args in [
+            vec![
+                "sim",
+                "--mode",
+                "task",
+                "--phases",
+                "1",
+                "--trace-out",
+                bogus,
+            ],
+            vec![
+                "sim",
+                "--mode",
+                "task",
+                "--phases",
+                "1",
+                "--attribution",
+                bogus,
+            ],
+            vec!["analyze", "--phases", "1", "--json", bogus],
+        ] {
+            let mut full = vec!["--machine", "test", "--topology", "ring:4"];
+            full.splice(0..0, [args[0]]);
+            full.extend(&args[1..]);
+            let err = run(&s(&full)).unwrap_err();
+            assert!(err.contains(bogus), "{err}");
+            assert!(err.contains("does not exist"), "{err}");
+            assert!(err.contains("/nonexistent-mermaid-dir"), "{err}");
+        }
+    }
+
+    #[test]
+    fn shard_profile_flag_needs_a_sharded_run() {
+        let err = run(&s(&["sim", "--mode", "task", "--shard-profile"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = run(&s(&["analyze", "--shard-profile"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+    }
+
+    #[test]
+    fn sharded_analyze_with_shard_profile_reports_overheads() {
+        let out = run(&s(&[
+            "analyze",
+            "--machine",
+            "test",
+            "--topology",
+            "torus:2x2",
+            "--phases",
+            "2",
+            "--shards",
+            "3",
+            "--shard-profile",
+        ]))
+        .unwrap();
+        assert!(out.contains("shard self-profile"), "{out}");
+        assert!(out.contains("barrier wait:"), "{out}");
+        assert!(out.contains("ev/window"), "{out}");
     }
 
     #[test]

@@ -21,7 +21,9 @@ use std::sync::Arc;
 
 use mermaid_cpu::{CpuStats, SingleNodeSim};
 use mermaid_memory::{MemStats, MemSystemConfig};
-use mermaid_network::{run_sharded_with_faults, CommResult, CommSim, FaultSchedule};
+use mermaid_network::{
+    run_sharded_with_faults_profiled, CommResult, CommSim, FaultSchedule, ShardProfile,
+};
 use mermaid_ops::{NodeId, Trace, TraceSet};
 use mermaid_probe::ProbeHandle;
 use mermaid_tracegen::InterleavedTraceGen;
@@ -55,6 +57,10 @@ pub struct HybridResult {
     pub comm: CommResult,
     /// Instruction-level operations simulated (for slowdown accounting).
     pub ops_simulated: u64,
+    /// Shard self-profile of a sharded communication phase (`None` when
+    /// the run was serial). Host-wall-clock data, kept outside `comm` so
+    /// determinism checks over the model results are unaffected.
+    pub shard_profile: Option<ShardProfile>,
 }
 
 /// The hybrid simulator: detailed mode of the workbench.
@@ -107,9 +113,9 @@ impl HybridSim {
 
     /// Run the communication model over already-extracted task-level
     /// traces, honouring the configured shard count and fault schedule.
-    fn run_comm(&self, task_traces: &TraceSet) -> CommResult {
+    fn run_comm(&self, task_traces: &TraceSet) -> (CommResult, Option<ShardProfile>) {
         if self.shards > 1 {
-            run_sharded_with_faults(
+            run_sharded_with_faults_profiled(
                 self.machine.network,
                 task_traces,
                 self.probe.clone(),
@@ -117,7 +123,7 @@ impl HybridSim {
                 self.faults.clone(),
             )
         } else {
-            match &self.faults {
+            let comm = match &self.faults {
                 Some(f) => CommSim::new_with_faults(
                     self.machine.network,
                     task_traces,
@@ -129,7 +135,8 @@ impl HybridSim {
                     CommSim::new_with_probe(self.machine.network, task_traces, self.probe.clone())
                         .run()
                 }
-            }
+            };
+            (comm, None)
         }
     }
 
@@ -158,13 +165,14 @@ impl HybridSim {
             nodes.push(stats);
         }
         let task_traces = TraceSet::from_traces(task_traces);
-        let comm = self.run_comm(&task_traces);
+        let (comm, shard_profile) = self.run_comm(&task_traces);
         HybridResult {
             predicted_time: comm.finish,
             nodes,
             task_traces,
             comm,
             ops_simulated,
+            shard_profile,
         }
     }
 
@@ -221,13 +229,14 @@ impl HybridSim {
             task_traces.push(task);
         }
         let task_traces = TraceSet::from_traces(task_traces);
-        let comm = self.run_comm(&task_traces);
+        let (comm, shard_profile) = self.run_comm(&task_traces);
         HybridResult {
             predicted_time: comm.finish,
             nodes,
             task_traces,
             comm,
             ops_simulated,
+            shard_profile,
         }
     }
 

@@ -9,7 +9,10 @@
 
 use std::sync::Arc;
 
-use mermaid_network::{run_sharded_with_faults, CommResult, CommSim, FaultSchedule, NetworkConfig};
+use mermaid_network::{
+    run_sharded_with_faults_profiled, CommResult, CommSim, FaultSchedule, NetworkConfig,
+    ShardProfile,
+};
 use mermaid_ops::TraceSet;
 use mermaid_probe::ProbeHandle;
 use pearl::Time;
@@ -23,6 +26,10 @@ pub struct TaskLevelResult {
     pub comm: CommResult,
     /// Task-level operations simulated.
     pub ops_simulated: u64,
+    /// Shard self-profile of a sharded run (`None` when the run was
+    /// serial). Host-wall-clock data, kept outside `comm` so determinism
+    /// checks over the model results are unaffected.
+    pub shard_profile: Option<ShardProfile>,
 }
 
 /// The fast-prototyping simulator: the communication model alone.
@@ -78,8 +85,8 @@ impl TaskLevelSim {
     /// Run over task-level traces (one per node).
     pub fn run(&self, traces: &TraceSet) -> TaskLevelResult {
         let ops_simulated = traces.total_ops() as u64;
-        let comm = if self.shards > 1 {
-            run_sharded_with_faults(
+        let (comm, shard_profile) = if self.shards > 1 {
+            run_sharded_with_faults_profiled(
                 self.network,
                 traces,
                 self.probe.clone(),
@@ -87,7 +94,7 @@ impl TaskLevelSim {
                 self.faults.clone(),
             )
         } else {
-            match &self.faults {
+            let comm = match &self.faults {
                 Some(f) => CommSim::new_with_faults(
                     self.network,
                     traces,
@@ -96,12 +103,14 @@ impl TaskLevelSim {
                 )
                 .run(),
                 None => CommSim::new_with_probe(self.network, traces, self.probe.clone()).run(),
-            }
+            };
+            (comm, None)
         };
         TaskLevelResult {
             predicted_time: comm.finish,
             comm,
             ops_simulated,
+            shard_profile,
         }
     }
 }

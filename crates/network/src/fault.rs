@@ -489,7 +489,7 @@ fn draw_ppm(seed: u64, from: NodeId, to: NodeId, pkt: &Packet) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{MsgId, PacketKind};
+    use crate::packet::{MsgId, PacketKind, PathDecomp};
 
     fn pkt(seq: u64, index: u32, attempt: u32) -> Packet {
         Packet {
@@ -503,6 +503,7 @@ mod tests {
             sent_at: Time::ZERO,
             attempt,
             corrupted: false,
+            path: PathDecomp::default(),
         }
     }
 

@@ -39,6 +39,9 @@ pub use config::{LinkParams, NetworkConfig, RouterParams, Routing, Switching};
 pub use fault::{FaultEvent, FaultKind, FaultSchedule, RetryParams};
 pub use partition::{lookahead, Partition};
 pub use processor::{ProcStats, UnreachableReport};
-pub use sharded::{auto_shards, run_sharded, run_sharded_with_faults};
+pub use sharded::{
+    auto_shards, run_sharded, run_sharded_with_faults, run_sharded_with_faults_profiled,
+    ShardProfile, ShardProfileEntry,
+};
 pub use sim::{CommResult, CommSim, NodeCommStats};
 pub use topology::{Topology, MAX_NODES};

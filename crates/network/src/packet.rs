@@ -37,6 +37,46 @@ pub enum PacketKind {
     GetReply,
 }
 
+/// Where a packet's end-to-end time went, accumulated hop by hop.
+///
+/// Every field is a sum of exact `pearl::Duration` picosecond spans, so
+/// for a delivered packet the components reconstruct the measured latency
+/// *exactly*:
+///
+/// ```text
+/// latency = pre + queue + route + ser + wire
+/// ```
+///
+/// `pre` is accounted by the sending processor (send overhead on the
+/// original attempt; elapsed recovery time on a retransmission), the rest
+/// by every router the packet crosses. The accumulation is a handful of
+/// integer adds per hop — cheap enough to do unconditionally — and is
+/// observable only through the probe layer, so untraced runs stay
+/// bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathDecomp {
+    /// Time before the packet entered the network: the sender's injection
+    /// overhead, plus (for retransmissions) the whole retry-recovery span
+    /// between the original send and this attempt's injection.
+    pub pre_ps: u64,
+    /// Time spent waiting for busy output links (contention).
+    pub queue_ps: u64,
+    /// Routing decision time (`routing_delay` per hop).
+    pub route_ps: u64,
+    /// Serialisation time: moving the packet's bytes onto each link, plus
+    /// the tail residue at ejection.
+    pub ser_ps: u64,
+    /// Wire (propagation) latency across each link.
+    pub wire_ps: u64,
+}
+
+impl PathDecomp {
+    /// Sum of all components.
+    pub fn total_ps(&self) -> u64 {
+        self.pre_ps + self.queue_ps + self.route_ps + self.ser_ps + self.wire_ps
+    }
+}
+
 /// One packet in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
@@ -64,6 +104,8 @@ pub struct Packet {
     /// crossing a link, detected (and the packet discarded) at the next
     /// router's checksum point. Always `false` when faults are disabled.
     pub corrupted: bool,
+    /// Running latency decomposition (see [`PathDecomp`]).
+    pub path: PathDecomp,
 }
 
 /// A contiguous run of packets of one message travelling back-to-back.
@@ -180,6 +222,7 @@ mod tests {
             sent_at: Time::ZERO,
             attempt: 0,
             corrupted: false,
+            path: PathDecomp::default(),
         };
         let t = Train { first, len: 3 };
         assert_eq!(t.packet(0, 1024).payload, 1024);

@@ -50,7 +50,7 @@ use pearl::{CompId, Component, Ctx, Duration, Event, Time};
 
 use crate::config::NetworkConfig;
 use crate::fault::FaultSchedule;
-use crate::packet::{MsgId, NetMsg, Packet, PacketKind, Train};
+use crate::packet::{MsgId, NetMsg, Packet, PacketKind, PathDecomp, Train};
 
 /// One sender-side record of a message that exhausted its retries: the
 /// structured degraded-mode evidence that a destination was unreachable.
@@ -153,6 +153,11 @@ struct CompletedMsg {
     sent_at: Time,
     bytes: u32,
     sync: bool,
+    /// Latency decomposition of the packet that completed reassembly — the
+    /// last to arrive, so its component sum equals `arrived - sent_at`.
+    path: PathDecomp,
+    /// Retransmission attempt of the completing packet (0 = original send).
+    attempt: u32,
 }
 
 /// A posted asynchronous receive (blocking receives are represented by the
@@ -376,6 +381,15 @@ impl AbstractProcessor {
             sent_at,
             attempt,
             corrupted: false,
+            // Everything between the send issue and the packet entering its
+            // router is pre-network time: the injection delay on the
+            // original attempt, plus the whole elapsed recovery span on a
+            // retransmission (which keeps the original `sent_at` and is
+            // injected with zero delay).
+            path: PathDecomp {
+                pre_ps: ctx.now().since(sent_at).as_ps() + delay.as_ps(),
+                ..PathDecomp::default()
+            },
         };
         if count == 1 {
             ctx.send_after(delay, self.router_comp, NetMsg::Inject(first));
@@ -429,6 +443,7 @@ impl AbstractProcessor {
             sent_at: ctx.now(),
             attempt,
             corrupted: false,
+            path: PathDecomp::default(),
         };
         ctx.send_after(delay, self.router_comp, NetMsg::Inject(pkt));
     }
@@ -438,15 +453,38 @@ impl AbstractProcessor {
     /// consumption ack is due.
     fn consume(&mut self, msg: CompletedMsg, ack_delay: Duration, ctx: &mut Ctx<'_, NetMsg>) {
         self.stats.msgs_received += 1;
-        self.stats
-            .msg_latency
-            .record(msg.arrived.since(msg.sent_at).as_ps());
+        let latency_ps = msg.arrived.since(msg.sent_at).as_ps();
+        self.stats.msg_latency.record(latency_ps);
+        debug_assert_eq!(
+            msg.path.total_ps(),
+            latency_ps,
+            "node {}: path decomposition of message {:?} does not sum to its \
+             end-to-end latency",
+            self.node,
+            msg.id,
+        );
         self.probe.emit(|| SimEvent::MsgDeliver {
             ts_ps: msg.arrived.as_ps(),
             src: msg.id.src,
             dst: self.node,
             bytes: msg.bytes,
-            latency_ps: msg.arrived.since(msg.sent_at).as_ps(),
+            latency_ps,
+        });
+        self.probe.emit(|| SimEvent::MsgPath {
+            ts_ps: msg.arrived.as_ps(),
+            src: msg.id.src,
+            dst: self.node,
+            bytes: msg.bytes,
+            latency_ps,
+            // `pre` covers the span before the completing packet entered
+            // the network: pure software overhead on a first transmission,
+            // the whole loss-and-retry recovery span on a retransmission.
+            overhead_ps: if msg.attempt == 0 { msg.path.pre_ps } else { 0 },
+            retry_ps: if msg.attempt == 0 { 0 } else { msg.path.pre_ps },
+            queue_ps: msg.path.queue_ps,
+            routing_ps: msg.path.route_ps,
+            ser_ps: msg.path.ser_ps,
+            wire_ps: msg.path.wire_ps,
         });
         if msg.sync && self.faults.is_none() {
             self.inject_ack(msg.id, 0, ack_delay, ctx);
@@ -602,6 +640,8 @@ impl AbstractProcessor {
             sent_at: pkt.sent_at,
             bytes: pkt.msg_bytes,
             sync,
+            path: pkt.path,
+            attempt: pkt.attempt,
         })
     }
 

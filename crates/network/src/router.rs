@@ -226,15 +226,24 @@ impl Router {
     /// Reserve the link towards `next` for a packet whose head is at this
     /// router at `at`: serialise after the link frees, account statistics,
     /// and return the head's arrival time at the next router.
-    fn reserve(&mut self, next: NodeId, pkt: &Packet, at: Time) -> Time {
+    ///
+    /// Also charges this hop to the packet's latency decomposition: the
+    /// wait for the busy link to `queue`, the routing decision to `route`,
+    /// the head's serialisation advance to `ser` and the propagation to
+    /// `wire` — together exactly the head's progress `arrive - at`.
+    fn reserve(&mut self, next: NodeId, pkt: &mut Packet, at: Time) -> Time {
         let t_pkt = self.packet_time(pkt);
         let busy = self.out_busy.entry(next).or_insert(Time::ZERO);
         let start = at.max(*busy) + self.params.routing_delay;
         let end = start + t_pkt;
         *busy = end;
         self.stats.forwarded += 1;
-        self.stats.link_wait += start.since(at).saturating_sub(self.params.routing_delay);
+        let wait = start.since(at).saturating_sub(self.params.routing_delay);
+        self.stats.link_wait += wait;
         self.stats.link_busy += t_pkt;
+        pkt.path.queue_ps += wait.as_ps();
+        pkt.path.route_ps += self.params.routing_delay.as_ps();
+        pkt.path.wire_ps += self.link.wire_latency.as_ps();
         *self
             .stats
             .per_link_busy
@@ -257,6 +266,7 @@ impl Router {
             Switching::StoreAndForward => t_pkt,
             Switching::VirtualCutThrough | Switching::Wormhole => self.header_time(),
         };
+        pkt.path.ser_ps += head_adv.as_ps();
         start + self.link.wire_latency + head_adv
     }
 
@@ -342,6 +352,7 @@ impl Router {
     /// forwarding), false when the packet is fully local (injection or
     /// store-and-forward arrival).
     fn handle_packet(&mut self, pkt: Packet, streamed: bool, ctx: &mut Ctx<'_, NetMsg>) {
+        let mut pkt = pkt;
         let now = ctx.now();
         if self.faults.is_some() {
             if self.down {
@@ -358,6 +369,7 @@ impl Router {
         if pkt.dst == self.node {
             // Eject to the local processor once the tail has arrived.
             let residue = self.tail_residue(&pkt, streamed);
+            pkt.path.ser_ps += residue.as_ps();
             self.stats.delivered += 1;
             self.probe.emit(|| SimEvent::PacketDeliver {
                 ts_ps: (now + residue).as_ps(),
@@ -380,7 +392,7 @@ impl Router {
                 to: next,
             });
         }
-        let arrive = self.reserve(next, &pkt, now);
+        let arrive = self.reserve(next, &mut pkt, now);
         let mut fwd = pkt;
         if let Some(faults) = self.faults.clone() {
             // Stateless per-traversal draws: verdicts depend only on the
@@ -458,15 +470,26 @@ impl Router {
         }
         let payload_max = self.params.max_packet_payload;
         let len = train.len as usize;
-        // Per-packet nominal head-arrival times at this router.
-        let mut pkts = Vec::with_capacity(len);
+        // Per-packet nominal head-arrival times at this router. Followers
+        // are reconstructed from the run head and inherit its latency
+        // decomposition, so each is advanced by its arrival offset from
+        // the head: the size-derived spacing is pipelined serialisation
+        // (`ser`), the per-packet restart is `route` — together exactly
+        // `arrivals[i] - now`, keeping the decomposition conservative.
+        let mut pkts: Vec<Packet> = Vec::with_capacity(len);
         let mut arrivals = Vec::with_capacity(len);
         let mut at = now;
+        let (mut ser_off, mut route_off) = (0u64, 0u64);
         for i in 0..train.len {
-            let p = train.packet(i, payload_max);
+            let mut p = train.packet(i, payload_max);
             if i > 0 && !injected {
-                at += self.train_gap(&pkts[i as usize - 1], &p);
+                let gap = self.train_gap(&pkts[i as usize - 1], &p);
+                at += gap;
+                ser_off += gap.saturating_sub(self.params.routing_delay).as_ps();
+                route_off += self.params.routing_delay.as_ps();
             }
+            p.path.ser_ps += ser_off;
+            p.path.route_ps += route_off;
             pkts.push(p);
             arrivals.push(at);
         }
@@ -476,14 +499,26 @@ impl Router {
             // *last* packet's full arrival, so one event at that instant
             // carries the run to the processor.
             let last = len - 1;
-            let done = arrivals[last] + self.tail_residue(&pkts[last], streamed);
+            let residue = self.tail_residue(&pkts[last], streamed);
+            let done = arrivals[last] + residue;
             self.stats.delivered += train.len as u64;
             self.probe.emit(|| SimEvent::PacketDeliver {
                 ts_ps: done.as_ps(),
                 node: self.node,
                 packets: train.len,
             });
-            ctx.send_after(done.since(now), self.proc_comp, NetMsg::DeliverTrain(train));
+            // Only the run's *completing* (last) packet's decomposition is
+            // ever read downstream (it closes the message's assembly), so
+            // the delivered train carries that packet's path — advanced by
+            // the tail residue — on its head.
+            let mut delivered = train;
+            delivered.first.path = pkts[last].path;
+            delivered.first.path.ser_ps += residue.as_ps();
+            ctx.send_after(
+                done.since(now),
+                self.proc_comp,
+                NetMsg::DeliverTrain(delivered),
+            );
             return;
         }
         // Keep the run coalesced only when the output link is provably
@@ -515,7 +550,7 @@ impl Router {
         let mut outs = Vec::with_capacity(len);
         for i in 0..len {
             let next = self.pick_next(&pkts[i]);
-            let arrive = self.reserve(next, &pkts[i], arrivals[i]);
+            let arrive = self.reserve(next, &mut pkts[i], arrivals[i]);
             nexts.push(next);
             outs.push(arrive);
         }
@@ -562,7 +597,7 @@ impl Component<NetMsg> for Router {
 mod tests {
     use super::*;
     use crate::config::NetworkConfig;
-    use crate::packet::{MsgId, PacketKind};
+    use crate::packet::{MsgId, PacketKind, PathDecomp};
     use pearl::Engine;
 
     /// A sink that records delivered packets with their times.
@@ -596,6 +631,7 @@ mod tests {
             sent_at: Time::ZERO,
             attempt: 0,
             corrupted: false,
+            path: PathDecomp::default(),
         }
     }
 
@@ -709,6 +745,7 @@ mod tests {
                 sent_at: Time::ZERO,
                 attempt: 0,
                 corrupted: false,
+                path: PathDecomp::default(),
             };
 
             let (mut e_pkt, sinks_pkt) = line(4, switching);

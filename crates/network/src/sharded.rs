@@ -68,6 +68,103 @@ struct ShardOut {
     events: u64,
     /// Model-level probe events recorded by this shard (emission order).
     probe_events: Vec<SimEvent>,
+    /// This shard's self-profile.
+    profile: ShardProfileEntry,
+}
+
+/// One shard's self-profile: where its wall-clock time went and how much
+/// work each lookahead window carried.
+///
+/// The `*_ns` fields are **host wall-clock** — they vary run to run and
+/// between machines, so they are deliberately kept out of `CommResult`,
+/// probe streams and any deterministic output (attribution reports,
+/// default stdout); they exist to answer "which sharding overhead
+/// dominates" for a given run (ROADMAP open item 2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardProfileEntry {
+    /// Shard index.
+    pub shard: usize,
+    /// Lookahead windows (rounds of the window loop) this shard executed.
+    pub windows: u64,
+    /// Engine events the shard delivered over the whole run.
+    pub events: u64,
+    /// Cross-shard messages this shard pushed into peers' inboxes.
+    pub cross_sent: u64,
+    /// Cross-shard messages this shard drained from its own inbox.
+    pub cross_recv: u64,
+    /// Host nanoseconds spent waiting on the round gate and window barrier.
+    pub barrier_wait_ns: u64,
+    /// Host nanoseconds spent executing events (`Engine::run_until`).
+    pub work_ns: u64,
+}
+
+impl ShardProfileEntry {
+    /// Mean events executed per lookahead window (window occupancy).
+    pub fn events_per_window(&self) -> u64 {
+        self.events.checked_div(self.windows).unwrap_or(0)
+    }
+}
+
+/// Self-profile of a whole sharded run: one entry per shard, in shard
+/// order. See [`ShardProfileEntry`] for the determinism caveat.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardProfile {
+    /// Per-shard entries, indexed by shard id.
+    pub shards: Vec<ShardProfileEntry>,
+}
+
+impl ShardProfile {
+    /// Total host time all shards spent blocked on barriers.
+    pub fn total_barrier_wait_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.barrier_wait_ns).sum()
+    }
+
+    /// Total host time all shards spent executing events.
+    pub fn total_work_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.work_ns).sum()
+    }
+
+    /// Total cross-shard messages exchanged (as counted by senders).
+    pub fn total_cross_msgs(&self) -> u64 {
+        self.shards.iter().map(|s| s.cross_sent).sum()
+    }
+
+    /// Barrier wait as parts-per-million of total shard wall-clock
+    /// (barrier + work). Answers "how synchronization-bound was this run".
+    pub fn barrier_share_ppm(&self) -> u64 {
+        let wait = self.total_barrier_wait_ns() as u128;
+        let total = wait + self.total_work_ns() as u128;
+        (wait * 1_000_000).checked_div(total).unwrap_or(0) as u64
+    }
+
+    /// Render a plain-text per-shard table. Wall-clock columns are host
+    /// time and will differ between runs.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "shard  windows  events  ev/window  cross-sent  cross-recv  barrier-us  work-us\n",
+        );
+        for s in &self.shards {
+            out.push_str(&format!(
+                "{:>5}  {:>7}  {:>6}  {:>9}  {:>10}  {:>10}  {:>10}  {:>7}\n",
+                s.shard,
+                s.windows,
+                s.events,
+                s.events_per_window(),
+                s.cross_sent,
+                s.cross_recv,
+                s.barrier_wait_ns / 1_000,
+                s.work_ns / 1_000,
+            ));
+        }
+        out.push_str(&format!(
+            "barrier wait: {}us of {}us total ({}.{:01}%)\n",
+            self.total_barrier_wait_ns() / 1_000,
+            (self.total_barrier_wait_ns() + self.total_work_ns()) / 1_000,
+            self.barrier_share_ppm() / 10_000,
+            self.barrier_share_ppm() % 10_000 / 1_000,
+        ));
+        out
+    }
 }
 
 /// Run the communication model across `shards` worker threads and return
@@ -105,14 +202,30 @@ pub fn run_sharded_with_faults(
     shards: usize,
     faults: Option<Arc<FaultSchedule>>,
 ) -> CommResult {
+    run_sharded_with_faults_profiled(cfg, traces, probe, shards, faults).0
+}
+
+/// [`run_sharded_with_faults`] that also returns the run's
+/// [`ShardProfile`] — `None` when the run fell back to the serial path
+/// (single shard, tiny topology, or zero lookahead). The `CommResult` is
+/// unaffected by profiling; the profile is host-wall-clock data and must
+/// stay out of deterministic outputs.
+pub fn run_sharded_with_faults_profiled(
+    cfg: NetworkConfig,
+    traces: &TraceSet,
+    probe: ProbeHandle,
+    shards: usize,
+    faults: Option<Arc<FaultSchedule>>,
+) -> (CommResult, Option<ShardProfile>) {
     cfg.validate();
     let part = Partition::contiguous(cfg.topology, shards);
     let la = lookahead(&cfg);
     if part.shards() <= 1 || la == Duration::ZERO {
-        return match faults {
+        let result = match faults {
             Some(f) => CommSim::new_with_faults(cfg, traces, probe, f).run(),
             None => CommSim::new_with_probe(cfg, traces, probe).run(),
         };
+        return (result, None);
     }
     let n = cfg.topology.nodes();
     assert_eq!(
@@ -161,7 +274,8 @@ pub fn run_sharded_with_faults(
             .collect()
     });
 
-    merge(outs, &probe)
+    let (result, profile) = merge(outs, &probe);
+    (result, Some(profile))
 }
 
 /// One shard's whole life: build the mirror engine, run the window loop,
@@ -254,6 +368,10 @@ fn shard_worker(
     let la_ps = la.as_ps();
     let mut round: u64 = 0;
     let mut inbox: Vec<OutMsg> = Vec::new();
+    let mut profile = ShardProfileEntry {
+        shard: s,
+        ..ShardProfileEntry::default()
+    };
     loop {
         // Flush this window's cross-shard messages. On a full channel,
         // drain our own inbox while retrying: the receiver of any full
@@ -261,6 +379,7 @@ fn shard_worker(
         // so the bounded channels cannot deadlock.
         for msg in outbox.borrow_mut().drain(..) {
             let dst_shard = part.shard_of(msg.dst as u32);
+            profile.cross_sent += 1;
             let mut pending = Some(msg);
             while let Some(m) = pending.take() {
                 match txs[dst_shard].try_send(m) {
@@ -279,12 +398,15 @@ fn shard_worker(
         // Round gate: wait (draining) until every shard has flushed.
         round += 1;
         arrivals.fetch_add(1, Ordering::AcqRel);
+        let gate = std::time::Instant::now();
         while arrivals.load(Ordering::Acquire) < round * k {
             inbox.extend(rx.try_iter());
             thread::yield_now();
         }
+        profile.barrier_wait_ns += gate.elapsed().as_nanos() as u64;
         inbox.extend(rx.try_iter());
         // Inject cross-shard arrivals at their exact serial queue keys.
+        profile.cross_recv += inbox.len() as u64;
         for m in inbox.drain(..) {
             engine.post_keyed(m.time, m.key, m.src, m.dst, m.msg);
         }
@@ -292,12 +414,18 @@ fn shard_worker(
         // end belong to the next round (times are integer picoseconds, so
         // `end - 1` is exact).
         let local_min = engine.next_event_time();
-        let Some(w) = barrier.agree_min(s, local_min) else {
+        let (agreed, waited_ns) = barrier.agree_min_timed(s, local_min);
+        profile.barrier_wait_ns += waited_ns;
+        let Some(w) = agreed else {
             break; // every shard idle and no message in flight: done
         };
         let end_ps = w.as_ps().saturating_add(la_ps);
+        let work = std::time::Instant::now();
         engine.run_until(Time::from_ps(end_ps - 1));
+        profile.work_ns += work.elapsed().as_nanos() as u64;
+        profile.windows += 1;
     }
+    profile.events = engine.events_processed();
 
     let mut nodes = Vec::with_capacity(range.len());
     for node in range {
@@ -317,6 +445,7 @@ fn shard_worker(
         nodes,
         events: engine.events_processed(),
         probe_events: my_probe.take_buffer().unwrap_or_default(),
+        profile,
     }
 }
 
@@ -324,14 +453,16 @@ fn shard_worker(
 /// `CommSim::collect` field for field (shards are in node order, so the
 /// merge order — and hence every merged histogram — matches the serial
 /// collection exactly).
-fn merge(outs: Vec<ShardOut>, probe: &ProbeHandle) -> CommResult {
+fn merge(outs: Vec<ShardOut>, probe: &ProbeHandle) -> (CommResult, ShardProfile) {
     let mut nodes = Vec::new();
     let mut events = 0;
     let mut probe_events = Vec::new();
+    let mut profile = ShardProfile::default();
     for out in outs {
         events += out.events;
         probe_events.extend(out.probe_events);
         nodes.extend(out.nodes);
+        profile.shards.push(out.profile);
     }
     if probe.is_enabled() {
         canonical_sort(&mut probe_events);
@@ -342,7 +473,7 @@ fn merge(outs: Vec<ShardOut>, probe: &ProbeHandle) -> CommResult {
     // The window loop only terminates once every shard's event set has
     // drained, so — unlike a mid-run snapshot — unfinished here means
     // deadlocked, exactly as in the serial terminal collect.
-    CommResult::from_nodes(nodes, events, true)
+    (CommResult::from_nodes(nodes, events, true), profile)
 }
 
 #[cfg(test)]
@@ -494,6 +625,45 @@ mod tests {
         assert_eq!(serial_events, sharded_events);
         assert!(!sharded_events.is_empty());
         assert_identical(&serial, &sharded);
+    }
+
+    #[test]
+    fn profiled_run_matches_serial_and_accounts_for_every_shard() {
+        let cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 2 });
+        let ts = exchange_traces(8);
+        let serial = CommSim::new(cfg, &ts).run();
+        let (sh, profile) =
+            run_sharded_with_faults_profiled(cfg, &ts, ProbeHandle::disabled(), 4, None);
+        assert_identical(&serial, &sh);
+        let profile = profile.expect("a real sharded run self-profiles");
+        assert_eq!(profile.shards.len(), 4);
+        for (i, p) in profile.shards.iter().enumerate() {
+            assert_eq!(p.shard, i);
+            assert!(p.windows > 0, "shard {i} executed no window");
+        }
+        // Every engine event and every cross-shard message is attributed
+        // to exactly one shard.
+        assert_eq!(
+            profile.shards.iter().map(|p| p.events).sum::<u64>(),
+            sh.events
+        );
+        let sent = profile.total_cross_msgs();
+        let recv = profile.shards.iter().map(|p| p.cross_recv).sum::<u64>();
+        assert_eq!(sent, recv, "cross-shard channels conserve messages");
+        assert!(sent > 0, "a split torus must exchange messages");
+        assert!(profile.barrier_share_ppm() <= 1_000_000);
+        let table = profile.render();
+        assert!(table.contains("ev/window"));
+        assert!(table.lines().count() >= 5);
+    }
+
+    #[test]
+    fn serial_fallback_yields_no_profile() {
+        let cfg = NetworkConfig::test(Topology::Ring(4));
+        let ts = exchange_traces(4);
+        let (_, profile) =
+            run_sharded_with_faults_profiled(cfg, &ts, ProbeHandle::disabled(), 1, None);
+        assert!(profile.is_none());
     }
 
     #[test]

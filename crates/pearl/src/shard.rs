@@ -84,9 +84,22 @@ impl WindowBarrier {
     /// `local` is `None` when the shard has no pending events. Returns `None`
     /// only when *every* shard is idle, i.e. the simulation has terminated.
     pub fn agree_min(&self, shard: usize, local: Option<Time>) -> Option<Time> {
+        self.agree_min_timed(shard, local).0
+    }
+
+    /// [`agree_min`](WindowBarrier::agree_min) that also reports how long
+    /// this shard blocked waiting for its peers, in host nanoseconds.
+    ///
+    /// The wait time is host wall-clock — it varies run to run and between
+    /// machines, so it must never feed back into simulated state; it exists
+    /// purely for self-profiling (how much of a shard's life is barrier
+    /// overhead versus useful event execution).
+    pub fn agree_min_timed(&self, shard: usize, local: Option<Time>) -> (Option<Time>, u64) {
         let raw = local.map_or(IDLE, |t| t.as_ps());
         self.mins[shard].store(raw, Ordering::Relaxed);
+        let waited = std::time::Instant::now();
         self.resolve.wait();
+        let waited_ns = waited.elapsed().as_nanos() as u64;
         let min = self
             .mins
             .iter()
@@ -94,9 +107,9 @@ impl WindowBarrier {
             .min()
             .unwrap_or(IDLE);
         if min == IDLE {
-            None
+            (None, waited_ns)
         } else {
-            Some(Time::from_ps(min))
+            (Some(Time::from_ps(min)), waited_ns)
         }
     }
 }
@@ -138,6 +151,25 @@ mod tests {
         for got in rx {
             assert_eq!(got, Some(Time::from_ps(300)));
         }
+    }
+
+    #[test]
+    fn timed_variant_agrees_and_reports_a_wait() {
+        let b = WindowBarrier::new(2);
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let b = &b;
+                    s.spawn(move || b.agree_min_timed(i, Some(Time::from_ps(100 + i as u64))))
+                })
+                .collect();
+            for h in handles {
+                let (min, _waited_ns) = h.join().unwrap();
+                // Wait time is host wall-clock and may legitimately be 0ns
+                // on the last arrival; only the agreed minimum is checkable.
+                assert_eq!(min, Some(Time::from_ps(100)));
+            }
+        });
     }
 
     #[test]

@@ -210,6 +210,31 @@ impl Probe for ChromeTraceSink {
                 ]);
                 self.instant("msg_deliver", ts_ps, PID_NETWORK, dst as u64, args);
             }
+            SimEvent::MsgPath {
+                ts_ps,
+                src,
+                dst,
+                latency_ps,
+                overhead_ps,
+                retry_ps,
+                queue_ps,
+                routing_ps,
+                ser_ps,
+                wire_ps,
+                ..
+            } => {
+                let args = Value::Map(vec![
+                    kv("src", u(src as u64)),
+                    kv("latency_ps", u(latency_ps)),
+                    kv("overhead_ps", u(overhead_ps)),
+                    kv("retry_ps", u(retry_ps)),
+                    kv("queue_ps", u(queue_ps)),
+                    kv("routing_ps", u(routing_ps)),
+                    kv("ser_ps", u(ser_ps)),
+                    kv("wire_ps", u(wire_ps)),
+                ]);
+                self.instant("msg_path", ts_ps, PID_NETWORK, dst as u64, args);
+            }
             SimEvent::LinkBusy {
                 node,
                 to,
@@ -343,10 +368,28 @@ pub struct TraceSummary {
     pub counters: u64,
     /// Metadata records (`ph == "M"`).
     pub metadata: u64,
+    /// Fault-variant events (link/router up/down, corruption, drops,
+    /// retries, give-ups, reroutes) — zero for a healthy run.
+    pub fault_events: u64,
     /// `mermaidSummary.delivered_messages`, when present.
     pub delivered_messages: Option<u64>,
     /// `mermaidSummary.finish_ps`, when present.
     pub finish_ps: Option<u64>,
+}
+
+/// Event names the sink emits only under fault injection.
+fn is_fault_event(name: &str) -> bool {
+    matches!(
+        name,
+        "link_down"
+            | "link_up"
+            | "router_down"
+            | "router_up"
+            | "corrupt"
+            | "msg_retry"
+            | "msg_gave_up"
+            | "reroute"
+    ) || name.starts_with("drop:")
 }
 
 fn get<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
@@ -365,11 +408,25 @@ fn is_number(v: &Value) -> bool {
     matches!(v, Value::U64(_) | Value::I64(_) | Value::F64(_))
 }
 
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::U64(n) => Some(n as f64),
+        Value::I64(n) => Some(n as f64),
+        Value::F64(n) => Some(n),
+        _ => None,
+    }
+}
+
 /// Parse `json` (round-tripping through the vendored `serde_json`) and
 /// check it against the Chrome-trace conventions this crate emits: a
 /// top-level object with a `traceEvents` array whose entries carry
 /// `name`, `ph`, numeric `ts`, and numeric `pid`/`tid`; complete spans
-/// additionally carry a numeric `dur`.
+/// additionally carry a numeric `dur` and start in non-decreasing `ts`
+/// order within their `(pid, tid, name)` track (the sink emits spans in
+/// completion order over a time-sorted event stream, so regressing start
+/// times mean a scrambled trace). Instants are exempt: out-of-order
+/// message consumption legitimately emits deliveries with decreasing
+/// timestamps on the same track.
 pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
     let Raw(doc) = serde_json::from_str::<Raw>(json).map_err(|e| format!("not valid JSON: {e}"))?;
     let top = doc
@@ -380,6 +437,8 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
         .as_seq()
         .ok_or_else(|| "`traceEvents` is not an array".to_string())?;
     let mut summary = TraceSummary::default();
+    let mut span_clock: std::collections::HashMap<(u64, u64, String), f64> =
+        std::collections::HashMap::new();
     for (i, ev) in events.iter().enumerate() {
         let m = ev
             .as_map()
@@ -397,13 +456,33 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
         let ph = get(m, "ph")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("traceEvents[{i}] `ph` is not a string"))?;
+        let name = get(m, "name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}] `name` is not a string"))?;
         summary.events += 1;
+        if ph != "M" && is_fault_event(name) {
+            summary.fault_events += 1;
+        }
         match ph {
             "X" => {
                 if !get(m, "dur").is_some_and(is_number) {
                     return Err(format!("traceEvents[{i}] span missing numeric `dur`"));
                 }
                 summary.spans += 1;
+                let ts = as_f64(get(m, "ts").expect("checked above")).expect("checked above");
+                let pid = as_f64(get(m, "pid").expect("checked above")).expect("checked above");
+                let tid = as_f64(get(m, "tid").expect("checked above")).expect("checked above");
+                let key = (pid as u64, tid as u64, name.to_string());
+                if let Some(&prev) = span_clock.get(&key) {
+                    if ts < prev {
+                        return Err(format!(
+                            "traceEvents[{i}] span `{name}` on pid {} tid {} starts at \
+                             {ts}us, before the previous span at {prev}us",
+                            key.0, key.1
+                        ));
+                    }
+                }
+                span_clock.insert(key, ts);
             }
             "i" => summary.instants += 1,
             "C" => summary.counters += 1,
@@ -497,6 +576,61 @@ mod tests {
         .unwrap();
         assert_eq!(ok.spans, 1);
         assert_eq!(ok.delivered_messages, None);
+    }
+
+    #[test]
+    fn regressing_span_starts_on_one_track_are_rejected() {
+        // Same (pid, tid, name) track, second span starts earlier: a
+        // scrambled trace. Different tid (or name) is fine.
+        let scrambled = r#"{"traceEvents":[
+            {"name":"compute","ph":"X","ts":5.0,"pid":2,"tid":1,"dur":1},
+            {"name":"compute","ph":"X","ts":2.0,"pid":2,"tid":1,"dur":1}]}"#;
+        let err = validate_chrome_trace(scrambled).unwrap_err();
+        assert!(err.contains("before the previous span"), "{err}");
+
+        let other_track = r#"{"traceEvents":[
+            {"name":"compute","ph":"X","ts":5.0,"pid":2,"tid":1,"dur":1},
+            {"name":"compute","ph":"X","ts":2.0,"pid":2,"tid":2,"dur":1}]}"#;
+        assert_eq!(validate_chrome_trace(other_track).unwrap().spans, 2);
+    }
+
+    #[test]
+    fn fault_variant_events_are_counted() {
+        use crate::DropReason;
+        let mut sink = ChromeTraceSink::new();
+        sink.record(&SimEvent::LinkFault {
+            ts_ps: 100,
+            node: 0,
+            to: 1,
+            up: false,
+        });
+        sink.record(&SimEvent::RouterFault {
+            ts_ps: 200,
+            node: 2,
+            up: true,
+        });
+        sink.record(&SimEvent::PacketDropped {
+            ts_ps: 300,
+            node: 0,
+            src: 1,
+            seq: 7,
+            reason: DropReason::LinkDown,
+        });
+        sink.record(&SimEvent::MsgRetry {
+            ts_ps: 400,
+            src: 0,
+            dst: 1,
+            attempt: 1,
+        });
+        sink.record(&SimEvent::MsgDeliver {
+            ts_ps: 500,
+            src: 0,
+            dst: 1,
+            bytes: 64,
+            latency_ps: 400,
+        });
+        let s = validate_chrome_trace(&sink.to_json()).unwrap();
+        assert_eq!(s.fault_events, 4, "msg_deliver is not a fault event");
     }
 
     #[test]

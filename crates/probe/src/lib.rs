@@ -32,12 +32,16 @@
 //! computes bit-identical virtual-time results to an untraced one (the
 //! workspace's `tooling_end_to_end` test asserts this).
 
+mod attribution;
 mod chrome;
 mod jsonl;
 mod metrics;
 mod profile;
 mod value_json;
 
+pub use attribution::{
+    AttributionReport, AttributionSink, LinkAttr, RouterAttr, TIMELINE_BUCKETS, TOP_K,
+};
 pub use chrome::{validate_chrome_trace, ChromeTraceSink, TraceSummary};
 pub use jsonl::JsonlSink;
 pub use metrics::{MetricsAggregator, MetricsReport};
@@ -218,6 +222,26 @@ pub enum SimEvent {
         bytes: u32,
         latency_ps: u64,
     },
+    /// Latency decomposition of one delivered message: where its
+    /// end-to-end time went. The components sum to `latency_ps` exactly
+    /// (`overhead + retry + queue + routing + ser + wire == latency`);
+    /// `overhead_ps` is software injection overhead (zero for messages
+    /// completed by a retransmission), `retry_ps` the fault-recovery span
+    /// between the original issue and the completing attempt's injection
+    /// (zero for first-transmission completions).
+    MsgPath {
+        ts_ps: u64,
+        src: u32,
+        dst: u32,
+        bytes: u32,
+        latency_ps: u64,
+        overhead_ps: u64,
+        retry_ps: u64,
+        queue_ps: u64,
+        routing_ps: u64,
+        ser_ps: u64,
+        wire_ps: u64,
+    },
     /// An outgoing link at `node` towards `to` was occupied by one packet.
     LinkBusy {
         node: u32,
@@ -314,6 +338,7 @@ impl SimEvent {
             SimEvent::Activation { .. } => "activation",
             SimEvent::MsgSend { .. } => "msg_send",
             SimEvent::MsgDeliver { .. } => "msg_deliver",
+            SimEvent::MsgPath { .. } => "msg_path",
             SimEvent::LinkBusy { .. } => "link_busy",
             SimEvent::PacketForward { .. } => "packet_forward",
             SimEvent::PacketDeliver { .. } => "packet_deliver",
@@ -351,6 +376,7 @@ impl SimEvent {
             | SimEvent::QueueTier { ts_ps, .. }
             | SimEvent::MsgSend { ts_ps, .. }
             | SimEvent::MsgDeliver { ts_ps, .. }
+            | SimEvent::MsgPath { ts_ps, .. }
             | SimEvent::PacketForward { ts_ps, .. }
             | SimEvent::PacketDeliver { ts_ps, .. }
             | SimEvent::CacheAccess { ts_ps, .. }
@@ -436,6 +462,9 @@ pub struct ProbeStack {
     pub jsonl: Option<JsonlSink>,
     /// Wall-clock self-profiler.
     pub profiler: Option<SelfProfiler>,
+    /// Bottleneck-attribution sink (utilization timelines + latency
+    /// decomposition).
+    pub attribution: Option<AttributionSink>,
     /// Raw event buffer (used by sharded runs; available to tests).
     pub buffer: Option<EventBuffer>,
 }
@@ -471,6 +500,12 @@ impl ProbeStack {
         self
     }
 
+    /// Attach a bottleneck-attribution sink.
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = Some(AttributionSink::new());
+        self
+    }
+
     /// Attach a raw event buffer.
     pub fn with_buffer(mut self) -> Self {
         self.buffer = Some(EventBuffer::new());
@@ -491,6 +526,9 @@ impl Probe for ProbeStack {
         }
         if let Some(p) = &mut self.profiler {
             p.record(ev);
+        }
+        if let Some(a) = &mut self.attribution {
+            a.record(ev);
         }
         if let Some(b) = &mut self.buffer {
             b.record(ev);
@@ -580,6 +618,14 @@ impl ProbeHandle {
     /// The host-side profile, if a [`SelfProfiler`] is attached.
     pub fn host_profile(&self) -> Option<HostProfile> {
         self.with_stack(|s| s.profiler.as_ref().map(|p| p.profile()))
+            .flatten()
+    }
+
+    /// The bottleneck-attribution report, if an [`AttributionSink`] is
+    /// attached. `horizon_ps` bounds utilization fractions (normally the
+    /// run's finish time).
+    pub fn attribution_report(&self, horizon_ps: u64) -> Option<AttributionReport> {
+        self.with_stack(|s| s.attribution.as_ref().map(|a| a.report(horizon_ps)))
             .flatten()
     }
 

@@ -178,6 +178,22 @@ impl Probe for MetricsAggregator {
                 self.counters.incr("net/messages");
                 self.msg_latency_ps.record(latency_ps);
             }
+            SimEvent::MsgPath {
+                overhead_ps,
+                retry_ps,
+                queue_ps,
+                routing_ps,
+                ser_ps,
+                wire_ps,
+                ..
+            } => {
+                self.counters.add("lat/overhead_ps", overhead_ps);
+                self.counters.add("lat/retry_ps", retry_ps);
+                self.counters.add("lat/queue_ps", queue_ps);
+                self.counters.add("lat/routing_ps", routing_ps);
+                self.counters.add("lat/ser_ps", ser_ps);
+                self.counters.add("lat/wire_ps", wire_ps);
+            }
             SimEvent::LinkBusy {
                 node,
                 to,

@@ -22,6 +22,7 @@ fn category(ev: &SimEvent) -> &'static str {
         SimEvent::Activation { .. }
         | SimEvent::MsgSend { .. }
         | SimEvent::MsgDeliver { .. }
+        | SimEvent::MsgPath { .. }
         | SimEvent::LinkBusy { .. }
         | SimEvent::PacketForward { .. }
         | SimEvent::PacketDeliver { .. } => "network",

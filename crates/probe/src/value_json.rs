@@ -94,6 +94,31 @@ pub(crate) fn event_value(ev: &SimEvent) -> Value {
             m.push(kv("bytes", u(bytes as u64)));
             m.push(kv("latency_ps", u(latency_ps)));
         }
+        SimEvent::MsgPath {
+            ts_ps,
+            src,
+            dst,
+            bytes,
+            latency_ps,
+            overhead_ps,
+            retry_ps,
+            queue_ps,
+            routing_ps,
+            ser_ps,
+            wire_ps,
+        } => {
+            m.push(kv("ts_ps", u(ts_ps)));
+            m.push(kv("src", u(src as u64)));
+            m.push(kv("dst", u(dst as u64)));
+            m.push(kv("bytes", u(bytes as u64)));
+            m.push(kv("latency_ps", u(latency_ps)));
+            m.push(kv("overhead_ps", u(overhead_ps)));
+            m.push(kv("retry_ps", u(retry_ps)));
+            m.push(kv("queue_ps", u(queue_ps)));
+            m.push(kv("routing_ps", u(routing_ps)));
+            m.push(kv("ser_ps", u(ser_ps)));
+            m.push(kv("wire_ps", u(wire_ps)));
+        }
         SimEvent::LinkBusy {
             node,
             to,

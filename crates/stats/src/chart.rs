@@ -52,9 +52,58 @@ pub fn sparkline(series: &TimeSeries, width: usize) -> String {
         .collect()
 }
 
+/// Render labelled per-bucket value rows as an ASCII heatmap: one line
+/// per row, one glyph per bucket, intensity scaled to the global maximum
+/// (so rows are visually comparable). Zero cells render as spaces.
+pub fn heatmap(rows: &[(String, Vec<u64>)]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = rows
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .max()
+        .unwrap_or(0);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, values) in rows {
+        out.push_str(&format!("{label:<label_w$} |"));
+        for &v in values {
+            if v == 0 || max == 0 {
+                out.push(' ');
+            } else {
+                // Map (0, max] onto the 8 glyphs; any non-zero cell is
+                // at least the faintest level.
+                let idx = ((v as u128 * LEVELS.len() as u128).div_ceil(max as u128)) as usize;
+                out.push(LEVELS[idx.saturating_sub(1).min(LEVELS.len() - 1)]);
+            }
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn heatmap_scales_globally_and_blanks_zeroes() {
+        let rows = vec![
+            ("a".to_string(), vec![0, 4, 8]),
+            ("bb".to_string(), vec![1, 0, 0]),
+        ];
+        let s = heatmap(&rows);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "a  | ▄█|");
+        assert_eq!(lines[1], "bb |▁  |");
+    }
+
+    #[test]
+    fn heatmap_of_empty_rows_is_empty() {
+        assert_eq!(heatmap(&[]), "");
+        let rows = vec![("x".to_string(), vec![0, 0])];
+        assert_eq!(heatmap(&rows), "x |  |\n");
+    }
 
     #[test]
     fn bars_scale_to_the_maximum() {

@@ -20,8 +20,10 @@ pub mod csv;
 pub mod delivery;
 pub mod gnuplot;
 pub mod histogram;
+pub mod rank;
 pub mod summary;
 pub mod table;
+pub mod timeline;
 pub mod timeseries;
 pub mod utilization;
 

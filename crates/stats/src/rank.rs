@@ -1,0 +1,74 @@
+//! Ranking helpers for hotspot analysis: deterministic top-K selection
+//! and integer-exact vs-mean ratios.
+
+/// The `k` largest entries by value, ties broken by key so the result is
+/// a pure function of the input *multiset* (callers feed maps whose
+/// iteration order may differ between runs).
+pub fn top_k<K: Ord + Clone>(items: impl IntoIterator<Item = (K, u64)>, k: usize) -> Vec<(K, u64)> {
+    let mut v: Vec<(K, u64)> = items.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+/// `value` relative to the mean of `n` entries summing to `total`, in
+/// parts per million (`1_000_000` = exactly the mean). Integer arithmetic
+/// throughout so serialised ratios are bit-stable; `0` when the mean is
+/// zero.
+pub fn vs_mean_ppm(value: u64, total: u64, n: u64) -> u64 {
+    if total == 0 || n == 0 {
+        return 0;
+    }
+    ((value as u128 * n as u128 * 1_000_000) / total as u128) as u64
+}
+
+/// `part` of `whole` in parts per million; `0` for an empty whole.
+pub fn share_ppm(part: u64, whole: u64) -> u64 {
+    if whole == 0 {
+        return 0;
+    }
+    ((part as u128 * 1_000_000) / whole as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_value_then_key() {
+        let items = vec![("b", 5u64), ("a", 5), ("c", 9), ("d", 1)];
+        assert_eq!(top_k(items, 3), vec![("c", 9), ("a", 5), ("b", 5)]);
+    }
+
+    #[test]
+    fn top_k_is_input_order_insensitive() {
+        let fwd = vec![(1u32, 4u64), (2, 4), (3, 7)];
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(top_k(fwd, 2), top_k(rev, 2));
+    }
+
+    #[test]
+    fn top_k_truncates_and_handles_small_inputs() {
+        assert_eq!(top_k(vec![("x", 1u64)], 5), vec![("x", 1)]);
+        assert_eq!(top_k(Vec::<(u32, u64)>::new(), 3), vec![]);
+    }
+
+    #[test]
+    fn vs_mean_is_exact_ppm() {
+        // 3 entries totalling 30 → mean 10; a value of 15 is 1.5x.
+        assert_eq!(vs_mean_ppm(15, 30, 3), 1_500_000);
+        assert_eq!(vs_mean_ppm(10, 30, 3), 1_000_000);
+        assert_eq!(vs_mean_ppm(0, 30, 3), 0);
+        assert_eq!(vs_mean_ppm(5, 0, 3), 0);
+        assert_eq!(vs_mean_ppm(5, 30, 0), 0);
+    }
+
+    #[test]
+    fn share_handles_edges() {
+        assert_eq!(share_ppm(1, 4), 250_000);
+        assert_eq!(share_ppm(0, 4), 0);
+        assert_eq!(share_ppm(3, 0), 0);
+        assert_eq!(share_ppm(u64::MAX, u64::MAX), 1_000_000);
+    }
+}

@@ -1,0 +1,113 @@
+//! Time-bucketed busy timelines: fold closed-open busy intervals into a
+//! fixed number of equal buckets, and merge per-resource timelines into
+//! aggregates. All arithmetic is exact `u64` picoseconds so timelines are
+//! bit-stable regardless of the order the intervals were observed in.
+
+/// Deterministic bucket width covering `[0, horizon_ps)` with `buckets`
+/// buckets (the last bucket absorbs the rounding remainder). Never zero.
+pub fn bucket_width(horizon_ps: u64, buckets: usize) -> u64 {
+    assert!(buckets > 0, "need at least one bucket");
+    (horizon_ps.div_ceil(buckets as u64)).max(1)
+}
+
+/// Fold `[start, end)` busy intervals into `buckets` buckets of
+/// `bucket_ps` each, returning busy picoseconds per bucket. Time at or
+/// beyond `buckets * bucket_ps` is clamped into the final bucket, and
+/// empty/inverted intervals contribute nothing, so the fold is total.
+/// The result is a pure function of the interval *multiset*.
+pub fn bucketize(intervals: &[(u64, u64)], bucket_ps: u64, buckets: usize) -> Vec<u64> {
+    assert!(bucket_ps > 0, "bucket width must be positive");
+    assert!(buckets > 0, "need at least one bucket");
+    let mut out = vec![0u64; buckets];
+    let last = buckets as u64 - 1;
+    for &(start, end) in intervals {
+        if end <= start {
+            continue;
+        }
+        let mut b = (start / bucket_ps).min(last);
+        let mut at = start;
+        while at < end {
+            let bucket_end = if b == last {
+                u64::MAX
+            } else {
+                (b + 1) * bucket_ps
+            };
+            let upto = end.min(bucket_end);
+            out[b as usize] += upto - at;
+            at = upto;
+            b += 1;
+        }
+    }
+    out
+}
+
+/// Element-wise sum of equal-length timelines (e.g. every outgoing link
+/// of one router folded into a per-router activity timeline). Panics on
+/// length mismatch; an empty input yields an empty timeline.
+pub fn merge(timelines: &[&[u64]]) -> Vec<u64> {
+    let Some(first) = timelines.first() else {
+        return Vec::new();
+    };
+    let mut out = vec![0u64; first.len()];
+    for t in timelines {
+        assert_eq!(t.len(), out.len(), "timeline length mismatch");
+        for (acc, v) in out.iter_mut().zip(t.iter()) {
+            *acc += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_covers_horizon() {
+        assert_eq!(bucket_width(100, 10), 10);
+        assert_eq!(bucket_width(101, 10), 11);
+        assert_eq!(bucket_width(0, 10), 1);
+        assert_eq!(bucket_width(5, 10), 1);
+    }
+
+    #[test]
+    fn bucketize_splits_across_boundaries() {
+        // One interval [5, 25) over 10-wide buckets: 5 in b0, 10 in b1,
+        // 5 in b2.
+        assert_eq!(bucketize(&[(5, 25)], 10, 4), vec![5, 10, 5, 0]);
+    }
+
+    #[test]
+    fn bucketize_interval_on_exact_boundary() {
+        // [10, 20) lands entirely in bucket 1 — boundaries are closed-open.
+        assert_eq!(bucketize(&[(10, 20)], 10, 3), vec![0, 10, 0]);
+        // A zero-length interval at a boundary contributes nothing.
+        assert_eq!(bucketize(&[(10, 10)], 10, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn bucketize_clamps_overflow_into_last_bucket() {
+        assert_eq!(bucketize(&[(25, 40)], 10, 3), vec![0, 0, 15]);
+        assert_eq!(bucketize(&[(5, 35)], 10, 2), vec![5, 25]);
+    }
+
+    #[test]
+    fn bucketize_is_order_insensitive() {
+        let a = bucketize(&[(0, 7), (12, 19)], 5, 4);
+        let b = bucketize(&[(12, 19), (0, 7)], 5, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<u64>(), 14);
+    }
+
+    #[test]
+    fn merge_sums_elementwise() {
+        assert_eq!(merge(&[&[1, 2, 3], &[10, 0, 1]]), vec![11, 2, 4]);
+        assert_eq!(merge(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn merge_rejects_ragged_input() {
+        merge(&[&[1, 2], &[1]]);
+    }
+}

@@ -162,6 +162,41 @@ mod tests {
     }
 
     #[test]
+    fn empty_series_answers_none_everywhere() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.last(), None);
+        assert_eq!(s.value_range(), None);
+        assert_eq!(s.value_at(0), None);
+        assert_eq!(s.value_at(u64::MAX), None);
+        assert_eq!(s.mean_rate_per_sec(), None);
+        assert_eq!(s.downsample(2), s);
+    }
+
+    #[test]
+    fn single_sample_series() {
+        let s = series(&[(100, 7.0)]);
+        assert_eq!(s.value_range(), Some((7.0, 7.0)));
+        assert_eq!(s.value_at(99), None);
+        assert_eq!(s.value_at(100), Some(7.0));
+        assert_eq!(s.value_at(101), Some(7.0));
+        assert_eq!(s.mean_rate_per_sec(), None);
+        assert_eq!(s.downsample(2), s);
+    }
+
+    #[test]
+    fn equal_timestamps_are_accepted_as_nondecreasing() {
+        let mut s = TimeSeries::new("s");
+        s.push(10, 1.0);
+        s.push(10, 2.0);
+        s.push(10, 3.0);
+        assert_eq!(s.len(), 3);
+        // Step interpolation resolves to the last sample at that instant.
+        assert_eq!(s.value_at(10), Some(3.0));
+    }
+
+    #[test]
     fn downsample_keeps_endpoints() {
         let mut s = TimeSeries::new("s");
         for i in 0..1000u64 {

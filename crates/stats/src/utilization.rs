@@ -127,4 +127,43 @@ mod tests {
         u.record(10, 20);
         assert_eq!(u.busy_ps(), 20);
     }
+
+    #[test]
+    fn empty_tracker_is_all_idle() {
+        let u = Utilization::new();
+        assert_eq!(u.busy_ps(), 0);
+        assert_eq!(u.intervals(), 0);
+        assert_eq!(u.available_at(), 0);
+        assert_eq!(u.fraction(1_000), 0.0);
+    }
+
+    #[test]
+    fn zero_length_intervals_count_but_add_nothing() {
+        let mut u = Utilization::new();
+        u.record(5, 5);
+        assert_eq!(u.busy_ps(), 0);
+        assert_eq!(u.intervals(), 1);
+        assert_eq!(u.available_at(), 5);
+        // A later interval starting exactly at the zero-length point is
+        // still back-to-back, not overlapping.
+        u.record(5, 8);
+        assert_eq!(u.busy_ps(), 3);
+    }
+
+    #[test]
+    fn fraction_can_exceed_one_when_horizon_undershoots() {
+        // Callers own the horizon; a too-short one is reported honestly
+        // rather than clamped.
+        let mut u = Utilization::new();
+        u.record(0, 100);
+        assert!((u.fraction(50) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_fcfs_requests_do_not_advance_the_clock() {
+        let mut u = Utilization::new();
+        assert_eq!(u.serve_fcfs(10, 0), (10, 10));
+        assert_eq!(u.serve_fcfs(10, 4), (10, 14));
+        assert_eq!(u.busy_ps(), 4);
+    }
 }

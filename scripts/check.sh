@@ -85,6 +85,46 @@ for spec in ring:1 mesh:0x4 hypercube:21 mesh:100000x100000; do
     fi
 done
 
+echo "==> cli: attribution JSON is byte-identical serial vs sharded"
+attr_serial="$(mktemp -t mermaid-check-attr-serial.XXXXXX.json)"
+attr_sharded="$(mktemp -t mermaid-check-attr-sharded.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$serial_out" "$sharded_out" "$attr_serial" "$attr_sharded"' EXIT
+cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+    --topology torus:4x4 --mode task --pattern all2all --phases 2 \
+    --attribution "$attr_serial" --shards 1 > /dev/null
+cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+    --topology torus:4x4 --mode task --pattern all2all --phases 2 \
+    --attribution "$attr_sharded" --shards 3 > /dev/null
+diff "$attr_serial" "$attr_sharded" \
+    || { echo "attribution JSON diverged serial vs sharded" >&2; exit 1; }
+grep -q '"schema":"mermaid-attribution-v1"' "$attr_serial" \
+    || { echo "attribution JSON missing schema tag" >&2; exit 1; }
+
+echo "==> cli: analyze renders the attribution report"
+cargo run --release -p mermaid --bin mermaid-cli -- analyze --machine test \
+    --topology torus:4x4 --pattern all2all --phases 2 > "$serial_out"
+for want in "Latency decomposition" "Hottest links" "Hottest routers" "heatmap"; do
+    grep -q "$want" "$serial_out" \
+        || { echo "analyze report missing '$want'" >&2; cat "$serial_out" >&2; exit 1; }
+done
+
+echo "==> cli: bad attribution flags fail cleanly (no panic)"
+# analyze owns the report (sim-only flags rejected); --shard-profile needs
+# a sharded run; writes into a missing directory name the path and cause.
+if cargo run --release -p mermaid --bin mermaid-cli -- analyze --machine test \
+    --topology ring:4 --metrics > /dev/null 2>&1; then
+    echo "analyze --metrics should have been rejected" >&2; exit 1
+fi
+if cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+    --topology ring:4 --mode task --shard-profile > /dev/null 2>&1; then
+    echo "--shard-profile without --shards should have been rejected" >&2; exit 1
+fi
+if cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+    --topology ring:4 --mode task \
+    --attribution /nonexistent-mermaid-dir/attr.json > /dev/null 2>&1; then
+    echo "missing output directory should have been rejected" >&2; exit 1
+fi
+
 echo "==> cli: campaign smoke (run, resume, golden CSV)"
 # A tiny 3-topology x 2-pattern grid: 6 runs. The first invocation records
 # all of them; the second must find everything recorded and do zero new
@@ -92,7 +132,7 @@ echo "==> cli: campaign smoke (run, resume, golden CSV)"
 # (BLESS=1 cargo test --test campaign_end_to_end regenerates it).
 campaign_dir="$(mktemp -d -t mermaid-check-campaign.XXXXXX)"
 campaign_out="$(mktemp -t mermaid-check-campaign-out.XXXXXX.txt)"
-trap 'rm -f "$trace_file" "$serial_out" "$sharded_out" "$campaign_out"; rm -rf "$campaign_dir"' EXIT
+trap 'rm -f "$trace_file" "$serial_out" "$sharded_out" "$attr_serial" "$attr_sharded" "$campaign_out"; rm -rf "$campaign_dir"' EXIT
 campaign_spec="topo = ring:4, mesh:2x2, torus:2x2; pattern = ring, all2all; machine = test; phases = 2; ops = 500; seed = 5"
 cargo run --release -p mermaid --bin mermaid-cli -- campaign "$campaign_spec" \
     --out "$campaign_dir" --jobs 2 2> /dev/null > "$campaign_out"

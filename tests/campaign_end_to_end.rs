@@ -27,6 +27,7 @@ fn opts(dir: &Path, jobs: usize) -> CampaignOptions {
         jobs,
         limit: None,
         progress: false,
+        attribution: false,
     }
 }
 
@@ -184,6 +185,38 @@ fn hundred_run_grid_completes_in_one_invocation() {
     // Immediately re-running does zero new work.
     let again = run_campaign(&spec, &opts(&dir, 8)).unwrap();
     assert_eq!((again.recorded_before, again.executed), (108, 0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn attribution_headlines_are_recorded_and_shard_invariant() {
+    // `shards` participates in the grid, so the same workload runs once
+    // serial and once on 3 workers; the attribution headline is derived
+    // from the deterministic probe stream and must not notice.
+    let spec = CampaignSpec::parse(
+        "topo = torus:2x2; pattern = all2all; machine = test; \
+         phases = 1; ops = 300; shards = 1, 3",
+    )
+    .unwrap();
+    let dir = temp_dir("attr");
+    let mut o = opts(&dir, 2);
+    o.attribution = true;
+    run_campaign(&spec, &o).unwrap();
+
+    let records = load_records(&dir.join(RUNS_FILE)).unwrap();
+    assert_eq!(records.len(), 2);
+    let heads: Vec<_> = records
+        .iter()
+        .map(|r| r.attribution.clone().expect("headline recorded"))
+        .collect();
+    assert_eq!(
+        heads[0], heads[1],
+        "attribution must not depend on shard count"
+    );
+    assert!(heads[0].max_link_util_ppm > 0);
+    let summary = csv(&dir);
+    assert!(summary.contains("attr_dominant"));
+    assert!(summary.contains(&heads[0].dominant));
     std::fs::remove_dir_all(&dir).ok();
 }
 

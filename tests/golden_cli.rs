@@ -137,6 +137,90 @@ fn golden_task_sim_faulty_transient() {
 }
 
 #[test]
+fn golden_analyze_task_torus() {
+    // The bottleneck-attribution report: latency decomposition table,
+    // hotspot rankings, and the utilization heatmap, pinned byte-for-byte.
+    check(
+        "analyze_task_torus.txt",
+        &[
+            "analyze",
+            "--machine",
+            "test",
+            "--topology",
+            "torus:4x4",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+            "--seed",
+            "5",
+        ],
+    );
+}
+
+#[test]
+fn golden_analyze_faulty_ring() {
+    // Attribution under fault pressure: the retry component and the fault
+    // activity line join the report.
+    check(
+        "analyze_faulty_ring.txt",
+        &[
+            "analyze",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:8",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+            "--seed",
+            "5",
+            "--faults",
+            "link:0-1:2000:60000; drop:20000",
+            "--fault-seed",
+            "9",
+        ],
+    );
+}
+
+#[test]
+fn golden_analyze_is_shard_invariant() {
+    // The analyze snapshot re-run on 3 shards must land on the same
+    // golden bytes as the serial snapshot above.
+    if std::env::var_os("BLESS").is_some() {
+        return; // blessing is done by the serial test
+    }
+    let args: Vec<String> = [
+        "analyze",
+        "--machine",
+        "test",
+        "--topology",
+        "torus:4x4",
+        "--phases",
+        "2",
+        "--pattern",
+        "all2all",
+        "--seed",
+        "5",
+        "--shards",
+        "3",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = mermaid::cli::run(&args).unwrap();
+    let want =
+        std::fs::read_to_string(golden_dir().join("analyze_task_torus.txt")).unwrap_or_else(|_| {
+            panic!("missing golden file — run `BLESS=1 cargo test --test golden_cli`")
+        });
+    assert_eq!(
+        out, want,
+        "sharded analyze diverged from the serial snapshot"
+    );
+}
+
+#[test]
 fn golden_faulty_runs_are_shard_invariant() {
     // The faulty snapshots above are single-threaded; this pins the same
     // invocation with `--shards 3` to the same golden file, so the

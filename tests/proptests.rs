@@ -278,6 +278,62 @@ proptest! {
         prop_assert_eq!(r.total_messages + r.msgs_failed, pairs.len() as u64);
     }
 
+    /// The latency decomposition is conservative on arbitrary balanced
+    /// traffic under arbitrary fault pressure: every `msg_path` record's
+    /// six components (overhead, retry, queue, routing, serialization,
+    /// wire) sum to its end-to-end latency exactly, and one record is
+    /// emitted per delivered message.
+    #[test]
+    fn latency_decomposition_conserves(
+        topo_kind in 0u8..4,
+        drop_ppm in 0u32..40_000,
+        pairs in prop::collection::vec((0u32..8, 0u32..8, 64u32..8_192), 1..20)
+    ) {
+        use std::sync::Arc;
+        use mermaid_network::{CommSim, FaultSchedule, NetworkConfig, RetryParams};
+        use mermaid_ops::TraceSet;
+        use mermaid_probe::{ProbeHandle, ProbeStack, SimEvent};
+
+        let topo = match topo_kind {
+            0 => Topology::Ring(8),
+            1 => Topology::Mesh2D { w: 4, h: 2 },
+            2 => Topology::Torus2D { w: 4, h: 2 },
+            _ => Topology::Hypercube { dim: 3 },
+        };
+        let cfg = NetworkConfig::test(topo);
+        let mut ts = TraceSet::new(8);
+        for &(src, dst, bytes) in &pairs {
+            ts.trace_mut(src).push(Operation::ASend { bytes, dst });
+        }
+        for &(src, dst, _) in &pairs {
+            ts.trace_mut(dst).push(Operation::Recv { src });
+        }
+        let faults = Arc::new(
+            FaultSchedule::new(drop_ppm as u64)
+                .with_retry(RetryParams::default_for(&cfg))
+                .with_drop_ppm(drop_ppm),
+        );
+        let probe = ProbeHandle::new(ProbeStack::new().with_buffer());
+        let r = CommSim::new_with_faults(cfg, &ts, probe.clone(), faults).run();
+        prop_assert!(r.all_done, "deadlocked: {:?}", r.deadlocked);
+
+        let mut paths = 0u64;
+        for ev in probe.take_buffer().unwrap() {
+            if let SimEvent::MsgPath {
+                latency_ps, overhead_ps, retry_ps, queue_ps,
+                routing_ps, ser_ps, wire_ps, src, dst, ..
+            } = ev {
+                paths += 1;
+                prop_assert_eq!(
+                    overhead_ps + retry_ps + queue_ps + routing_ps + ser_ps + wire_ps,
+                    latency_ps,
+                    "{}->{} leaves a residual", src, dst
+                );
+            }
+        }
+        prop_assert_eq!(paths, r.total_messages);
+    }
+
     /// Arbitrary balanced communication patterns never deadlock the
     /// communication model (async sends + matching blocking receives).
     #[test]

@@ -146,6 +146,54 @@ fn traced_run_is_deterministic_under_observation() {
 }
 
 #[test]
+fn faulty_traced_run_validates_with_fault_events_counted() {
+    // Regression: a traced run under fault injection must still produce a
+    // valid Chrome trace (per-track span starts stay monotonic even with
+    // retries and reroutes in play), and the validator's fault-event tally
+    // must see the injected activity that a healthy run never emits.
+    use mermaid_network::{FaultSchedule, RetryParams};
+    use mermaid_probe::validate_chrome_trace;
+    use pearl::Time;
+    use std::sync::Arc;
+
+    let machine = MachineConfig::test_machine(Topology::Ring(4));
+    let traces = StochasticGenerator::new(
+        StochasticApp {
+            phases: 4,
+            ..StochasticApp::scientific(4)
+        },
+        7,
+    )
+    .generate_task_level();
+
+    let mut schedule = FaultSchedule::new(9).with_retry(RetryParams::default_for(&machine.network));
+    schedule.cut_link(0, 1, Time::from_us(1), Some(Time::from_us(40)));
+    let faults = Some(Arc::new(schedule));
+
+    let healthy_probe = ProbeHandle::new(ProbeStack::new().with_chrome());
+    TaskLevelSim::new(machine.network)
+        .with_probe(healthy_probe.clone())
+        .run(&traces);
+    let healthy = validate_chrome_trace(&healthy_probe.chrome_trace_json().unwrap()).unwrap();
+    assert_eq!(healthy.fault_events, 0, "healthy runs emit no fault events");
+
+    let probe = ProbeHandle::new(ProbeStack::new().with_chrome());
+    let faulty = TaskLevelSim::new(machine.network)
+        .with_probe(probe.clone())
+        .with_faults(faults)
+        .run(&traces);
+    assert!(faulty.comm.all_done);
+    let summary = validate_chrome_trace(&probe.chrome_trace_json().unwrap())
+        .expect("faulty trace must still validate");
+    assert!(
+        summary.fault_events >= 2,
+        "at least link_down + link_up expected, got {}",
+        summary.fault_events
+    );
+    assert_eq!(summary.delivered_messages, Some(faulty.comm.total_messages));
+}
+
+#[test]
 fn run_time_watching_does_not_perturb_results() {
     // Fig. 1's run-time visualisation must be a pure observer: watching at
     // different sampling granularities yields identical simulations.
