@@ -1,0 +1,59 @@
+//! **PR 8** — serial wall clock of the communication hot path.
+//!
+//! The ECS/arena refactor (DESIGN.md §15) flattens routers/processors into
+//! struct-of-arrays slabs with static dispatch, makes event payloads `Copy`,
+//! and removes per-message allocation and hashing from the router/processor
+//! hot path. This bench pins the serial number the refactor is judged by:
+//! the same comm-heavy 8×8 torus workload as `sharded_comm`, timed without
+//! sharding so the delta is pure event-loop cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mermaid::prelude::*;
+
+/// A communication-dominated workload: all-to-all traffic on a torus,
+/// enough phases to keep every router busy (same as `sharded_comm`).
+fn comm_heavy(nodes: u32, phases: u32) -> TraceSet {
+    let app = StochasticApp {
+        phases,
+        pattern: CommPattern::AllToAll,
+        msg_bytes: SizeDist::Fixed(4096),
+        task_ps: SizeDist::Fixed(200_000),
+        ..StochasticApp::scientific(nodes)
+    };
+    StochasticGenerator::new(app, 7).generate_task_level()
+}
+
+fn bench(c: &mut Criterion) {
+    // `MERMAID_BENCH_QUICK=1` (used by scripts/check.sh) shrinks the run
+    // to a CI-sized smoke: same code path, a fraction of the wall clock.
+    let quick = std::env::var_os("MERMAID_BENCH_QUICK").is_some();
+    let (topo, phases, samples) = if quick {
+        (Topology::Torus2D { w: 4, h: 4 }, 3, 3)
+    } else {
+        (Topology::Torus2D { w: 8, h: 8 }, 12, 10)
+    };
+    let cfg = NetworkConfig::test(topo);
+    let traces = comm_heavy(topo.nodes(), phases);
+
+    let serial = TaskLevelSim::new(cfg).run(&traces);
+    assert!(serial.comm.all_done);
+
+    let mut g = c.benchmark_group("pr8_arena");
+    g.sample_size(samples);
+    let name = if quick {
+        "torus4x4_all2all/serial-quick"
+    } else {
+        "torus8x8_all2all/serial"
+    };
+    g.bench_function(name, |b| {
+        b.iter_batched(
+            || traces.clone(),
+            |ts| TaskLevelSim::new(cfg).run(&ts),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -34,6 +34,7 @@ pub mod router;
 pub mod sharded;
 pub mod sim;
 pub mod topology;
+pub(crate) mod world;
 
 pub use config::{LinkParams, NetworkConfig, RouterParams, Routing, Switching};
 pub use fault::{FaultEvent, FaultKind, FaultSchedule, RetryParams};

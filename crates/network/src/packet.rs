@@ -150,7 +150,10 @@ impl Train {
 }
 
 /// Events exchanged between the components of the communication model.
-#[derive(Debug, Clone)]
+// `Copy`: every variant is a small plain-data payload, so events move
+// through the typed queue (and across shards) as flat bytes — no clones,
+// drops, or indirection on the hot path (DESIGN.md §15).
+#[derive(Debug, Clone, Copy)]
 pub enum NetMsg {
     /// Processor self-event: resume after a `compute` or an overhead.
     Resume,

@@ -28,7 +28,9 @@ impl Partition {
     /// every shard is non-empty.
     pub fn contiguous(topo: Topology, shards: usize) -> Self {
         let nodes = topo.nodes();
-        let k = (shards.max(1) as u32).min(nodes);
+        // Clamp in usize *before* narrowing: `(shards as u32)` would wrap a
+        // pathological request like `1 << 32` to zero shards.
+        let k = shards.clamp(1, nodes as usize) as u32;
         let base = nodes / k;
         let extra = nodes % k; // first `extra` shards get one more node
         let mut starts = Vec::with_capacity(k as usize + 1);

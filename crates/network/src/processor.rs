@@ -39,14 +39,13 @@
 //! layer — every fault branch sits behind an `Option` that short-circuits
 //! to the original path.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use mermaid_ops::{NodeId, Operation};
 use mermaid_probe::{ActKind, ProbeHandle, SimEvent};
 use mermaid_stats::Histogram;
 use pearl::sync::MatchBox;
-use pearl::{CompId, Component, Ctx, Duration, Event, Time};
+use pearl::{CompId, Component, Ctx, Duration, Event, FastHashMap, FastHashSet, Time};
 
 use crate::config::NetworkConfig;
 use crate::fault::FaultSchedule;
@@ -215,17 +214,17 @@ pub struct AbstractProcessor {
     cfg: NetworkConfig,
     state: ProcState,
     send_seq: u64,
-    assembling: HashMap<MsgId, Assembly>,
+    assembling: FastHashMap<MsgId, Assembly>,
     matcher: MatchBox<NodeId, CompletedMsg, Waiter>,
     /// The fault schedule, when fault injection is enabled. `None`
     /// short-circuits every reliability-protocol branch to the original
     /// fault-free path.
     faults: Option<Arc<FaultSchedule>>,
     /// Tracked-but-unacknowledged messages (fault mode only).
-    outstanding: HashMap<MsgId, Outstanding>,
+    outstanding: FastHashMap<MsgId, Outstanding>,
     /// Messages fully assembled at this node — deduplicates the packets of
     /// retransmissions (fault mode only).
-    completed: HashSet<MsgId>,
+    completed: FastHashSet<MsgId>,
     /// Monotone counter invalidating stale `RecvDeadline` watchdogs: bumped
     /// every time the trace advances, so a deadline armed for an earlier
     /// blocking wait can never fire into a later one.
@@ -253,11 +252,11 @@ impl AbstractProcessor {
             cfg,
             state: ProcState::Running,
             send_seq: 0,
-            assembling: HashMap::new(),
+            assembling: FastHashMap::default(),
             matcher: MatchBox::new(),
             faults: None,
-            outstanding: HashMap::new(),
-            completed: HashSet::new(),
+            outstanding: FastHashMap::default(),
+            completed: FastHashSet::default(),
             wait_epoch: 0,
             probe: ProbeHandle::disabled(),
             stats: ProcStats::default(),
@@ -306,7 +305,8 @@ impl AbstractProcessor {
         };
         self.send_seq += 1;
         self.inject_message_as(id, dst, bytes, kind, 0, delay, ctx);
-        if let Some(faults) = self.faults.clone() {
+        if let Some(faults) = &self.faults {
+            let timeout = faults.retry.timeout(0);
             self.outstanding.insert(
                 id,
                 Outstanding {
@@ -318,7 +318,7 @@ impl AbstractProcessor {
                 },
             );
             self.stats.msgs_tracked += 1;
-            ctx.timer(delay + faults.retry.timeout(0), NetMsg::RetryCheck(id));
+            ctx.timer(delay + timeout, NetMsg::RetryCheck(id));
         }
         id
     }
@@ -671,14 +671,14 @@ impl AbstractProcessor {
     /// A retry-check timer fired: retransmit the message if it is still
     /// unacknowledged, or give up once the retry budget is spent.
     fn on_retry_check(&mut self, id: MsgId, ctx: &mut Ctx<'_, NetMsg>) {
-        let faults = self
-            .faults
-            .clone()
-            .unwrap_or_else(|| panic!("node {}: retry check without a fault schedule", self.node));
+        let retry = match &self.faults {
+            Some(faults) => faults.retry,
+            None => panic!("node {}: retry check without a fault schedule", self.node),
+        };
         let Some(out) = self.outstanding.get(&id).copied() else {
             return; // acknowledged in the meantime — stale timer
         };
-        if out.attempt >= faults.retry.max_retries {
+        if out.attempt >= retry.max_retries {
             self.give_up(id, out, ctx);
             return;
         }
@@ -706,7 +706,7 @@ impl AbstractProcessor {
             Duration::ZERO,
             ctx,
         );
-        ctx.timer(faults.retry.timeout(attempt), NetMsg::RetryCheck(id));
+        ctx.timer(retry.timeout(attempt), NetMsg::RetryCheck(id));
     }
 
     /// Exhausted the retry budget: record the unreachable destination,

@@ -3,7 +3,7 @@
 //! by hop with a configurable routing and switching strategy.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -93,11 +93,19 @@ pub struct Router {
     params: RouterParams,
     /// Component id of the local abstract processor.
     proc_comp: CompId,
-    /// Component ids of all routers, indexed by node (shared by every
-    /// router of the simulation — one allocation, `n` handles).
-    router_comps: Arc<[CompId]>,
-    /// Busy-until clock of each outgoing link, keyed by neighbour.
-    out_busy: HashMap<NodeId, Time>,
+    /// Per-output-link state as parallel flat arrays keyed by the small
+    /// neighbour list `out_nbrs` (discovered lazily on first reservation).
+    /// A router has at most a handful of ports, so a linear scan beats
+    /// hashing. `out_busy[i]` is the busy-until clock of the link towards
+    /// `out_nbrs[i]`; `out_busy_total[i]` accumulates its serialisation
+    /// time (folded into `RouterStats::per_link_busy` by
+    /// [`Router::snapshot_stats`]).
+    out_nbrs: Vec<NodeId>,
+    out_busy: Vec<Time>,
+    out_busy_total: Vec<Duration>,
+    /// Reusable scratch for train processing (cleared per event; the
+    /// capacity persists so steady-state train handling allocates nothing).
+    scratch: TrainScratch,
     /// Instrumentation (disabled by default; observation only, never read
     /// back into routing or timing decisions).
     probe: ProbeHandle,
@@ -115,15 +123,27 @@ pub struct Router {
     pub stats: RouterStats,
 }
 
+/// Reusable per-event buffers for [`Router::handle_train`].
+#[derive(Default)]
+struct TrainScratch {
+    pkts: Vec<Packet>,
+    arrivals: Vec<Time>,
+    nexts: Vec<NodeId>,
+    outs: Vec<Time>,
+}
+
 impl Router {
     /// Build the router of `node`.
+    ///
+    /// Component addressing follows the arena layout contract (DESIGN.md
+    /// §15): the router of node `i` is component `i`, so router→router
+    /// sends need no id table.
     pub fn new(
         node: NodeId,
         topo: Topology,
         link: LinkParams,
         params: RouterParams,
         proc_comp: CompId,
-        router_comps: Arc<[CompId]>,
     ) -> Self {
         Router {
             node,
@@ -131,8 +151,10 @@ impl Router {
             link,
             params,
             proc_comp,
-            router_comps,
-            out_busy: HashMap::new(),
+            out_nbrs: Vec::new(),
+            out_busy: Vec::new(),
+            out_busy_total: Vec::new(),
+            scratch: TrainScratch::default(),
             probe: ProbeHandle::disabled(),
             cross: None,
             faults: None,
@@ -140,6 +162,42 @@ impl Router {
             down: false,
             stats: RouterStats::default(),
         }
+    }
+
+    /// Busy-until clock of the output link towards `next` (`Time::ZERO`
+    /// when the link has never been reserved).
+    #[inline]
+    fn link_busy_until(&self, next: NodeId) -> Time {
+        match self.out_nbrs.iter().position(|&n| n == next) {
+            Some(i) => self.out_busy[i],
+            None => Time::ZERO,
+        }
+    }
+
+    /// Index of the link towards `next` in the flat link arrays, creating
+    /// it on first use.
+    #[inline]
+    fn link_slot(&mut self, next: NodeId) -> usize {
+        match self.out_nbrs.iter().position(|&n| n == next) {
+            Some(i) => i,
+            None => {
+                self.out_nbrs.push(next);
+                self.out_busy.push(Time::ZERO);
+                self.out_busy_total.push(Duration::ZERO);
+                self.out_nbrs.len() - 1
+            }
+        }
+    }
+
+    /// The router's statistics with the per-link busy table materialised
+    /// from the flat link arrays (the `BTreeMap` keeps reports and their
+    /// `Debug` rendering deterministic regardless of discovery order).
+    pub fn snapshot_stats(&self) -> RouterStats {
+        let mut s = self.stats.clone();
+        for (i, &n) in self.out_nbrs.iter().enumerate() {
+            *s.per_link_busy.entry(n).or_insert(Duration::ZERO) += self.out_busy_total[i];
+        }
+        s
     }
 
     /// Attach an instrumentation handle (builder style).
@@ -166,7 +224,8 @@ impl Router {
     /// captured into the outbox (with the key the serial schedule would
     /// have consumed) instead of entering the local queue.
     fn send_router(&self, ctx: &mut Ctx<'_, NetMsg>, next: NodeId, at: Time, msg: NetMsg) {
-        let dst = self.router_comps[next as usize];
+        // Arena layout contract: node `i`'s router is component `i`.
+        let dst = next as CompId;
         if let Some(cs) = &self.cross {
             if !cs.local[next as usize] {
                 let key = ctx.alloc_key();
@@ -217,7 +276,7 @@ impl Router {
                 self.topo
                     .minimal_next_hops(self.node, pkt.dst)
                     .into_iter()
-                    .min_by_key(|&n| (self.out_busy.get(&n).copied().unwrap_or(Time::ZERO), n))
+                    .min_by_key(|&n| (self.link_busy_until(n), n))
                     .expect("minimal candidate set is never empty")
             }
         }
@@ -233,10 +292,11 @@ impl Router {
     /// `wire` — together exactly the head's progress `arrive - at`.
     fn reserve(&mut self, next: NodeId, pkt: &mut Packet, at: Time) -> Time {
         let t_pkt = self.packet_time(pkt);
-        let busy = self.out_busy.entry(next).or_insert(Time::ZERO);
-        let start = at.max(*busy) + self.params.routing_delay;
+        let slot = self.link_slot(next);
+        let start = at.max(self.out_busy[slot]) + self.params.routing_delay;
         let end = start + t_pkt;
-        *busy = end;
+        self.out_busy[slot] = end;
+        self.out_busy_total[slot] += t_pkt;
         self.stats.forwarded += 1;
         let wait = start.since(at).saturating_sub(self.params.routing_delay);
         self.stats.link_wait += wait;
@@ -244,11 +304,6 @@ impl Router {
         pkt.path.queue_ps += wait.as_ps();
         pkt.path.route_ps += self.params.routing_delay.as_ps();
         pkt.path.wire_ps += self.link.wire_latency.as_ps();
-        *self
-            .stats
-            .per_link_busy
-            .entry(next)
-            .or_insert(Duration::ZERO) += t_pkt;
         self.probe.emit(|| SimEvent::LinkBusy {
             node: self.node,
             to: next,
@@ -343,7 +398,7 @@ impl Router {
             .minimal_next_hops(self.node, pkt.dst)
             .into_iter()
             .filter(|n| !self.down_links.contains(n))
-            .min_by_key(|&n| (self.out_busy.get(&n).copied().unwrap_or(Time::ZERO), n))
+            .min_by_key(|&n| (self.link_busy_until(n), n))
             .map(|n| (n, true))
     }
 
@@ -394,26 +449,36 @@ impl Router {
         }
         let arrive = self.reserve(next, &mut pkt, now);
         let mut fwd = pkt;
-        if let Some(faults) = self.faults.clone() {
-            // Stateless per-traversal draws: verdicts depend only on the
-            // packet's identity and the link, never on event order.
-            if faults.drops_packet(self.node, next, &pkt) {
-                // The packet consumed the wire (the link was reserved
-                // above), then vanished.
-                self.drop_packet(&pkt, now, DropReason::Transient);
-                return;
+        // Stateless per-traversal draws: verdicts depend only on the
+        // packet's identity and the link, never on event order — so both
+        // are computed up front and the borrow of `faults` released before
+        // any stats mutation (no per-packet `Arc` clone).
+        let (dropped, corrupted) = match &self.faults {
+            Some(faults) => {
+                if faults.drops_packet(self.node, next, &pkt) {
+                    (true, false)
+                } else {
+                    (false, faults.corrupts_packet(self.node, next, &pkt))
+                }
             }
-            if faults.corrupts_packet(self.node, next, &pkt) {
-                fwd.corrupted = true;
-                self.stats.corrupted += 1;
-                self.probe.emit(|| SimEvent::PacketCorrupted {
-                    ts_ps: now.as_ps(),
-                    node: self.node,
-                    to: next,
-                    src: pkt.msg.src,
-                    seq: pkt.msg.seq,
-                });
-            }
+            None => (false, false),
+        };
+        if dropped {
+            // The packet consumed the wire (the link was reserved above),
+            // then vanished.
+            self.drop_packet(&pkt, now, DropReason::Transient);
+            return;
+        }
+        if corrupted {
+            fwd.corrupted = true;
+            self.stats.corrupted += 1;
+            self.probe.emit(|| SimEvent::PacketCorrupted {
+                ts_ps: now.as_ps(),
+                node: self.node,
+                to: next,
+                src: pkt.msg.src,
+                seq: pkt.msg.seq,
+            });
         }
         self.send_router(ctx, next, arrive, NetMsg::Forward(fwd));
     }
@@ -455,7 +520,7 @@ impl Router {
             // injection — expand it in place.
             debug_assert!(injected, "fault-mode routers never emit trains");
             let payload_max = self.params.max_packet_payload;
-            let me = self.router_comps[self.node as usize];
+            let me = self.node as CompId;
             self.handle_packet(train.packet(0, payload_max), false, ctx);
             for i in 1..train.len {
                 ctx.send_now(me, NetMsg::Inject(train.packet(i, payload_max)));
@@ -476,8 +541,13 @@ impl Router {
         // the head: the size-derived spacing is pipelined serialisation
         // (`ser`), the per-packet restart is `route` — together exactly
         // `arrivals[i] - now`, keeping the decomposition conservative.
-        let mut pkts: Vec<Packet> = Vec::with_capacity(len);
-        let mut arrivals = Vec::with_capacity(len);
+        //
+        // The buffers are taken from (and returned to) the router's
+        // scratch, so steady-state train handling allocates nothing.
+        let mut pkts = std::mem::take(&mut self.scratch.pkts);
+        let mut arrivals = std::mem::take(&mut self.scratch.arrivals);
+        pkts.clear();
+        arrivals.clear();
         let mut at = now;
         let (mut ser_off, mut route_off) = (0u64, 0u64);
         for i in 0..train.len {
@@ -519,6 +589,8 @@ impl Router {
                 self.proc_comp,
                 NetMsg::DeliverTrain(delivered),
             );
+            self.scratch.pkts = pkts;
+            self.scratch.arrivals = arrivals;
             return;
         }
         // Keep the run coalesced only when the output link is provably
@@ -530,24 +602,28 @@ impl Router {
         let coalesce = injected || {
             matches!(self.params.routing, Routing::DimensionOrder) && {
                 let next = self.topo.route_next(self.node, train.first.dst);
-                self.out_busy.get(&next).copied().unwrap_or(Time::ZERO) <= now
+                self.link_busy_until(next) <= now
             }
         };
         if !coalesce {
             // Re-expand: the head is processed here and now; each follower
             // is re-posted to ourselves at its nominal arrival, exactly as
             // if it had never been coalesced.
-            let me = self.router_comps[self.node as usize];
+            let me = self.node as CompId;
             self.handle_packet(pkts[0], streamed, ctx);
             for i in 1..len {
                 ctx.send_after(arrivals[i].since(now), me, NetMsg::Forward(pkts[i]));
             }
+            self.scratch.pkts = pkts;
+            self.scratch.arrivals = arrivals;
             return;
         }
         // Burst-reserve every packet at its nominal arrival, then re-emit
         // maximal still-back-to-back runs (everything, in the common case).
-        let mut nexts = Vec::with_capacity(len);
-        let mut outs = Vec::with_capacity(len);
+        let mut nexts = std::mem::take(&mut self.scratch.nexts);
+        let mut outs = std::mem::take(&mut self.scratch.outs);
+        nexts.clear();
+        outs.clear();
         for i in 0..len {
             let next = self.pick_next(&pkts[i]);
             let arrive = self.reserve(next, &mut pkts[i], arrivals[i]);
@@ -564,9 +640,16 @@ impl Router {
                 j += 1;
             }
             if j - i >= 2 {
+                // A run never outgrows the train it came from, whose length
+                // already fits u32 — but make the narrowing explicit rather
+                // than silently truncating.
+                debug_assert!(j - i <= len, "run cannot outgrow its train");
+                let run_len: u32 = (j - i)
+                    .try_into()
+                    .expect("train run length exceeds u32::MAX");
                 let run = Train {
                     first: pkts[i],
-                    len: (j - i) as u32,
+                    len: run_len,
                 };
                 self.send_router(ctx, nexts[i], outs[i], NetMsg::ForwardTrain(run));
             } else {
@@ -574,6 +657,10 @@ impl Router {
             }
             i = j;
         }
+        self.scratch.pkts = pkts;
+        self.scratch.arrivals = arrivals;
+        self.scratch.nexts = nexts;
+        self.scratch.outs = outs;
     }
 }
 
@@ -641,7 +728,6 @@ mod tests {
         let mut cfg = NetworkConfig::test(Topology::Mesh2D { w: n, h: 1 });
         cfg.router.switching = switching;
         let mut e: Engine<NetMsg> = Engine::new();
-        let router_ids: Arc<[CompId]> = (0..n as usize).collect();
         let sink_ids: Vec<CompId> = (n as usize..2 * n as usize).collect();
         for node in 0..n {
             e.add_component(
@@ -652,7 +738,6 @@ mod tests {
                     cfg.link,
                     cfg.router,
                     sink_ids[node as usize],
-                    Arc::clone(&router_ids),
                 ),
             );
         }
@@ -800,6 +885,6 @@ mod tests {
         assert_eq!(r1.stats.forwarded, 1);
         assert_eq!(r2.stats.delivered, 1);
         assert!(r0.stats.link_busy > Duration::ZERO);
-        assert_eq!(r0.stats.per_link_busy.len(), 1);
+        assert_eq!(r0.snapshot_stats().per_link_busy.len(), 1);
     }
 }

@@ -19,12 +19,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 use mermaid_ops::TraceSet;
 use mermaid_probe::{canonical_sort, ProbeHandle, ProbeStack, SimEvent};
-use pearl::{CompId, Component, Ctx, Duration, Engine, Event, Time, WindowBarrier};
+use pearl::{CompId, Duration, Engine, Time, WindowBarrier};
 
 use crate::config::NetworkConfig;
 use crate::fault::FaultSchedule;
@@ -33,30 +33,89 @@ use crate::partition::{lookahead, Partition};
 use crate::processor::AbstractProcessor;
 use crate::router::{CrossShard, OutMsg, Router};
 use crate::sim::{CommResult, CommSim, NodeCommStats};
+use crate::world::NetWorld;
 
 /// Capacity of each shard's cross-shard inbox channel. Senders that find
 /// a channel full drain their own inbox while retrying, so the bound
 /// applies backpressure without risking deadlock.
 const CHANNEL_CAP: usize = 1024;
 
+/// Iterations a waiting shard spends yielding (the fast path: peers
+/// usually arrive within a scheduling quantum) before it parks on a
+/// condvar. Yield — not `spin_loop` — so single-core hosts still make
+/// progress during the spin phase.
+const SPIN_LIMIT: u32 = 64;
+
+/// How long a parked shard sleeps between inbox drains. Parked shards
+/// must keep draining their channel — a peer blocked on a full channel
+/// to us needs our capacity back — so the park is a timed wait, not an
+/// unbounded one. Host-time only; simulated time is unaffected.
+const PARK_WAIT: std::time::Duration = std::time::Duration::from_millis(1);
+
 /// A shard's preferred worker count for `--shards auto`.
 pub fn auto_shards() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Occupies a remote component's id slot in a shard's engine, so local
-/// component ids (and hence event keys, probe ids and stats indexing)
-/// match the single-threaded layout exactly. The window protocol routes
-/// every event to the shard owning its destination; a delivery to a
-/// phantom would mean that invariant broke.
-struct Phantom;
+/// The round-arrival gate: each shard bumps the counter once per round
+/// and then waits until all `k` shards of that round have arrived (by
+/// which point every cross-shard message of the previous window is in
+/// its destination channel).
+///
+/// Waiting yields for a bounded number of iterations and then parks on a
+/// condvar instead of spinning — an idle shard must not burn a core while
+/// a busy peer finishes its window (ISSUE 8 satellite 1). The park is a
+/// timed wait so the shard keeps draining its own inbox, which keeps the
+/// bounded channels deadlock-free even while parked.
+struct RoundGate {
+    arrivals: AtomicU64,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
 
-impl Component<NetMsg> for Phantom {
-    fn handle(&mut self, ev: Event<NetMsg>, _ctx: &mut Ctx<'_, NetMsg>) {
-        panic!(
-            "event for component {} delivered to a non-owning shard",
-            ev.dst
-        );
+impl RoundGate {
+    fn new() -> Self {
+        RoundGate {
+            arrivals: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Register this shard's arrival for the current round and wake any
+    /// parked waiters.
+    fn arrive(&self) {
+        self.arrivals.fetch_add(1, Ordering::AcqRel);
+        // Lock-then-notify pairs with the waiter's locked re-check: an
+        // arrival is either visible to that re-check or notifies after
+        // the waiter started waiting. No wake-up can be lost.
+        let _guard = self.lock.lock().unwrap();
+        self.cond.notify_all();
+    }
+
+    /// Wait until at least `target` shards have arrived, calling `drain`
+    /// between checks so this shard's inbox keeps emptying.
+    fn wait(&self, target: u64, mut drain: impl FnMut()) {
+        for _ in 0..SPIN_LIMIT {
+            if self.arrivals.load(Ordering::Acquire) >= target {
+                return;
+            }
+            drain();
+            thread::yield_now();
+        }
+        loop {
+            if self.arrivals.load(Ordering::Acquire) >= target {
+                return;
+            }
+            {
+                let guard = self.lock.lock().unwrap();
+                if self.arrivals.load(Ordering::Acquire) >= target {
+                    return;
+                }
+                let _ = self.cond.wait_timeout(guard, PARK_WAIT).unwrap();
+            }
+            drain();
+        }
     }
 }
 
@@ -243,7 +302,7 @@ pub fn run_sharded_with_faults_profiled(
     // compute its round-`r` local minimum only after all `k` increments of
     // round `r` — by then every cross-shard message of the previous window
     // has been pushed into its destination channel.
-    let arrivals = AtomicU64::new(0);
+    let gate = RoundGate::new();
     let mut txs = Vec::with_capacity(k);
     let mut rxs = Vec::with_capacity(k);
     for _ in 0..k {
@@ -260,10 +319,10 @@ pub fn run_sharded_with_faults_profiled(
             .map(|(s, rx)| {
                 let txs = txs.clone();
                 let faults = faults.clone();
-                let (part, barrier, arrivals) = (&part, &barrier, &arrivals);
+                let (part, barrier, gate) = (&part, &barrier, &gate);
                 scope.spawn(move || {
                     shard_worker(
-                        s, cfg, traces, part, la, barrier, arrivals, txs, rx, want_probe, faults,
+                        s, cfg, traces, part, la, barrier, gate, txs, rx, want_probe, faults,
                     )
                 })
             })
@@ -278,7 +337,7 @@ pub fn run_sharded_with_faults_profiled(
     (result, Some(profile))
 }
 
-/// One shard's whole life: build the mirror engine, run the window loop,
+/// One shard's whole life: build its arena world, run the window loop,
 /// collect local stats.
 #[allow(clippy::too_many_arguments)]
 fn shard_worker(
@@ -288,7 +347,7 @@ fn shard_worker(
     part: &Partition,
     la: Duration,
     barrier: &WindowBarrier,
-    arrivals: &AtomicU64,
+    gate: &RoundGate,
     txs: Vec<SyncSender<OutMsg>>,
     rx: Receiver<OutMsg>,
     want_probe: bool,
@@ -304,48 +363,40 @@ fn shard_worker(
         ProbeHandle::disabled()
     };
 
-    // Mirror component layout: every shard registers all `2n` slots —
-    // real components for its own nodes, panicking stubs for the rest —
-    // so component ids, event keys and stats indexing match the serial
-    // engine exactly.
-    let mut engine: Engine<NetMsg> = Engine::new();
-    let router_ids: Arc<[CompId]> = (0..n as usize).collect();
+    // Mirror component layout: the shard's world owns only the slabs of
+    // its own node range, but reports the full `2n` id space, so
+    // component ids, event keys and key-counter indexing match the serial
+    // engine exactly. An event addressed to an unowned id panics inside
+    // `NetWorld` — the window protocol routes every event to the shard
+    // owning its destination.
     let outbox = std::rc::Rc::new(std::cell::RefCell::new(Vec::<OutMsg>::new()));
-    for node in 0..n {
-        if range.contains(&node) {
-            engine.add_component(
-                format!("router{node}"),
-                Router::new(
-                    node,
-                    cfg.topology,
-                    cfg.link,
-                    cfg.router,
-                    (n + node) as usize,
-                    Arc::clone(&router_ids),
-                )
+    let mut routers = Vec::with_capacity(range.len());
+    let mut procs = Vec::with_capacity(range.len());
+    for node in range.clone() {
+        routers.push(
+            Router::new(
+                node,
+                cfg.topology,
+                cfg.link,
+                cfg.router,
+                (n + node) as CompId,
+            )
+            .with_probe(my_probe.clone())
+            .with_faults(faults.clone())
+            .with_cross_shard(CrossShard {
+                local: Arc::clone(&local_mask),
+                outbox: outbox.clone(),
+            }),
+        );
+    }
+    for node in range.clone() {
+        procs.push(
+            AbstractProcessor::new(node, traces.trace(node).shared_ops(), node as CompId, cfg)
                 .with_probe(my_probe.clone())
-                .with_faults(faults.clone())
-                .with_cross_shard(CrossShard {
-                    local: Arc::clone(&local_mask),
-                    outbox: outbox.clone(),
-                }),
-            );
-        } else {
-            engine.add_component(format!("router{node}"), Phantom);
-        }
+                .with_faults(faults.clone()),
+        );
     }
-    for node in 0..n {
-        if range.contains(&node) {
-            engine.add_component(
-                format!("proc{node}"),
-                AbstractProcessor::new(node, traces.trace(node).shared_ops(), node as usize, cfg)
-                    .with_probe(my_probe.clone())
-                    .with_faults(faults.clone()),
-            );
-        } else {
-            engine.add_component(format!("proc{node}"), Phantom);
-        }
-    }
+    let mut engine = Engine::with_world(NetWorld::new(n, range.start, routers, procs));
     // Post this shard's scripted fault events *before* priming, exactly as
     // the serial engine posts them before running: fault events are
     // self-events of their router, so posting only the local nodes' events
@@ -376,18 +427,26 @@ fn shard_worker(
         // Flush this window's cross-shard messages. On a full channel,
         // drain our own inbox while retrying: the receiver of any full
         // channel frees capacity this way no matter where it is blocked,
-        // so the bounded channels cannot deadlock.
+        // so the bounded channels cannot deadlock. The retry yields for a
+        // bounded number of rounds, then backs off into timed sleeps — a
+        // stalled peer should cost this core its timeslice, not peg it.
         for msg in outbox.borrow_mut().drain(..) {
             let dst_shard = part.shard_of(msg.dst as u32);
             profile.cross_sent += 1;
             let mut pending = Some(msg);
+            let mut spins: u32 = 0;
             while let Some(m) = pending.take() {
                 match txs[dst_shard].try_send(m) {
                     Ok(()) => {}
                     Err(TrySendError::Full(m)) => {
                         pending = Some(m);
                         inbox.extend(rx.try_iter());
-                        thread::yield_now();
+                        if spins < SPIN_LIMIT {
+                            spins += 1;
+                            thread::yield_now();
+                        } else {
+                            thread::sleep(PARK_WAIT);
+                        }
                     }
                     Err(TrySendError::Disconnected(_)) => {
                         unreachable!("inbox receivers live for the whole run")
@@ -397,13 +456,10 @@ fn shard_worker(
         }
         // Round gate: wait (draining) until every shard has flushed.
         round += 1;
-        arrivals.fetch_add(1, Ordering::AcqRel);
-        let gate = std::time::Instant::now();
-        while arrivals.load(Ordering::Acquire) < round * k {
-            inbox.extend(rx.try_iter());
-            thread::yield_now();
-        }
-        profile.barrier_wait_ns += gate.elapsed().as_nanos() as u64;
+        gate.arrive();
+        let gate_wait = std::time::Instant::now();
+        gate.wait(round * k, || inbox.extend(rx.try_iter()));
+        profile.barrier_wait_ns += gate_wait.elapsed().as_nanos() as u64;
         inbox.extend(rx.try_iter());
         // Inject cross-shard arrivals at their exact serial queue keys.
         profile.cross_recv += inbox.len() as u64;
@@ -428,17 +484,12 @@ fn shard_worker(
     profile.events = engine.events_processed();
 
     let mut nodes = Vec::with_capacity(range.len());
+    let world = engine.world();
     for node in range {
-        let router = engine
-            .component::<Router>(node as usize)
-            .expect("router component");
-        let proc = engine
-            .component::<AbstractProcessor>((n + node) as usize)
-            .expect("processor component");
         nodes.push(NodeCommStats {
             node,
-            proc: proc.stats.clone(),
-            router: router.stats.clone(),
+            proc: world.proc(node).stats.clone(),
+            router: world.router(node).snapshot_stats(),
         });
     }
     ShardOut {

@@ -12,6 +12,7 @@ use crate::fault::FaultSchedule;
 use crate::packet::NetMsg;
 use crate::processor::{AbstractProcessor, ProcStats, UnreachableReport};
 use crate::router::{Router, RouterStats};
+use crate::world::NetWorld;
 
 /// Per-node results of a communication simulation.
 #[derive(Debug, Clone)]
@@ -171,9 +172,10 @@ impl CommResult {
 /// The multi-node communication model, ready to run.
 ///
 /// Component layout in the engine: routers occupy component ids
-/// `0..nodes`, abstract processors `nodes..2*nodes`.
+/// `0..nodes`, abstract processors `nodes..2*nodes` — stored as typed
+/// struct-of-arrays slabs (see `crate::world`), not boxed trait objects.
 pub struct CommSim {
-    engine: Engine<NetMsg>,
+    engine: Engine<NetMsg, NetWorld>,
     cfg: NetworkConfig,
     nodes: u32,
 }
@@ -238,41 +240,34 @@ impl CommSim {
             cfg.topology.label(),
             n
         );
-        let mut engine: Engine<NetMsg> = Engine::new();
-        if let Some(adapter) = probe.engine_adapter() {
-            engine.set_probe(adapter);
-        }
-        // One id table and one op slice per node, shared by handle — the
-        // components never mutate either, so no per-component copies.
-        let router_ids: Arc<[CompId]> = (0..n as usize).collect();
-        let proc_ids: Vec<CompId> = (n as usize..2 * n as usize).collect();
+        // Arena layout (DESIGN.md §15): router of node `i` is component
+        // `i`, its processor is component `n + i`. Components address each
+        // other by that arithmetic — no id tables.
+        let mut routers = Vec::with_capacity(n as usize);
+        let mut procs = Vec::with_capacity(n as usize);
         for node in 0..n {
-            engine.add_component(
-                format!("router{node}"),
+            routers.push(
                 Router::new(
                     node,
                     cfg.topology,
                     cfg.link,
                     cfg.router,
-                    proc_ids[node as usize],
-                    Arc::clone(&router_ids),
+                    (n + node) as CompId,
                 )
                 .with_probe(probe.clone())
                 .with_faults(faults.clone()),
             );
         }
         for node in 0..n {
-            engine.add_component(
-                format!("proc{node}"),
-                AbstractProcessor::new(
-                    node,
-                    traces.trace(node).shared_ops(),
-                    router_ids[node as usize],
-                    cfg,
-                )
-                .with_probe(probe.clone())
-                .with_faults(faults.clone()),
+            procs.push(
+                AbstractProcessor::new(node, traces.trace(node).shared_ops(), node as CompId, cfg)
+                    .with_probe(probe.clone())
+                    .with_faults(faults.clone()),
             );
+        }
+        let mut engine = Engine::with_world(NetWorld::new(n, 0, routers, procs));
+        if let Some(adapter) = probe.engine_adapter() {
+            engine.set_probe(adapter);
         }
         if let Some(f) = &faults {
             // Post the scripted fault events before the run, node by node
@@ -328,20 +323,13 @@ impl CommSim {
 
     fn collect(&self) -> CommResult {
         let n = self.nodes;
+        let world = self.engine.world();
         let mut nodes = Vec::with_capacity(n as usize);
         for node in 0..n {
-            let router = self
-                .engine
-                .component::<Router>(node as usize)
-                .expect("router component");
-            let proc = self
-                .engine
-                .component::<AbstractProcessor>((n + node) as usize)
-                .expect("processor component");
             nodes.push(NodeCommStats {
                 node,
-                proc: proc.stats.clone(),
-                router: router.stats.clone(),
+                proc: world.proc(node).stats.clone(),
+                router: world.router(node).snapshot_stats(),
             });
         }
         // "Unfinished" only means "deadlocked" once no event can ever

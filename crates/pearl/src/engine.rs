@@ -126,6 +126,59 @@ impl<M> Ctx<'_, M> {
     }
 }
 
+/// Storage and dispatch for a simulation's components.
+///
+/// The engine is generic over how components are stored. [`BoxWorld`] (the
+/// default) keeps boxed trait objects, so any mix of `Component` types
+/// composes freely. A model can instead supply its own struct-of-arrays
+/// world — one typed slab per component kind, statically dispatched by id
+/// range — for hot paths where cache locality and devirtualised calls
+/// matter (the network model does this; see DESIGN.md §15).
+///
+/// Component ids are dense indices into the world. `count()` fixes the id
+/// space: the engine sizes its per-component push counters (the
+/// deterministic tie-break, see [`EventKey`]) from it, and `post` bounds-
+/// checks against it. A sharded world may *own* only a sub-range of the id
+/// space as long as `count()` still reports the full logical size — ids it
+/// does not own must never be delivered to it.
+pub trait World<M> {
+    /// Size of the component id space (ids are `0..count()`).
+    fn count(&self) -> usize;
+    /// Run component `id`'s init hook. Called once per id, in id order.
+    fn init(&mut self, id: CompId, ctx: &mut Ctx<'_, M>);
+    /// Deliver one event to component `id`.
+    fn handle(&mut self, id: CompId, ev: Event<M>, ctx: &mut Ctx<'_, M>);
+}
+
+/// The default [`World`]: boxed trait objects, one heap allocation per
+/// component, dynamic dispatch per delivery.
+pub struct BoxWorld<M: 'static> {
+    comps: Vec<Box<dyn Component<M>>>,
+    names: Vec<String>,
+}
+
+impl<M> Default for BoxWorld<M> {
+    fn default() -> Self {
+        BoxWorld {
+            comps: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+}
+
+impl<M: 'static> World<M> for BoxWorld<M> {
+    fn count(&self) -> usize {
+        self.comps.len()
+    }
+    fn init(&mut self, id: CompId, ctx: &mut Ctx<'_, M>) {
+        self.comps[id].init(ctx)
+    }
+    #[inline]
+    fn handle(&mut self, id: CompId, ev: Event<M>, ctx: &mut Ctx<'_, M>) {
+        self.comps[id].handle(ev, ctx)
+    }
+}
+
 /// Why [`Engine::run`] (or a bounded variant) returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunResult {
@@ -143,15 +196,16 @@ pub enum RunResult {
 ///
 /// Generic over the message type `M`, so each subsystem (memory model,
 /// network model) defines its own closed message enum and gets static
-/// dispatch on payload matching while components are dynamically dispatched.
-pub struct Engine<M: 'static> {
+/// dispatch on payload matching, and over the component storage `W` (see
+/// [`World`]): [`BoxWorld`] by default, or a model-supplied arena of typed
+/// slabs for statically-dispatched hot paths.
+pub struct Engine<M: 'static, W: World<M> = BoxWorld<M>> {
     now: Time,
     queue: EventQueue<QueuedEvent<M>>,
-    // A handler receives `&mut self` plus a `Ctx` borrowing `queue` and
-    // `stop_requested` — disjoint fields, so no component needs to be
-    // moved out of the vector while it runs.
-    components: Vec<Box<dyn Component<M>>>,
-    names: Vec<String>,
+    // Dispatch goes through the world. A handler receives `&mut` its own
+    // state plus a `Ctx` borrowing `queue`, `stop_requested` and
+    // `key_counters` — disjoint fields, so nothing is moved while it runs.
+    world: W,
     // Per-component push counters feeding the deterministic tie-break key
     // (see `EventKey`); indexed by component id. `post` consumes the
     // counter of the `src` it is attributed to.
@@ -174,18 +228,7 @@ impl<M: 'static> Default for Engine<M> {
 impl<M: 'static> Engine<M> {
     /// Create an engine at time zero with no components.
     pub fn new() -> Self {
-        Engine {
-            now: Time::ZERO,
-            queue: EventQueue::new(),
-            components: Vec::new(),
-            names: Vec::new(),
-            key_counters: Vec::new(),
-            events_processed: 0,
-            stop_requested: false,
-            initialized: false,
-            probe: None,
-            last_ladder: LadderStats::default(),
-        }
+        Engine::with_world(BoxWorld::default())
     }
 
     /// Register a component; returns its id. Ids are dense and assigned in
@@ -194,21 +237,58 @@ impl<M: 'static> Engine<M> {
     where
         C: Component<M> + 'static,
     {
-        let id = self.components.len();
-        self.components.push(Box::new(comp));
-        self.names.push(name.into());
+        let id = self.world.comps.len();
+        self.world.comps.push(Box::new(comp));
+        self.world.names.push(name.into());
         self.key_counters.push(0);
         id
     }
 
-    /// Number of registered components.
-    pub fn component_count(&self) -> usize {
-        self.components.len()
-    }
-
     /// The registered name of a component.
     pub fn component_name(&self, id: CompId) -> &str {
-        &self.names[id]
+        &self.world.names[id]
+    }
+
+    /// Borrow a component's concrete state (for inspection between runs).
+    ///
+    /// Returns `None` if the component is not of type `C`.
+    pub fn component<C: 'static>(&self, id: CompId) -> Option<&C> {
+        let any: &dyn std::any::Any = self.world.comps[id].as_ref();
+        any.downcast_ref::<C>()
+    }
+}
+
+impl<M: 'static, W: World<M>> Engine<M, W> {
+    /// Create an engine at time zero over a fully-built world. The
+    /// component id space is fixed by `world.count()`.
+    pub fn with_world(world: W) -> Self {
+        let key_counters = vec![0; world.count()];
+        Engine {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            world,
+            key_counters,
+            events_processed: 0,
+            stop_requested: false,
+            initialized: false,
+            probe: None,
+            last_ladder: LadderStats::default(),
+        }
+    }
+
+    /// Borrow the component storage (for inspection between runs).
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutably borrow the component storage.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Number of registered components (the size of the id space).
+    pub fn component_count(&self) -> usize {
+        self.world.count()
     }
 
     /// Current virtual time.
@@ -236,8 +316,8 @@ impl<M: 'static> Engine<M> {
     /// component sends.
     pub fn post(&mut self, time: Time, src: CompId, dst: CompId, payload: M) {
         assert!(time >= self.now, "cannot post an event in the past");
-        assert!(dst < self.components.len(), "unknown destination component");
-        assert!(src < self.components.len(), "unknown source component");
+        assert!(dst < self.world.count(), "unknown destination component");
+        assert!(src < self.world.count(), "unknown source component");
         let seq = self.key_counters[src];
         self.key_counters[src] = seq + 1;
         let key = EventKey {
@@ -255,7 +335,7 @@ impl<M: 'static> Engine<M> {
     /// where the single-threaded run would have placed it.
     pub fn post_keyed(&mut self, time: Time, key: EventKey, src: CompId, dst: CompId, payload: M) {
         assert!(time >= self.now, "cannot post an event in the past");
-        assert!(dst < self.components.len(), "unknown destination component");
+        assert!(dst < self.world.count(), "unknown destination component");
         self.queue
             .push_keyed(time, key, QueuedEvent { src, dst, payload });
     }
@@ -272,14 +352,6 @@ impl<M: 'static> Engine<M> {
     /// [`Engine::run`] and friends call this implicitly.
     pub fn prime(&mut self) {
         self.ensure_init();
-    }
-
-    /// Borrow a component's concrete state (for inspection between runs).
-    ///
-    /// Returns `None` if the component is not of type `C`.
-    pub fn component<C: 'static>(&self, id: CompId) -> Option<&C> {
-        let any: &dyn std::any::Any = self.components[id].as_ref();
-        any.downcast_ref::<C>()
     }
 
     /// Attach an instrumentation probe (replacing any previous one). The
@@ -319,7 +391,7 @@ impl<M: 'static> Engine<M> {
             return;
         }
         self.initialized = true;
-        for (id, comp) in self.components.iter_mut().enumerate() {
+        for id in 0..self.world.count() {
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: id,
@@ -327,7 +399,7 @@ impl<M: 'static> Engine<M> {
                 stop_requested: &mut self.stop_requested,
                 key_counters: &mut self.key_counters,
             };
-            comp.init(&mut ctx);
+            self.world.init(id, &mut ctx);
         }
     }
 
@@ -351,7 +423,8 @@ impl<M: 'static> Engine<M> {
             stop_requested: &mut self.stop_requested,
             key_counters: &mut self.key_counters,
         };
-        self.components[qe.dst].handle(
+        self.world.handle(
+            qe.dst,
             Event {
                 time,
                 src: qe.src,
@@ -438,7 +511,8 @@ impl<M: 'static> Engine<M> {
                         stop_requested: &mut self.stop_requested,
                         key_counters: &mut self.key_counters,
                     };
-                    self.components[dst].handle(
+                    self.world.handle(
+                        dst,
                         Event {
                             time: t,
                             src: qe.src,

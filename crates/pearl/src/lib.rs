@@ -47,13 +47,15 @@
 //! ```
 
 pub mod engine;
+pub mod hash;
 pub mod probe;
 pub mod queue;
 pub mod shard;
 pub mod sync;
 pub mod time;
 
-pub use engine::{CompId, Component, Ctx, Engine, Event, RunResult};
+pub use engine::{BoxWorld, CompId, Component, Ctx, Engine, Event, RunResult, World};
+pub use hash::{FastHashMap, FastHashSet};
 pub use probe::{EngineProbe, LadderStats};
 pub use queue::{EventKey, EventQueue};
 pub use shard::WindowBarrier;

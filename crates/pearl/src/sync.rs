@@ -7,7 +7,8 @@
 //! top of the event kernel; the architecture models use them to implement
 //! blocking `send`/`recv` message passing and request/reply transactions.
 
-use std::collections::{HashMap, VecDeque};
+use crate::hash::FastHashMap;
+use std::collections::VecDeque;
 use std::hash::Hash;
 
 /// Generates unique correlation tokens for request/reply transactions.
@@ -41,8 +42,8 @@ impl TokenGen {
 /// message-passing: `(source, tag)` or just `source`).
 #[derive(Debug)]
 pub struct MatchBox<K, A, W> {
-    arrivals: HashMap<K, VecDeque<A>>,
-    waiters: HashMap<K, VecDeque<W>>,
+    arrivals: FastHashMap<K, VecDeque<A>>,
+    waiters: FastHashMap<K, VecDeque<W>>,
 }
 
 impl<K: Eq + Hash + Clone, A, W> Default for MatchBox<K, A, W> {
@@ -55,8 +56,8 @@ impl<K: Eq + Hash + Clone, A, W> MatchBox<K, A, W> {
     /// An empty matcher.
     pub fn new() -> Self {
         MatchBox {
-            arrivals: HashMap::new(),
-            waiters: HashMap::new(),
+            arrivals: FastHashMap::default(),
+            waiters: FastHashMap::default(),
         }
     }
 
@@ -130,7 +131,7 @@ impl<K: Eq + Hash + Clone, A, W> MatchBox<K, A, W> {
 #[derive(Debug)]
 pub struct Pending<V> {
     tokens: TokenGen,
-    inflight: HashMap<u64, V>,
+    inflight: FastHashMap<u64, V>,
 }
 
 impl<V> Default for Pending<V> {
@@ -144,7 +145,7 @@ impl<V> Pending<V> {
     pub fn new() -> Self {
         Pending {
             tokens: TokenGen::new(),
-            inflight: HashMap::new(),
+            inflight: FastHashMap::default(),
         }
     }
 
@@ -156,11 +157,15 @@ impl<V> Pending<V> {
     }
 
     /// Complete the transaction `token`, returning its stored state.
-    /// Panics if the token is unknown (a model protocol error).
-    pub fn complete(&mut self, token: u64) -> V {
-        self.inflight
-            .remove(&token)
-            .expect("reply for unknown request token")
+    ///
+    /// Returns `None` if the token is unknown — a duplicate reply, or a
+    /// reply arriving after the requester timed out and gave up. Both are
+    /// legal under lossy transports (a retry can race its own late ack),
+    /// so the caller decides whether an unknown token is a protocol error
+    /// or simply ignorable; a table helper must not crash the simulation.
+    #[must_use = "an unknown token may be a protocol error the model should handle"]
+    pub fn complete(&mut self, token: u64) -> Option<V> {
+        self.inflight.remove(&token)
     }
 
     /// Peek at an outstanding transaction's state.
@@ -261,15 +266,21 @@ mod tests {
         assert_ne!(t1, t2);
         assert_eq!(p.len(), 2);
         assert_eq!(p.get(t1).map(String::as_str), Some("first"));
-        assert_eq!(p.complete(t2), "second");
-        assert_eq!(p.complete(t1), "first");
+        assert_eq!(p.complete(t2).as_deref(), Some("second"));
+        assert_eq!(p.complete(t1).as_deref(), Some("first"));
         assert!(p.is_empty());
     }
 
+    /// A duplicate or post-timeout reply used to panic the whole
+    /// simulation; it must instead surface as `None` so the model can
+    /// treat it as a protocol error (or ignore a late re-ack).
     #[test]
-    #[should_panic(expected = "unknown request token")]
-    fn completing_unknown_token_panics() {
-        let mut p: Pending<()> = Pending::new();
-        p.complete(42);
+    fn completing_unknown_token_returns_none() {
+        let mut p: Pending<&str> = Pending::new();
+        assert_eq!(p.complete(42), None, "never-issued token");
+        let t = p.issue("state");
+        assert_eq!(p.complete(t), Some("state"));
+        assert_eq!(p.complete(t), None, "duplicate reply for the same token");
+        assert!(p.is_empty());
     }
 }

@@ -137,9 +137,11 @@ impl Histogram {
 
     /// Approximate percentile `p` in `[0, 100]`: the lower bound of the
     /// bucket containing the p-th sample. Exact for min/max via the tracked
-    /// extrema.
+    /// extrema. Out-of-range `p` clamps to the extrema; a NaN `p` is a
+    /// caller bug and yields `None` (it would otherwise cast to rank 0 and
+    /// silently masquerade as the minimum).
     pub fn percentile(&self, p: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || p.is_nan() {
             return None;
         }
         if p <= 0.0 {
@@ -241,6 +243,30 @@ mod tests {
         // The 50th sample of 0..100 is value 49, in the [40,50) bucket.
         assert_eq!(h.percentile(50.0), Some(40));
         assert_eq!(h.percentile(95.0), Some(90));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty: every p — including the extremes and garbage — is None.
+        let empty = Histogram::log2();
+        for p in [f64::NAN, -1.0, 0.0, 50.0, 100.0, 101.0] {
+            assert_eq!(empty.percentile(p), None);
+        }
+
+        let mut h = Histogram::linear(0, 10, 10);
+        for v in [3u64, 42, 97] {
+            h.record(v);
+        }
+        // The extremes are exact (tracked extrema, not bucket bounds).
+        assert_eq!(h.percentile(0.0), Some(3));
+        assert_eq!(h.percentile(100.0), Some(97));
+        // Out-of-range p clamps to the extrema rather than panicking.
+        assert_eq!(h.percentile(-5.0), Some(3));
+        assert_eq!(h.percentile(250.0), Some(97));
+        assert_eq!(h.percentile(f64::NEG_INFINITY), Some(3));
+        assert_eq!(h.percentile(f64::INFINITY), Some(97));
+        // NaN is a caller bug, reported as None — not silently the min.
+        assert_eq!(h.percentile(f64::NAN), None);
     }
 
     #[test]

@@ -47,6 +47,21 @@ for mode in detailed task; do
     done
 done
 
+echo "==> cli: sim output matches the pre-migration golden snapshot"
+# The checked-in snapshot predates the arena-world migration, so this diff
+# is a literal before/after smoke test of the storage refactor: any drift
+# in the simulated results shows up as a byte diff here.
+for shards in 1 3; do
+    cargo run --release -p mermaid --bin mermaid-cli -- sim --machine test \
+        --topology mesh:4x4 --mode task --phases 2 --pattern all2all \
+        --seed 5 --shards "$shards" > "$serial_out"
+    diff -u tests/golden/sim_task_healthy.txt "$serial_out" \
+        || { echo "sim output drifted from golden snapshot (shards=$shards)" >&2; exit 1; }
+done
+
+echo "==> bench: comm-heavy hot path (quick mode)"
+MERMAID_BENCH_QUICK=1 cargo bench -p mermaid-bench --bench arena_hot_path
+
 echo "==> tier-1: fault-injection conformance suite"
 cargo test -q --test fault_injection
 
