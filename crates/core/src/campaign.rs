@@ -45,10 +45,10 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use mermaid_network::{FaultSchedule, RetryParams};
+use mermaid_network::{run_checkpointed, CheckpointOpts, FaultSchedule, RetryParams, Snapshot};
 use mermaid_stats::csv::csv_line;
 use mermaid_stats::DeliveryStats;
-use pearl::Time;
+use pearl::{Duration, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -638,6 +638,93 @@ pub fn execute_run(cfg: &RunConfig) -> CampaignRecord {
 /// [`AttrHeadline`] is filled in. The predicted results are identical
 /// either way (the sink only observes).
 pub fn execute_run_opts(cfg: &RunConfig, attribution: bool) -> CampaignRecord {
+    execute_run_ckpt(cfg, attribution, None).expect("a checkpoint-free run performs no fallible IO")
+}
+
+/// One run's rolling-checkpoint plan: the snapshot lives at `path`,
+/// refreshed every `every_ps` simulated picoseconds, deleted when the
+/// run completes unless `keep` is set.
+struct CkptPlan<'a> {
+    path: &'a Path,
+    every_ps: u64,
+    keep: bool,
+}
+
+/// Load a run's rolling checkpoint if one is present and usable.
+/// Anything unusable — a torn file, a schema or config-hash mismatch,
+/// an attribution-less snapshot for an attribution campaign — is
+/// reported to stderr, removed, and the run starts fresh: a checkpoint
+/// is an optimisation, never a correctness requirement, and the restored
+/// record is byte-identical to the from-scratch one either way.
+fn load_usable_checkpoint(path: &Path, hash: &str, attribution: bool) -> Option<Snapshot> {
+    if !path.is_file() {
+        return None;
+    }
+    let discard = |why: String| {
+        eprintln!(
+            "campaign: ignoring checkpoint {}: {why} (restarting the run from scratch)",
+            path.display()
+        );
+        std::fs::remove_file(path).ok();
+        None
+    };
+    let snap = match Snapshot::read_file(path) {
+        Ok(s) => s,
+        Err(e) => return discard(e.to_string()),
+    };
+    if let Err(e) = snap.verify_config(hash) {
+        return discard(e.to_string());
+    }
+    if attribution && snap.attribution.is_none() {
+        return discard("it was captured without attribution, which this campaign records".into());
+    }
+    Some(snap)
+}
+
+/// Capture the simulation state of `cfg`'s run into `path` at cadence
+/// `every_ps`, keeping the final snapshot instead of deleting it on
+/// completion — exactly the file a `--checkpoint` campaign killed
+/// between that run's last snapshot refresh and its completion would
+/// leave behind. Test and rehearsal support for mid-run resume.
+pub fn capture_run_checkpoint(
+    cfg: &RunConfig,
+    attribution: bool,
+    every_ps: u64,
+    path: &Path,
+) -> Result<(), String> {
+    if path.is_file() {
+        std::fs::remove_file(path)
+            .map_err(|e| format!("cannot remove stale checkpoint {}: {e}", path.display()))?;
+    }
+    execute_run_ckpt(
+        cfg,
+        attribution,
+        Some(&CkptPlan {
+            path,
+            every_ps,
+            keep: true,
+        }),
+    )?;
+    if !path.is_file() {
+        return Err(format!(
+            "the run finished before {every_ps} ps — no checkpoint was captured \
+             (use a shorter cadence)"
+        ));
+    }
+    Ok(())
+}
+
+/// [`execute_run_opts`] with an optional rolling checkpoint: task-mode
+/// runs resume from a usable snapshot at `plan.path` and refresh it at
+/// the plan's cadence. Detailed-mode runs ignore the plan (the
+/// computational model in front of the network is not snapshotted) and
+/// simply re-execute from scratch on resume. Only checkpoint IO and
+/// snapshot restoration can fail here.
+fn execute_run_ckpt(
+    cfg: &RunConfig,
+    attribution: bool,
+    ckpt: Option<&CkptPlan<'_>>,
+) -> Result<CampaignRecord, String> {
     let topo = parse_topology(&cfg.topo).expect("validated at expansion");
     let machine = parse_machine(&cfg.machine, topo).expect("validated at expansion");
     let pattern = parse_pattern(&cfg.pattern).expect("validated at expansion");
@@ -683,12 +770,41 @@ pub fn execute_run_opts(cfg: &RunConfig, attribution: bool) -> CampaignRecord {
         }
         _ => {
             let traces = gen.generate_task_level();
-            let r = TaskLevelSim::new(machine.network)
-                .with_probe(probe.clone())
-                .with_shards(cfg.shards)
-                .with_faults(faults)
-                .run(&traces);
-            (r.predicted_time, r.comm, r.ops_simulated)
+            match ckpt {
+                Some(plan) => {
+                    let hash = cfg.config_hash();
+                    let restored = load_usable_checkpoint(plan.path, &hash, attribution);
+                    let write = |snap: &Snapshot| snap.write_file(plan.path);
+                    let ck = CheckpointOpts {
+                        every: Duration::from_ps(plan.every_ps),
+                        config_hash: hash.clone(),
+                        write: &write,
+                    };
+                    let (comm, _) = run_checkpointed(
+                        machine.network,
+                        &traces,
+                        probe.clone(),
+                        cfg.shards,
+                        faults,
+                        restored.as_ref(),
+                        Some(&ck),
+                    )
+                    .map_err(|e| format!("campaign run {hash}: {e}"))?;
+                    if !plan.keep {
+                        // The run completed; its rolling checkpoint is spent.
+                        std::fs::remove_file(plan.path).ok();
+                    }
+                    (comm.finish, comm, traces.total_ops() as u64)
+                }
+                None => {
+                    let r = TaskLevelSim::new(machine.network)
+                        .with_probe(probe.clone())
+                        .with_shards(cfg.shards)
+                        .with_faults(faults)
+                        .run(&traces);
+                    (r.predicted_time, r.comm, r.ops_simulated)
+                }
+            }
         }
     };
     let attribution = probe.attribution_report(predicted.as_ps()).map(|r| {
@@ -701,7 +817,7 @@ pub fn execute_run_opts(cfg: &RunConfig, attribution: bool) -> CampaignRecord {
     });
 
     let pct = |p: f64| comm.msg_latency.percentile(p).unwrap_or(0);
-    CampaignRecord {
+    Ok(CampaignRecord {
         config_hash: cfg.config_hash(),
         config: cfg.clone(),
         predicted_ps: predicted.as_ps(),
@@ -716,7 +832,7 @@ pub fn execute_run_opts(cfg: &RunConfig, attribution: bool) -> CampaignRecord {
         latency_max_ps: comm.msg_latency.max().unwrap_or(0),
         delivery: comm.delivery(),
         attribution,
-    }
+    })
 }
 
 /// Load the records already present in a campaign's JSONL stream.
@@ -772,6 +888,26 @@ pub struct CampaignOptions {
     /// its [`AttrHeadline`]. Runs recorded without attribution keep their
     /// empty headline until re-run (records are resumed, not recomputed).
     pub attribution: bool,
+    /// Mid-run checkpoint cadence in simulated picoseconds (`campaign
+    /// --checkpoint <ps>`): every task-mode run keeps a rolling snapshot
+    /// at `<out>/checkpoints/<config_hash>.snap`, refreshed at this
+    /// cadence and deleted when the run completes. A killed campaign
+    /// resumes unfinished runs from their snapshot — byte-identically to
+    /// never having been killed. Detailed-mode runs re-execute from
+    /// scratch (the computational model is not snapshotted). `None`
+    /// disables mid-run checkpointing.
+    pub checkpoint_every_ps: Option<u64>,
+}
+
+/// Directory holding a campaign's per-run rolling checkpoints.
+pub fn checkpoints_dir(out_dir: &Path) -> PathBuf {
+    out_dir.join("checkpoints")
+}
+
+/// The rolling-checkpoint file of one campaign run, keyed — like its
+/// JSONL record — by the stable config hash.
+pub fn checkpoint_path(out_dir: &Path, cfg: &RunConfig) -> PathBuf {
+    checkpoints_dir(out_dir).join(format!("{}.snap", cfg.config_hash()))
 }
 
 /// Summary of a completed (or budget-limited) campaign invocation.
@@ -802,6 +938,11 @@ pub fn run_campaign(
     let expanded = all.len();
     std::fs::create_dir_all(&opts.out_dir)
         .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
+    if opts.checkpoint_every_ps.is_some() {
+        let dir = checkpoints_dir(&opts.out_dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
     let runs_path = opts.out_dir.join(RUNS_FILE);
     let csv_path = opts.out_dir.join(CSV_FILE);
 
@@ -852,13 +993,38 @@ pub fn run_campaign(
         let total = todo.len();
         let progress = opts.progress;
         let attribution = opts.attribution;
-        let worker = move |cfg: &RunConfig| execute_run_opts(cfg, attribution);
+        let ckpt_every = opts.checkpoint_every_ps;
+        let out_dir = opts.out_dir.clone();
+        let worker = move |cfg: &RunConfig| -> Result<CampaignRecord, String> {
+            match ckpt_every {
+                Some(every_ps) => {
+                    let path = checkpoint_path(&out_dir, cfg);
+                    execute_run_ckpt(
+                        cfg,
+                        attribution,
+                        Some(&CkptPlan {
+                            path: &path,
+                            every_ps,
+                            keep: false,
+                        }),
+                    )
+                }
+                None => Ok(execute_run_opts(cfg, attribution)),
+            }
+        };
         let new_records = sweep::parallel_sweep_streaming(todo, opts.jobs, worker, |_, rec| {
             let mut guard = sink.lock().unwrap();
             let (file, done, err) = &mut *guard;
             if err.is_some() {
                 return;
             }
+            let rec = match rec {
+                Ok(r) => r,
+                Err(e) => {
+                    *err = Some(e.clone());
+                    return;
+                }
+            };
             let line = match serde_json::to_string(rec) {
                 Ok(l) => l,
                 Err(e) => {
@@ -888,7 +1054,7 @@ pub fn run_campaign(
         if let Some(e) = sink.into_inner().unwrap().2 {
             return Err(e);
         }
-        for r in new_records {
+        for r in new_records.into_iter().flatten() {
             by_hash.entry(r.config_hash.clone()).or_insert(r);
         }
     }

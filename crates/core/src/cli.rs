@@ -16,10 +16,11 @@
 //!                      [--shards <N|auto>] [--shard-profile]
 //!                      [--faults <spec|file>] [--fault-seed N]
 //!                      [--trace-out <file>] [--metrics] [--attribution <file>]
+//!                      [--checkpoint-every <ps> --checkpoint-dir <dir>] [--restore <file>]
 //! mermaid-cli analyze [same workload flags as simulate] [--json <file>]
 //! mermaid-cli probe --machine <t805|ppc601|paragon|test> [--topology <spec>]
 //! mermaid-cli campaign <spec|file> --out <dir> [--jobs <N|auto>] [--limit N] [--dry-run]
-//!                      [--attribution]
+//!                      [--attribution] [--checkpoint <ps>]
 //! ```
 //!
 //! `sim` is an alias for `simulate`. `--trace-out` writes a Chrome-trace
@@ -61,8 +62,21 @@
 //! Re-running the same campaign skips every already-recorded run —
 //! interrupt it freely. `--limit N` executes at most N new runs,
 //! `--dry-run` prints the expanded run list without simulating.
+//!
+//! Checkpointing (DESIGN.md §16): `sim --checkpoint-every <ps>
+//! --checkpoint-dir <dir>` snapshots a task-mode run's full simulation
+//! state every `<ps>` simulated picoseconds into versioned
+//! `ckpt-<config-hash>-<time-ps>.snap` files; `sim --restore <file>`
+//! resumes one and produces byte-identical output to the uninterrupted
+//! run (serial and sharded alike). `campaign --checkpoint <ps>` gives
+//! every task-mode run a rolling mid-run checkpoint under
+//! `<out>/checkpoints/`, so a killed campaign resumes long runs from
+//! their last snapshot instead of from scratch.
 
-use mermaid_network::{CommResult, FaultSchedule, RetryParams, Topology};
+use mermaid_network::{
+    run_checkpointed, CheckpointOpts, CommResult, FaultSchedule, RetryParams, Snapshot,
+    SnapshotError, Topology,
+};
 use mermaid_ops::table1;
 use std::sync::Arc;
 
@@ -75,11 +89,12 @@ pub fn usage() -> &'static str {
      mermaid-cli simulate --machine <name> --topology <spec> [--app <mix>] [--pattern <p>] \
      [--phases N] [--ops N] [--seed N] [--mode <detailed|task|direct>] [--watch] \
      [--shards <N|auto>] [--shard-profile] [--faults <spec|file>] [--fault-seed N] \
-     [--trace-out <file>] [--metrics] [--attribution <file>]\n  \
+     [--trace-out <file>] [--metrics] [--attribution <file>] \
+     [--checkpoint-every <ps> --checkpoint-dir <dir>] [--restore <file>]\n  \
      mermaid-cli analyze [same workload flags as simulate] [--json <file>]\n  \
      mermaid-cli probe --machine <name> [--topology <spec>]\n  \
      mermaid-cli campaign <spec|file> --out <dir> [--jobs <N|auto>] [--limit N] [--dry-run] \
-     [--attribution]\n\n\
+     [--attribution] [--checkpoint <ps>]\n\n\
      `sim` is an alias for `simulate`. `analyze` renders the bottleneck-attribution \
      report (latency decomposition, hottest links/routers, utilization heatmap).\n\
      topology specs: ring:8  mesh:4x4  torus:4x4  hypercube:3  full:8  star:8\n\
@@ -110,6 +125,9 @@ struct Opts {
     attribution: Option<String>,
     json: Option<String>,
     shard_profile: bool,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<String>,
+    restore: Option<String>,
 }
 
 /// Parse a `--shards` value: a thread count ≥ 1, or `auto` for one shard
@@ -159,6 +177,75 @@ pub(crate) fn parse_ops(s: &str) -> Result<u64, String> {
     }
 }
 
+/// Parse a checkpoint cadence (`sim --checkpoint-every`, `campaign
+/// --checkpoint`): simulated picoseconds between snapshots. Zero would
+/// checkpoint at every instant; rejected.
+pub(crate) fn parse_checkpoint_cadence(flag: &str, s: &str) -> Result<u64, String> {
+    match s.parse::<u64>() {
+        Ok(0) => Err(format!(
+            "bad {flag} `{s}` (0 ps would checkpoint continuously — \
+             want a cadence in simulated picoseconds >= 1)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "bad {flag} `{s}` (want a cadence in simulated picoseconds)"
+        )),
+    }
+}
+
+/// Canonicalise a `--faults` argument into the campaign grammar's fault
+/// token (`+`-joined clauses, whitespace and comments stripped, or
+/// `none`), so a `sim` run hashes its fault schedule exactly like the
+/// equivalent campaign run would.
+fn canonical_fault_spec(arg: Option<&str>) -> Result<String, String> {
+    let Some(arg) = arg else {
+        return Ok("none".to_string());
+    };
+    let text = if std::path::Path::new(arg).is_file() {
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read fault file {arg}: {e}"))?
+    } else {
+        arg.to_string()
+    };
+    let clauses: Vec<String> = text
+        .split([';', '\n'])
+        .map(|c| {
+            c.split('#')
+                .next()
+                .unwrap_or("")
+                .split_whitespace()
+                .collect::<String>()
+        })
+        .filter(|c| !c.is_empty())
+        .collect();
+    Ok(if clauses.is_empty() {
+        "none".to_string()
+    } else {
+        clauses.join("+")
+    })
+}
+
+/// The campaign-grammar [`crate::campaign::RunConfig`] equivalent of a
+/// `sim --mode task` invocation — the identity a checkpoint binds to.
+/// `shards` is pinned to 1: sharding provably does not change results
+/// (the bit-identity contract of DESIGN.md §11), so a checkpoint captured
+/// serially restores under any `--shards` value, and serial and sharded
+/// captures of the same run produce byte-identical snapshot files.
+fn sim_run_config(o: &Opts) -> Result<crate::campaign::RunConfig, String> {
+    Ok(crate::campaign::RunConfig {
+        machine: o.machine.clone().unwrap_or_else(|| "t805".to_string()),
+        topo: o.topology.clone().unwrap_or_else(|| "ring:8".to_string()),
+        app: o.app.clone().unwrap_or_else(|| "scientific".to_string()),
+        pattern: o.pattern.clone().unwrap_or_else(|| "ring".to_string()),
+        phases: o.phases.unwrap_or(5),
+        ops: o.ops.unwrap_or(5_000),
+        seed: o.seed.unwrap_or(1),
+        mode: "task".to_string(),
+        shards: 1,
+        faults: canonical_fault_spec(o.faults.as_deref())?,
+        fault_seed: o.fault_seed.unwrap_or(1),
+    })
+}
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts::default();
     let mut seen = std::collections::BTreeSet::new();
@@ -201,6 +288,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--attribution" => o.attribution = Some(value("--attribution")?),
             "--json" => o.json = Some(value("--json")?),
             "--shard-profile" => o.shard_profile = true,
+            "--checkpoint-every" => {
+                o.checkpoint_every = Some(parse_checkpoint_cadence(
+                    "--checkpoint-every",
+                    &value("--checkpoint-every")?,
+                )?)
+            }
+            "--checkpoint-dir" => o.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--restore" => o.restore = Some(value("--restore")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -346,6 +441,71 @@ fn fault_summary(comm: &CommResult) -> String {
     s
 }
 
+/// Run a task-level simulation through the checkpoint/restore entry
+/// point: optionally seeded from a `--restore` snapshot, optionally
+/// capturing one every `--checkpoint-every` simulated picoseconds into
+/// `--checkpoint-dir` as `ckpt-<config-hash>-<time-ps>.snap` (the time
+/// is zero-padded so directory listings sort in capture order). Returns
+/// the result plus the number of checkpoints written.
+///
+/// A restored run prints exactly what the uninterrupted run prints — no
+/// banner — so `diff` against a straight-through invocation is the
+/// simplest possible conformance check.
+fn run_task_checkpointed(
+    o: &Opts,
+    network: NetworkConfig,
+    traces: &TraceSet,
+    probe: &ProbeHandle,
+    shards: usize,
+    faults: Option<Arc<FaultSchedule>>,
+) -> Result<(crate::TaskLevelResult, usize), String> {
+    let hash = sim_run_config(o)?.config_hash();
+    let restored = match &o.restore {
+        Some(path) => {
+            let snap =
+                Snapshot::read_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+            snap.verify_config(&hash).map_err(|e| e.to_string())?;
+            Some(snap)
+        }
+        None => None,
+    };
+    let written = std::sync::Mutex::new(0usize);
+    let write_snap = |snap: &Snapshot| -> Result<(), SnapshotError> {
+        let dir = o
+            .checkpoint_dir
+            .as_deref()
+            .expect("--checkpoint-every is gated on --checkpoint-dir");
+        let path =
+            std::path::Path::new(dir).join(format!("ckpt-{hash}-{:020}.snap", snap.time.as_ps()));
+        snap.write_file(&path)?;
+        *written.lock().unwrap() += 1;
+        Ok(())
+    };
+    let ck = o.checkpoint_every.map(|every| CheckpointOpts {
+        every: pearl::Duration::from_ps(every),
+        config_hash: hash.clone(),
+        write: &write_snap,
+    });
+    let (comm, shard_profile) = run_checkpointed(
+        network,
+        traces,
+        probe.clone(),
+        shards,
+        faults,
+        restored.as_ref(),
+        ck.as_ref(),
+    )
+    .map_err(|e| e.to_string())?;
+    let r = crate::TaskLevelResult {
+        predicted_time: comm.finish,
+        comm,
+        ops_simulated: traces.total_ops() as u64,
+        shard_profile,
+    };
+    let n = *written.lock().unwrap();
+    Ok((r, n))
+}
+
 /// Run the `campaign` subcommand: resolve the spec (inline or file, the
 /// file winning when it exists — same convention as `--faults`), parse
 /// the campaign-specific flags, and drive [`crate::campaign::run_campaign`].
@@ -366,6 +526,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
     let mut limit: Option<usize> = None;
     let mut dry_run = false;
     let mut attribution = false;
+    let mut checkpoint_every_ps: Option<u64> = None;
     let mut seen = std::collections::BTreeSet::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -401,6 +562,12 @@ fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
             }
             "--dry-run" => dry_run = true,
             "--attribution" => attribution = true,
+            "--checkpoint" => {
+                checkpoint_every_ps = Some(parse_checkpoint_cadence(
+                    "--checkpoint",
+                    &value("--checkpoint")?,
+                )?)
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -422,6 +589,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
             limit,
             progress: true,
             attribution,
+            checkpoint_every_ps,
         },
     )?;
     Ok(outcome.report)
@@ -496,6 +664,35 @@ pub fn run(args: &[String]) -> Result<String, String> {
             }
             if o.shard_profile && shards <= 1 {
                 return Err("--shard-profile needs --shards with at least 2 workers".into());
+            }
+            let checkpointing =
+                o.checkpoint_every.is_some() || o.checkpoint_dir.is_some() || o.restore.is_some();
+            if checkpointing && mode != "task" {
+                return Err(
+                    "--checkpoint-every/--checkpoint-dir/--restore need --mode task \
+                     (snapshots cover the communication model; see DESIGN.md section 16)"
+                        .into(),
+                );
+            }
+            if checkpointing && o.watch {
+                return Err(
+                    "checkpoint flags cannot be combined with --watch (which runs the \
+                     single-threaded observer loop)"
+                        .into(),
+                );
+            }
+            if o.checkpoint_every.is_some() != o.checkpoint_dir.is_some() {
+                return Err("--checkpoint-every and --checkpoint-dir go together \
+                            (a cadence needs a destination, and vice versa)"
+                    .into());
+            }
+            if o.restore.is_some() && (o.trace_out.is_some() || o.metrics) {
+                return Err(
+                    "--restore cannot rebuild --trace-out/--metrics streams (they would \
+                     only cover events after the checkpoint instant); --attribution is \
+                     supported because its state is carried in the snapshot"
+                        .into(),
+                );
             }
             if o.fault_seed.is_some() && o.faults.is_none() {
                 return Err("--fault-seed needs --faults".into());
@@ -585,11 +782,24 @@ pub fn run(args: &[String]) -> Result<String, String> {
                             mermaid_stats::chart::sparkline(&run.messages, 40)
                         ));
                     } else {
-                        let r = TaskLevelSim::new(machine.network)
-                            .with_probe(probe.clone())
-                            .with_shards(shards)
-                            .with_faults(faults.clone())
-                            .run(&traces);
+                        let (r, ckpts_written) =
+                            if o.restore.is_some() || o.checkpoint_every.is_some() {
+                                run_task_checkpointed(
+                                    &o,
+                                    machine.network,
+                                    &traces,
+                                    &probe,
+                                    shards,
+                                    faults.clone(),
+                                )?
+                            } else {
+                                let r = TaskLevelSim::new(machine.network)
+                                    .with_probe(probe.clone())
+                                    .with_shards(shards)
+                                    .with_faults(faults.clone())
+                                    .run(&traces);
+                                (r, 0)
+                            };
                         finish_ps = r.predicted_time.as_ps();
                         out.push_str(&format!("predicted time: {}\n\n", r.predicted_time));
                         out.push_str(&report::task_level_table(&r).render());
@@ -598,6 +808,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         }
                         if o.shard_profile {
                             out.push_str(&shard_profile_section(r.shard_profile.as_ref()));
+                        }
+                        if let Some(dir) = o.checkpoint_dir.as_deref() {
+                            out.push_str(&format!(
+                                "checkpoints written: {ckpts_written} (ckpt-*.snap in {dir})\n"
+                            ));
                         }
                     }
                 }
@@ -1108,6 +1323,160 @@ mod tests {
         assert!(err.contains("--phases"), "{err}");
         let err = run(&s(&["sim", "--machine", "test", "--ops", "0"])).unwrap_err();
         assert!(err.contains("--ops"), "{err}");
+    }
+
+    /// Base args of a valid task-mode run for the checkpoint gating tests.
+    fn task_args(extra: &[&str]) -> Vec<String> {
+        let mut v = s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "ring:4",
+            "--mode",
+            "task",
+            "--phases",
+            "1",
+        ]);
+        v.extend(s(extra));
+        v
+    }
+
+    #[test]
+    fn checkpoint_cadence_rejects_zero_and_junk() {
+        let err = parse_checkpoint_cadence("--checkpoint-every", "0").unwrap_err();
+        assert!(err.contains("--checkpoint-every"), "{err}");
+        assert!(err.contains("continuously"), "{err}");
+        let err = parse_checkpoint_cadence("--checkpoint", "soon").unwrap_err();
+        assert!(err.contains("--checkpoint `soon`"), "{err}");
+        assert_eq!(
+            parse_checkpoint_cadence("--checkpoint-every", "500000").unwrap(),
+            500_000
+        );
+        let err = run(&task_args(&[
+            "--checkpoint-every",
+            "0",
+            "--checkpoint-dir",
+            "x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--checkpoint-every"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_flags_need_task_mode_and_each_other() {
+        for args in [
+            vec!["sim", "--mode", "detailed", "--restore", "x.snap"],
+            vec![
+                "sim",
+                "--mode",
+                "direct",
+                "--checkpoint-every",
+                "1000",
+                "--checkpoint-dir",
+                "d",
+            ],
+        ] {
+            let err = run(&s(&args)).unwrap_err();
+            assert!(err.contains("--mode task"), "{err}");
+        }
+        let err = run(&task_args(&["--checkpoint-every", "1000"])).unwrap_err();
+        assert!(err.contains("go together"), "{err}");
+        let err = run(&task_args(&["--checkpoint-dir", "d"])).unwrap_err();
+        assert!(err.contains("go together"), "{err}");
+        let err = run(&task_args(&["--watch", "--restore", "x.snap"])).unwrap_err();
+        assert!(err.contains("--watch"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_streaming_sinks_but_not_attribution() {
+        let err = run(&task_args(&["--restore", "x.snap", "--metrics"])).unwrap_err();
+        assert!(err.contains("after the checkpoint instant"), "{err}");
+        let err = run(&task_args(&[
+            "--restore",
+            "x.snap",
+            "--trace-out",
+            "t.json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--attribution is"), "{err}");
+        // --attribution passes the gate and fails later, on the missing
+        // snapshot file — with the read error naming the path.
+        let err = run(&task_args(&[
+            "--restore",
+            "/nonexistent-mermaid-dir/x.snap",
+            "--attribution",
+            "a.json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot read snapshot"), "{err}");
+        assert!(err.contains("/nonexistent-mermaid-dir/x.snap"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_dir_errors_are_actionable() {
+        let err = run(&task_args(&[
+            "--checkpoint-every",
+            "1000000",
+            "--checkpoint-dir",
+            "/nonexistent-mermaid-dir",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not exist"), "{err}");
+        assert!(err.contains("create it first"), "{err}");
+        assert!(err.contains("/nonexistent-mermaid-dir"), "{err}");
+    }
+
+    #[test]
+    fn restoring_a_non_snapshot_file_is_refused() {
+        let path =
+            std::env::temp_dir().join(format!("mermaid-cli-junk-{}.snap", std::process::id()));
+        std::fs::write(&path, "this is not a snapshot\n").unwrap();
+        let err = run(&task_args(&["--restore", path.to_str().unwrap()])).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("not a mermaid snapshot"), "{err}");
+        assert!(err.contains("mermaid-snapshot-v1"), "{err}");
+    }
+
+    #[test]
+    fn restoring_under_different_run_parameters_names_both_hashes() {
+        // Capture a real checkpoint, then restore it with a different
+        // seed: the config-hash binding must refuse, naming both hashes.
+        let dir = std::env::temp_dir().join(format!("mermaid-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = run(&task_args(&[
+            "--checkpoint-every",
+            "200000",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("checkpoints written:"), "{out}");
+        let snap = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "snap"))
+            .expect("a checkpoint was written");
+        let err = run(&task_args(&[
+            "--seed",
+            "2",
+            "--restore",
+            snap.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(err.contains("snapshot field `config`"), "{err}");
+        assert!(err.contains("captured under"), "{err}");
+    }
+
+    #[test]
+    fn campaign_checkpoint_flag_is_validated() {
+        let spec = "topo = ring:4; phases = 1; ops = 200";
+        let err = run(&s(&["campaign", spec, "--out", "x", "--checkpoint", "0"])).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+        let err = run(&s(&["campaign", spec, "--out", "x", "--checkpoint"])).unwrap_err();
+        assert!(err.contains("missing value"), "{err}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod processor;
 pub mod router;
 pub mod sharded;
 pub mod sim;
+pub mod snapshot;
 pub mod topology;
 pub(crate) mod world;
 
@@ -41,8 +42,9 @@ pub use fault::{FaultEvent, FaultKind, FaultSchedule, RetryParams};
 pub use partition::{lookahead, Partition};
 pub use processor::{ProcStats, UnreachableReport};
 pub use sharded::{
-    auto_shards, run_sharded, run_sharded_with_faults, run_sharded_with_faults_profiled,
-    ShardProfile, ShardProfileEntry,
+    auto_shards, run_checkpointed, run_sharded, run_sharded_with_faults,
+    run_sharded_with_faults_profiled, CheckpointOpts, ShardProfile, ShardProfileEntry,
 };
 pub use sim::{CommResult, CommSim, NodeCommStats};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA};
 pub use topology::{Topology, MAX_NODES};

@@ -929,6 +929,294 @@ impl AbstractProcessor {
     }
 }
 
+impl AbstractProcessor {
+    /// Append the processor's mutable simulation state to a checkpoint
+    /// integer stream (crate::snapshot). Trace, config, probe and fault
+    /// wiring are rebuilt from the run config on restore.
+    pub(crate) fn snapshot_ints(&self, out: &mut Vec<u64>) {
+        out.push(self.cursor as u64);
+        out.push(self.send_seq);
+        out.push(self.wait_epoch);
+        match self.state {
+            ProcState::Running => out.extend([0, 0, 0, 0]),
+            ProcState::Computing => out.extend([1, 0, 0, 0]),
+            ProcState::AwaitAck { since, msg } => {
+                out.extend([2, since.as_ps(), msg.src as u64, msg.seq])
+            }
+            ProcState::AwaitRecv { src, since } => out.extend([3, since.as_ps(), src as u64, 0]),
+            ProcState::AwaitGet { since, msg } => {
+                out.extend([4, since.as_ps(), msg.src as u64, msg.seq])
+            }
+            ProcState::Done => out.extend([5, 0, 0, 0]),
+        }
+        let mut assembling: Vec<(MsgId, Assembly)> =
+            self.assembling.iter().map(|(&k, &v)| (k, v)).collect();
+        assembling.sort_by_key(|&(id, _)| (id.src, id.seq));
+        out.push(assembling.len() as u64);
+        for (id, a) in assembling {
+            out.extend([id.src as u64, id.seq, a.got as u64, a.total as u64]);
+        }
+        // Matcher channels, sorted by source node. A channel only ever
+        // holds one side (arrive/wait match eagerly), so each side is a
+        // flat channel list.
+        let mut arrivals: Vec<(NodeId, Vec<CompletedMsg>)> = self
+            .matcher
+            .arrivals()
+            .map(|(&k, q)| (k, q.copied().collect()))
+            .collect();
+        arrivals.sort_by_key(|&(k, _)| k);
+        out.push(arrivals.len() as u64);
+        for (src, msgs) in arrivals {
+            out.push(src as u64);
+            out.push(msgs.len() as u64);
+            for m in msgs {
+                out.extend([
+                    m.id.src as u64,
+                    m.id.seq,
+                    m.arrived.as_ps(),
+                    m.sent_at.as_ps(),
+                    m.bytes as u64,
+                    m.sync as u64,
+                    m.path.pre_ps,
+                    m.path.queue_ps,
+                    m.path.route_ps,
+                    m.path.ser_ps,
+                    m.path.wire_ps,
+                    m.attempt as u64,
+                ]);
+            }
+        }
+        let mut waiters: Vec<(NodeId, u64)> = self
+            .matcher
+            .waiters()
+            .map(|(&k, q)| (k, q.count() as u64))
+            .collect();
+        waiters.sort_by_key(|&(k, _)| k);
+        out.push(waiters.len() as u64);
+        for (src, n) in waiters {
+            out.push(src as u64);
+            out.push(n);
+        }
+        let mut outstanding: Vec<(MsgId, Outstanding)> =
+            self.outstanding.iter().map(|(&k, &v)| (k, v)).collect();
+        outstanding.sort_by_key(|&(id, _)| (id.src, id.seq));
+        out.push(outstanding.len() as u64);
+        for (id, o) in outstanding {
+            let (kt, ka) = crate::snapshot::packet_kind_to_ints(o.kind);
+            out.extend([
+                id.src as u64,
+                id.seq,
+                o.dst as u64,
+                o.bytes as u64,
+                kt,
+                ka,
+                o.attempt as u64,
+                o.sent_at.as_ps(),
+            ]);
+        }
+        let mut completed: Vec<MsgId> = self.completed.iter().copied().collect();
+        completed.sort_by_key(|id| (id.src, id.seq));
+        out.push(completed.len() as u64);
+        for id in completed {
+            out.extend([id.src as u64, id.seq]);
+        }
+        let s = &self.stats;
+        out.extend([
+            s.compute.as_ps(),
+            s.send_block.as_ps(),
+            s.recv_block.as_ps(),
+            s.msgs_sent,
+            s.bytes_sent,
+            s.msgs_received,
+            s.get_block.as_ps(),
+            s.gets_issued,
+            s.gets_served,
+            s.puts_received,
+            s.msgs_tracked,
+            s.msgs_acked,
+            s.msgs_failed,
+            s.retries,
+            s.recv_timeouts,
+        ]);
+        for h in [&s.msg_latency, &s.get_latency, &s.retry_counts] {
+            let ints = h.snapshot_ints();
+            out.push(ints.len() as u64);
+            out.extend(ints);
+        }
+        out.push(s.unreachable.len() as u64);
+        for u in &s.unreachable {
+            out.extend([
+                u.src as u64,
+                u.dst as u64,
+                u.seq,
+                u.retries as u64,
+                u.gave_up.as_ps(),
+            ]);
+        }
+        match s.finished_at {
+            Some(t) => out.extend([1, t.as_ps()]),
+            None => out.extend([0, 0]),
+        }
+    }
+
+    /// Overlay state captured by [`AbstractProcessor::snapshot_ints`] onto
+    /// a freshly built processor whose `init` has *not* run.
+    pub(crate) fn restore_ints(
+        &mut self,
+        r: &mut crate::snapshot::IntReader<'_>,
+    ) -> Result<(), String> {
+        self.cursor = r.take("proc cursor")? as usize;
+        self.send_seq = r.take("proc send_seq")?;
+        self.wait_epoch = r.take("proc wait_epoch")?;
+        let (tag, a, b, c) = (
+            r.take("proc state tag")?,
+            r.take("proc state field")?,
+            r.take("proc state field")?,
+            r.take("proc state field")?,
+        );
+        self.state = match tag {
+            0 => ProcState::Running,
+            1 => ProcState::Computing,
+            2 => ProcState::AwaitAck {
+                since: Time::from_ps(a),
+                msg: MsgId {
+                    src: b as NodeId,
+                    seq: c,
+                },
+            },
+            3 => ProcState::AwaitRecv {
+                src: b as NodeId,
+                since: Time::from_ps(a),
+            },
+            4 => ProcState::AwaitGet {
+                since: Time::from_ps(a),
+                msg: MsgId {
+                    src: b as NodeId,
+                    seq: c,
+                },
+            },
+            5 => ProcState::Done,
+            t => return Err(format!("unknown processor state tag {t}")),
+        };
+        self.assembling.clear();
+        for _ in 0..r.take("proc assembling count")? {
+            let id = MsgId {
+                src: r.take("proc assembly src")? as NodeId,
+                seq: r.take("proc assembly seq")?,
+            };
+            let got = r.take("proc assembly got")? as u32;
+            let total = r.take("proc assembly total")? as u32;
+            self.assembling.insert(id, Assembly { got, total });
+        }
+        self.matcher = MatchBox::new();
+        for _ in 0..r.take("proc arrival channel count")? {
+            let chan = r.take("proc arrival channel")? as NodeId;
+            for _ in 0..r.take("proc arrival queue length")? {
+                let msg = CompletedMsg {
+                    id: MsgId {
+                        src: r.take("proc arrival msg src")? as NodeId,
+                        seq: r.take("proc arrival msg seq")?,
+                    },
+                    arrived: Time::from_ps(r.take("proc arrival arrived")?),
+                    sent_at: Time::from_ps(r.take("proc arrival sent_at")?),
+                    bytes: r.take("proc arrival bytes")? as u32,
+                    sync: r.take("proc arrival sync")? != 0,
+                    path: PathDecomp {
+                        pre_ps: r.take("proc arrival path pre")?,
+                        queue_ps: r.take("proc arrival path queue")?,
+                        route_ps: r.take("proc arrival path route")?,
+                        ser_ps: r.take("proc arrival path ser")?,
+                        wire_ps: r.take("proc arrival path wire")?,
+                    },
+                    attempt: r.take("proc arrival attempt")? as u32,
+                };
+                let matched = self.matcher.arrive(chan, msg);
+                debug_assert!(matched.is_none());
+            }
+        }
+        for _ in 0..r.take("proc waiter channel count")? {
+            let chan = r.take("proc waiter channel")? as NodeId;
+            for _ in 0..r.take("proc waiter queue length")? {
+                let matched = self.matcher.wait(chan, Waiter::Async);
+                debug_assert!(matched.is_none());
+            }
+        }
+        self.outstanding.clear();
+        for _ in 0..r.take("proc outstanding count")? {
+            let id = MsgId {
+                src: r.take("proc outstanding src")? as NodeId,
+                seq: r.take("proc outstanding seq")?,
+            };
+            let dst = r.take("proc outstanding dst")? as NodeId;
+            let bytes = r.take("proc outstanding bytes")? as u32;
+            let kind = crate::snapshot::packet_kind_from_ints(
+                r.take("proc outstanding kind tag")?,
+                r.take("proc outstanding kind arg")?,
+            )?;
+            let attempt = r.take("proc outstanding attempt")? as u32;
+            let sent_at = Time::from_ps(r.take("proc outstanding sent_at")?);
+            self.outstanding.insert(
+                id,
+                Outstanding {
+                    dst,
+                    bytes,
+                    kind,
+                    attempt,
+                    sent_at,
+                },
+            );
+        }
+        self.completed.clear();
+        for _ in 0..r.take("proc completed count")? {
+            self.completed.insert(MsgId {
+                src: r.take("proc completed src")? as NodeId,
+                seq: r.take("proc completed seq")?,
+            });
+        }
+        let s = &mut self.stats;
+        s.compute = Duration::from_ps(r.take("proc compute")?);
+        s.send_block = Duration::from_ps(r.take("proc send_block")?);
+        s.recv_block = Duration::from_ps(r.take("proc recv_block")?);
+        s.msgs_sent = r.take("proc msgs_sent")?;
+        s.bytes_sent = r.take("proc bytes_sent")?;
+        s.msgs_received = r.take("proc msgs_received")?;
+        s.get_block = Duration::from_ps(r.take("proc get_block")?);
+        s.gets_issued = r.take("proc gets_issued")?;
+        s.gets_served = r.take("proc gets_served")?;
+        s.puts_received = r.take("proc puts_received")?;
+        s.msgs_tracked = r.take("proc msgs_tracked")?;
+        s.msgs_acked = r.take("proc msgs_acked")?;
+        s.msgs_failed = r.take("proc msgs_failed")?;
+        s.retries = r.take("proc retries")?;
+        s.recv_timeouts = r.take("proc recv_timeouts")?;
+        for (name, h) in [
+            ("msg_latency", &mut s.msg_latency),
+            ("get_latency", &mut s.get_latency),
+            ("retry_counts", &mut s.retry_counts),
+        ] {
+            let len = r.take("proc histogram length")? as usize;
+            let ints = r.take_slice(len, "proc histogram")?;
+            if !h.restore_ints(ints) {
+                return Err(format!("histogram `{name}` shape mismatch"));
+            }
+        }
+        s.unreachable.clear();
+        for _ in 0..r.take("proc unreachable count")? {
+            s.unreachable.push(UnreachableReport {
+                src: r.take("proc unreachable src")? as NodeId,
+                dst: r.take("proc unreachable dst")? as NodeId,
+                seq: r.take("proc unreachable seq")?,
+                retries: r.take("proc unreachable retries")? as u32,
+                gave_up: Time::from_ps(r.take("proc unreachable gave_up")?),
+            });
+        }
+        let has_finish = r.take("proc finished flag")? != 0;
+        let finish_ps = r.take("proc finished time")?;
+        s.finished_at = has_finish.then(|| Time::from_ps(finish_ps));
+        Ok(())
+    }
+}
+
 impl Component<NetMsg> for AbstractProcessor {
     fn init(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
         self.advance(ctx);

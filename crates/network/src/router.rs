@@ -664,6 +664,88 @@ impl Router {
     }
 }
 
+impl Router {
+    /// Append the router's mutable simulation state to a checkpoint
+    /// integer stream (crate::snapshot). The configuration half (topology,
+    /// link/router params, probe, faults wiring) is rebuilt from the run
+    /// config on restore and deliberately not captured.
+    pub(crate) fn snapshot_ints(&self, out: &mut Vec<u64>) {
+        out.push(self.out_nbrs.len() as u64);
+        for i in 0..self.out_nbrs.len() {
+            out.push(self.out_nbrs[i] as u64);
+            out.push(self.out_busy[i].as_ps());
+            out.push(self.out_busy_total[i].as_ps());
+        }
+        out.push(self.down as u64);
+        let mut links: Vec<NodeId> = self.down_links.iter().copied().collect();
+        links.sort_unstable();
+        out.push(links.len() as u64);
+        out.extend(links.iter().map(|&n| n as u64));
+        let s = &self.stats;
+        out.push(s.forwarded);
+        out.push(s.delivered);
+        out.push(s.link_wait.as_ps());
+        out.push(s.link_busy.as_ps());
+        out.push(s.per_link_busy.len() as u64);
+        for (&n, &d) in &s.per_link_busy {
+            out.push(n as u64);
+            out.push(d.as_ps());
+        }
+        out.push(s.dropped_link_down);
+        out.push(s.dropped_router_down);
+        out.push(s.dropped_corrupt);
+        out.push(s.dropped_transient);
+        out.push(s.corrupted);
+        out.push(s.rerouted);
+    }
+
+    /// Overlay state captured by [`Router::snapshot_ints`] onto a freshly
+    /// built (never-run) router.
+    pub(crate) fn restore_ints(
+        &mut self,
+        r: &mut crate::snapshot::IntReader<'_>,
+    ) -> Result<(), String> {
+        let n_links = r.take("router link count")? as usize;
+        self.out_nbrs.clear();
+        self.out_busy.clear();
+        self.out_busy_total.clear();
+        for _ in 0..n_links {
+            self.out_nbrs
+                .push(r.take("router link neighbour")? as NodeId);
+            self.out_busy
+                .push(Time::from_ps(r.take("router link busy")?));
+            self.out_busy_total
+                .push(Duration::from_ps(r.take("router link busy total")?));
+        }
+        self.down = r.take("router down flag")? != 0;
+        self.down_links.clear();
+        let n_down = r.take("router down-link count")?;
+        for _ in 0..n_down {
+            self.down_links
+                .insert(r.take("router down link")? as NodeId);
+        }
+        let s = &mut self.stats;
+        s.forwarded = r.take("router forwarded")?;
+        s.delivered = r.take("router delivered")?;
+        s.link_wait = Duration::from_ps(r.take("router link_wait")?);
+        s.link_busy = Duration::from_ps(r.take("router link_busy")?);
+        s.per_link_busy.clear();
+        let n_busy = r.take("router per-link busy count")?;
+        for _ in 0..n_busy {
+            let n = r.take("router per-link busy node")? as NodeId;
+            let d = Duration::from_ps(r.take("router per-link busy time")?);
+            s.per_link_busy.insert(n, d);
+        }
+        s.dropped_link_down = r.take("router dropped_link_down")?;
+        s.dropped_router_down = r.take("router dropped_router_down")?;
+        s.dropped_corrupt = r.take("router dropped_corrupt")?;
+        s.dropped_transient = r.take("router dropped_transient")?;
+        s.corrupted = r.take("router corrupted")?;
+        s.rerouted = r.take("router rerouted")?;
+        Ok(())
+    }
+}
+
 impl Component<NetMsg> for Router {
     fn handle(&mut self, ev: Event<NetMsg>, ctx: &mut Ctx<'_, NetMsg>) {
         match ev.payload {

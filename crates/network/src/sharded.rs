@@ -17,13 +17,14 @@
 //!
 //! Zero lookahead or a single shard falls back to the serial path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::thread;
 
 use mermaid_ops::TraceSet;
-use mermaid_probe::{canonical_sort, ProbeHandle, ProbeStack, SimEvent};
+use mermaid_probe::{canonical_sort, AttributionSink, ProbeHandle, ProbeStack, SimEvent};
+use pearl::engine::RunResult;
 use pearl::{CompId, Duration, Engine, Time, WindowBarrier};
 
 use crate::config::NetworkConfig;
@@ -33,6 +34,7 @@ use crate::partition::{lookahead, Partition};
 use crate::processor::AbstractProcessor;
 use crate::router::{CrossShard, OutMsg, Router};
 use crate::sim::{CommResult, CommSim, NodeCommStats};
+use crate::snapshot::{capture_piece, restore_engine, ShardPiece, Snapshot, SnapshotError};
 use crate::world::NetWorld;
 
 /// Capacity of each shard's cross-shard inbox channel. Senders that find
@@ -276,17 +278,228 @@ pub fn run_sharded_with_faults_profiled(
     shards: usize,
     faults: Option<Arc<FaultSchedule>>,
 ) -> (CommResult, Option<ShardProfile>) {
+    run_checkpointed(cfg, traces, probe, shards, faults, None, None)
+        .expect("a run without checkpoint options cannot fail")
+}
+
+/// A request to write periodic checkpoints during a run: capture the
+/// complete simulation state at every multiple of `every` (virtual time)
+/// and hand the composed [`Snapshot`] to `write`. The same snapshot file
+/// is produced whether the run is serial or sharded — per-shard captures
+/// compose into exactly the bytes a serial capture at the same instant
+/// yields (the contiguous-slice partition contract, DESIGN.md §15/§16).
+pub struct CheckpointOpts<'a> {
+    /// Checkpoint cadence in virtual time (must be non-zero).
+    pub every: Duration,
+    /// Campaign-layer config hash stamped into each snapshot.
+    pub config_hash: String,
+    /// Receives each finished snapshot (typically
+    /// [`Snapshot::write_file`]). An error aborts checkpointing and fails
+    /// the run once it completes.
+    pub write: &'a (dyn Fn(&Snapshot) -> Result<(), SnapshotError> + Sync),
+}
+
+/// Shared state of the sharded capture protocol: every shard deposits
+/// its [`ShardPiece`] (plus its buffered probe events, when attribution
+/// is attached), all shards rendezvous on the barrier, then shard 0
+/// composes and writes while the rest move on.
+/// One shard's deposited capture: its partition slice plus the probe
+/// events buffered since the previous checkpoint.
+type CaptureSlot = Option<(ShardPiece, Vec<SimEvent>)>;
+
+struct CkptSync<'a> {
+    opts: &'a CheckpointOpts<'a>,
+    /// Seed for the composed attribution record when the run itself was
+    /// restored from a snapshot (the shard buffers only hold post-restore
+    /// events).
+    base_attr: Option<Vec<u64>>,
+    /// Whether the caller's probe carries an attribution sink.
+    want_attr: bool,
+    slots: Mutex<Vec<CaptureSlot>>,
+    barrier: Barrier,
+    /// Set after a failed write: captures keep their (deterministic)
+    /// rendezvous but no further snapshots are written.
+    failed: AtomicBool,
+    error: Mutex<Option<SnapshotError>>,
+}
+
+impl CkptSync<'_> {
+    /// Shard 0, after the capture barrier: compose the deposited pieces
+    /// into the canonical whole-machine snapshot and hand it to the sink.
+    fn compose_and_write(&self) {
+        let taken: Vec<(ShardPiece, Vec<SimEvent>)> = self
+            .slots
+            .lock()
+            .unwrap()
+            .iter_mut()
+            .map(|s| s.take().expect("every shard deposited a piece"))
+            .collect();
+        if self.failed.load(Ordering::Acquire) {
+            return;
+        }
+        let mut pieces = Vec::with_capacity(taken.len());
+        let mut events: Vec<SimEvent> = Vec::new();
+        for (p, evs) in taken {
+            pieces.push(p);
+            events.extend(evs);
+        }
+        let mut snap = Snapshot::compose(pieces);
+        if self.want_attr {
+            // Rebuild the attribution sink's state from the canonical
+            // merge of every shard's buffered model events — the same
+            // multiset the serial sink folded live, so the record is
+            // byte-identical to a serial capture at this instant.
+            canonical_sort(&mut events);
+            let mut sink = AttributionSink::new();
+            if let Some(base) = &self.base_attr {
+                sink.restore_ints(base)
+                    .expect("the restore entry validated this record");
+            }
+            for ev in &events {
+                mermaid_probe::Probe::record(&mut sink, ev);
+            }
+            snap.attribution = Some(sink.snapshot_ints());
+        }
+        if let Err(e) = (self.opts.write)(&snap) {
+            *self.error.lock().unwrap() = Some(e);
+            self.failed.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// The attribution sink's current state, when one is attached.
+fn capture_attribution(probe: &ProbeHandle) -> Option<Vec<u64>> {
+    probe
+        .with_stack(|s| s.attribution.as_ref().map(|a| a.snapshot_ints()))
+        .flatten()
+}
+
+/// Seed a restored run's attribution sink from the snapshot. A sink with
+/// no matching record is refused: it would silently report only post-
+/// restore evidence.
+fn seed_attribution(probe: &ProbeHandle, snap: &Snapshot) -> Result<(), SnapshotError> {
+    let has_sink = probe
+        .with_stack(|s| s.attribution.is_some())
+        .unwrap_or(false);
+    if !has_sink {
+        return Ok(());
+    }
+    match &snap.attribution {
+        Some(ints) => probe
+            .with_stack(|s| {
+                s.attribution
+                    .as_mut()
+                    .expect("presence checked above")
+                    .restore_ints(ints)
+            })
+            .expect("probe is enabled")
+            .map_err(|detail| SnapshotError::Parse {
+                context: "attribution record".into(),
+                detail,
+            }),
+        None => Err(SnapshotError::Parse {
+            context: "attribution record".into(),
+            detail: "the snapshot has no `attr` record but this run attaches an attribution \
+                     sink — re-create the checkpoint with attribution enabled, or drop it"
+                .into(),
+        }),
+    }
+}
+
+/// [`run_sharded_with_faults_profiled`] extended with checkpoint/restore:
+/// `restore_from` resumes a run from a [`Snapshot`] (bit-identically —
+/// results, stats, probe stream and attribution match the uninterrupted
+/// run from the instant on), and `ckpt` writes periodic snapshots during
+/// the run. Serial and sharded execution accept both; a single shard or
+/// zero lookahead falls back to the serial path exactly as the plain
+/// entry does.
+pub fn run_checkpointed(
+    cfg: NetworkConfig,
+    traces: &TraceSet,
+    probe: ProbeHandle,
+    shards: usize,
+    faults: Option<Arc<FaultSchedule>>,
+    restore_from: Option<&Snapshot>,
+    ckpt: Option<&CheckpointOpts<'_>>,
+) -> Result<(CommResult, Option<ShardProfile>), SnapshotError> {
     cfg.validate();
     let part = Partition::contiguous(cfg.topology, shards);
     let la = lookahead(&cfg);
     if part.shards() <= 1 || la == Duration::ZERO {
-        let result = match faults {
-            Some(f) => CommSim::new_with_faults(cfg, traces, probe, f).run(),
-            None => CommSim::new_with_probe(cfg, traces, probe).run(),
-        };
-        return (result, None);
+        let result = run_serial_checkpointed(cfg, traces, probe, faults, restore_from, ckpt)?;
+        return Ok((result, None));
     }
+    run_sharded_inner(cfg, traces, probe, part, la, faults, restore_from, ckpt)
+}
+
+/// The serial path of [`run_checkpointed`]: restore (if asked), then run
+/// in stretches bounded by the next checkpoint instant, capturing at
+/// each multiple of the cadence until the event set drains.
+fn run_serial_checkpointed(
+    cfg: NetworkConfig,
+    traces: &TraceSet,
+    probe: ProbeHandle,
+    faults: Option<Arc<FaultSchedule>>,
+    restore_from: Option<&Snapshot>,
+    ckpt: Option<&CheckpointOpts<'_>>,
+) -> Result<CommResult, SnapshotError> {
+    let mut sim = match restore_from {
+        Some(snap) => {
+            let sim = CommSim::restore(cfg, traces, probe.clone(), faults, snap)?;
+            seed_attribution(&probe, snap)?;
+            sim
+        }
+        None => match faults {
+            Some(f) => CommSim::new_with_faults(cfg, traces, probe.clone(), f),
+            None => CommSim::new_with_probe(cfg, traces, probe.clone()),
+        },
+    };
+    if let Some(ck) = ckpt {
+        let every = ck.every.as_ps();
+        assert!(every > 0, "checkpoint cadence must be non-zero");
+        let mut next_cp = match restore_from {
+            // A restored run resumes the original cadence: its next
+            // capture is the first multiple after the restore instant.
+            Some(snap) => (snap.time.as_ps() / every + 1) * every,
+            None => every,
+        };
+        loop {
+            // Deliver everything strictly before the capture instant;
+            // anything else means the event set drained first.
+            if sim.run_until(Time::from_ps(next_cp - 1)) != RunResult::TimeLimit {
+                break;
+            }
+            let mut snap = sim.checkpoint(&ck.config_hash, Time::from_ps(next_cp));
+            snap.attribution = capture_attribution(&probe);
+            (ck.write)(&snap)?;
+            next_cp += every;
+        }
+    }
+    Ok(sim.run())
+}
+
+/// The genuinely sharded body of [`run_checkpointed`].
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_inner(
+    cfg: NetworkConfig,
+    traces: &TraceSet,
+    probe: ProbeHandle,
+    part: Partition,
+    la: Duration,
+    faults: Option<Arc<FaultSchedule>>,
+    restore_from: Option<&Snapshot>,
+    ckpt: Option<&CheckpointOpts<'_>>,
+) -> Result<(CommResult, Option<ShardProfile>), SnapshotError> {
     let n = cfg.topology.nodes();
+    if let Some(snap) = restore_from {
+        if snap.nodes != n {
+            return Err(SnapshotError::NodesMismatch {
+                found: snap.nodes,
+                expected: n,
+            });
+        }
+        seed_attribution(&probe, snap)?;
+    }
     assert_eq!(
         traces.nodes(),
         n as usize,
@@ -311,6 +524,17 @@ pub fn run_sharded_with_faults_profiled(
         rxs.push(rx);
     }
     let want_probe = probe.is_enabled();
+    let ckpt_sync = ckpt.map(|opts| CkptSync {
+        opts,
+        base_attr: restore_from.and_then(|s| s.attribution.clone()),
+        want_attr: probe
+            .with_stack(|s| s.attribution.is_some())
+            .unwrap_or(false),
+        slots: Mutex::new((0..k).map(|_| None).collect()),
+        barrier: Barrier::new(k),
+        failed: AtomicBool::new(false),
+        error: Mutex::new(None),
+    });
 
     let outs: Vec<ShardOut> = thread::scope(|scope| {
         let handles: Vec<_> = rxs
@@ -320,9 +544,22 @@ pub fn run_sharded_with_faults_profiled(
                 let txs = txs.clone();
                 let faults = faults.clone();
                 let (part, barrier, gate) = (&part, &barrier, &gate);
+                let ckpt_sync = ckpt_sync.as_ref();
                 scope.spawn(move || {
                     shard_worker(
-                        s, cfg, traces, part, la, barrier, gate, txs, rx, want_probe, faults,
+                        s,
+                        cfg,
+                        traces,
+                        part,
+                        la,
+                        barrier,
+                        gate,
+                        txs,
+                        rx,
+                        want_probe,
+                        faults,
+                        restore_from,
+                        ckpt_sync,
                     )
                 })
             })
@@ -333,8 +570,13 @@ pub fn run_sharded_with_faults_profiled(
             .collect()
     });
 
+    if let Some(sync) = &ckpt_sync {
+        if let Some(e) = sync.error.lock().unwrap().take() {
+            return Err(e);
+        }
+    }
     let (result, profile) = merge(outs, &probe);
-    (result, Some(profile))
+    Ok((result, Some(profile)))
 }
 
 /// One shard's whole life: build its arena world, run the window loop,
@@ -352,6 +594,8 @@ fn shard_worker(
     rx: Receiver<OutMsg>,
     want_probe: bool,
     faults: Option<Arc<FaultSchedule>>,
+    restore_from: Option<&Snapshot>,
+    ckpt: Option<&CkptSync<'_>>,
 ) -> ShardOut {
     let n = part.nodes();
     let k = part.shards() as u64;
@@ -397,24 +641,58 @@ fn shard_worker(
         );
     }
     let mut engine = Engine::with_world(NetWorld::new(n, range.start, routers, procs));
-    // Post this shard's scripted fault events *before* priming, exactly as
-    // the serial engine posts them before running: fault events are
-    // self-events of their router, so posting only the local nodes' events
-    // (in the same per-node schedule order) consumes the same per-component
-    // key counters and yields serial-identical event keys.
-    if let Some(f) = &faults {
-        for node in range.clone() {
-            for ev in f.events_for(node) {
-                engine.post(
-                    ev.at,
-                    node as CompId,
-                    node as CompId,
-                    NetMsg::Fault(ev.kind),
-                );
+    match restore_from {
+        Some(snap) => {
+            // A restored shard overlays the snapshot instead of priming:
+            // the queue, clock and counters are replaced wholesale with
+            // the owned-destination slice of the snapshot (scripted fault
+            // events at or after the instant are in that pending set
+            // under their original keys, so nothing is posted here).
+            // Shard 0 carries the snapshot's delivery count; the merge
+            // sums per-shard counts, so the total matches an
+            // uninterrupted run.
+            let base = if s == 0 { snap.events_processed } else { 0 };
+            restore_engine(&mut engine, snap, base)
+                .unwrap_or_else(|e| panic!("shard {s} cannot restore: {e}"));
+        }
+        None => {
+            // Post this shard's scripted fault events *before* priming,
+            // exactly as the serial engine posts them before running:
+            // fault events are self-events of their router, so posting
+            // only the local nodes' events (in the same per-node schedule
+            // order) consumes the same per-component key counters and
+            // yields serial-identical event keys.
+            if let Some(f) = &faults {
+                for node in range.clone() {
+                    for ev in f.events_for(node) {
+                        engine.post(
+                            ev.at,
+                            node as CompId,
+                            node as CompId,
+                            NetMsg::Fault(ev.kind),
+                        );
+                    }
+                }
             }
+            engine.prime();
         }
     }
-    engine.prime();
+
+    // Checkpoint cadence: every shard tracks the same next-capture
+    // instant (same cadence, same agreed windows), so all of them reach
+    // every capture rendezvous in the same round.
+    let (mut next_cp, every_ps) = match ckpt {
+        Some(ck) => {
+            let every = ck.opts.every.as_ps();
+            assert!(every > 0, "checkpoint cadence must be non-zero");
+            let first = match restore_from {
+                Some(snap) => (snap.time.as_ps() / every + 1) * every,
+                None => every,
+            };
+            (first, every)
+        }
+        None => (u64::MAX, 0),
+    };
 
     let la_ps = la.as_ps();
     let mut round: u64 = 0;
@@ -475,7 +753,42 @@ fn shard_worker(
         let Some(w) = agreed else {
             break; // every shard idle and no message in flight: done
         };
-        let end_ps = w.as_ps().saturating_add(la_ps);
+        // Capture every checkpoint instant at or before the agreed
+        // minimum: all events before it were processed (windows are
+        // clamped to the cadence below), all pending events are at or
+        // after it (pending ≥ own local minimum ≥ `w` ≥ instant). Every
+        // shard sees the same `w` and cadence, so all deposit pieces for
+        // the same instants in the same rounds.
+        if let Some(ck) = ckpt {
+            while next_cp <= w.as_ps() {
+                let at = Time::from_ps(next_cp);
+                let piece = capture_piece(&engine, &ck.opts.config_hash, at);
+                let buffered = if ck.want_attr {
+                    my_probe
+                        .with_stack(|st| st.buffer.as_ref().map(|b| b.events().to_vec()))
+                        .flatten()
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                ck.slots.lock().unwrap()[s] = Some((piece, buffered));
+                // First rendezvous: every piece is deposited. Second:
+                // shard 0 has consumed them — without it, a fast shard
+                // could overwrite its slot with the *next* instant's
+                // piece before the compose reads this one.
+                ck.barrier.wait();
+                if s == 0 {
+                    ck.compose_and_write();
+                }
+                ck.barrier.wait();
+                next_cp += every_ps;
+            }
+        }
+        // Clamp the window to the next checkpoint instant so every
+        // capture lands exactly on a window boundary — smaller windows
+        // are always safe under the lookahead contract, and `next_cp` is
+        // beyond `w` here, so progress is preserved.
+        let end_ps = w.as_ps().saturating_add(la_ps).min(next_cp);
         let work = std::time::Instant::now();
         engine.run_until(Time::from_ps(end_ps - 1));
         profile.work_ns += work.elapsed().as_nanos() as u64;
@@ -724,5 +1037,202 @@ mod tests {
         let serial = CommSim::new(cfg, &ts).run();
         let sh = run_sharded(cfg, &ts, ProbeHandle::disabled(), 16);
         assert_identical(&serial, &sh);
+    }
+
+    /// Run with a collecting checkpoint sink; return the result and every
+    /// snapshot file rendered.
+    fn run_collecting(
+        cfg: NetworkConfig,
+        ts: &TraceSet,
+        shards: usize,
+        every_ps: u64,
+        restore_from: Option<&Snapshot>,
+    ) -> (CommResult, Vec<String>) {
+        let files = Mutex::new(Vec::new());
+        let write = |snap: &Snapshot| {
+            files.lock().unwrap().push(snap.to_file_string());
+            Ok(())
+        };
+        let opts = CheckpointOpts {
+            every: Duration::from_ps(every_ps),
+            config_hash: "00000000deadbeef".into(),
+            write: &write,
+        };
+        let (r, _) = run_checkpointed(
+            cfg,
+            ts,
+            ProbeHandle::disabled(),
+            shards,
+            None,
+            restore_from,
+            Some(&opts),
+        )
+        .expect("collecting sink cannot fail");
+        (r, files.into_inner().unwrap())
+    }
+
+    #[test]
+    fn sharded_checkpoint_files_are_byte_identical_to_serial() {
+        let cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 2 });
+        let ts = exchange_traces(8);
+        let plain = CommSim::new(cfg, &ts).run();
+        let (serial, serial_files) = run_collecting(cfg, &ts, 1, 3_000, None);
+        let (sharded, sharded_files) = run_collecting(cfg, &ts, 3, 3_000, None);
+        assert_identical(&plain, &serial);
+        assert_identical(&plain, &sharded);
+        assert!(
+            !serial_files.is_empty(),
+            "the run must cross at least one checkpoint instant"
+        );
+        assert_eq!(
+            serial_files.len(),
+            sharded_files.len(),
+            "both modes capture the same instants"
+        );
+        for (a, b) in serial_files.iter().zip(&sharded_files) {
+            assert_eq!(a, b, "composed shard capture differs from serial capture");
+        }
+    }
+
+    #[test]
+    fn restore_into_sharded_run_matches_uninterrupted() {
+        let cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 2 });
+        let ts = exchange_traces(8);
+        let plain = CommSim::new(cfg, &ts).run();
+        let (_, files) = run_collecting(cfg, &ts, 3, 3_000, None);
+        for file in &files {
+            let snap = Snapshot::parse(file).expect("own capture parses");
+            // Restore into a sharded run…
+            let (sh, _) = run_checkpointed(
+                cfg,
+                &ts,
+                ProbeHandle::disabled(),
+                3,
+                None,
+                Some(&snap),
+                None,
+            )
+            .expect("restore succeeds");
+            assert_identical(&plain, &sh);
+            // …and into a serial one.
+            let (serial, _) = run_checkpointed(
+                cfg,
+                &ts,
+                ProbeHandle::disabled(),
+                1,
+                None,
+                Some(&snap),
+                None,
+            )
+            .expect("restore succeeds");
+            assert_identical(&plain, &serial);
+        }
+    }
+
+    #[test]
+    fn restored_run_resumes_the_checkpoint_cadence() {
+        let cfg = NetworkConfig::test(Topology::Ring(8));
+        let ts = exchange_traces(8);
+        let (_, full_files) = run_collecting(cfg, &ts, 3, 2_000, None);
+        assert!(full_files.len() >= 2, "need at least two capture instants");
+        let first = Snapshot::parse(&full_files[0]).unwrap();
+        let (_, resumed_files) = run_collecting(cfg, &ts, 3, 2_000, Some(&first));
+        assert_eq!(resumed_files, full_files[1..].to_vec());
+    }
+
+    #[test]
+    fn failed_checkpoint_write_fails_the_run() {
+        let cfg = NetworkConfig::test(Topology::Ring(8));
+        let ts = exchange_traces(8);
+        let write = |_: &Snapshot| {
+            Err(SnapshotError::Io {
+                verb: "write",
+                path: "/nowhere/ckpt.snap".into(),
+                detail: "disk full".into(),
+            })
+        };
+        let opts = CheckpointOpts {
+            every: Duration::from_ps(2_000),
+            config_hash: "00000000deadbeef".into(),
+            write: &write,
+        };
+        for shards in [1, 3] {
+            let err = run_checkpointed(
+                cfg,
+                &ts,
+                ProbeHandle::disabled(),
+                shards,
+                None,
+                None,
+                Some(&opts),
+            )
+            .expect_err("a failing sink must surface");
+            assert!(err.to_string().contains("disk full"), "{err}");
+        }
+    }
+
+    #[test]
+    fn sharded_attribution_capture_matches_serial() {
+        let cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 2 });
+        let ts = exchange_traces(8);
+        let capture_with = |shards: usize| {
+            let files = Mutex::new(Vec::new());
+            let write = |snap: &Snapshot| {
+                files.lock().unwrap().push(snap.to_file_string());
+                Ok(())
+            };
+            let opts = CheckpointOpts {
+                every: Duration::from_ps(3_000),
+                config_hash: "00000000deadbeef".into(),
+                write: &write,
+            };
+            let probe = ProbeHandle::new(ProbeStack::new().with_attribution());
+            let (r, _) = run_checkpointed(cfg, &ts, probe.clone(), shards, None, None, Some(&opts))
+                .expect("capture succeeds");
+            let json = probe
+                .with_stack(|s| {
+                    s.attribution
+                        .as_ref()
+                        .map(|a| a.report(r.finish.as_ps()).to_json())
+                })
+                .flatten()
+                .expect("sink attached");
+            (files.into_inner().unwrap(), json)
+        };
+        let (serial_files, serial_json) = capture_with(1);
+        let (sharded_files, sharded_json) = capture_with(3);
+        assert_eq!(serial_json, sharded_json);
+        assert_eq!(serial_files, sharded_files);
+        assert!(serial_files.iter().all(|f| f.contains("\nattr ")));
+        // Restoring from a snapshot with attribution reproduces the
+        // uninterrupted report.
+        let snap = Snapshot::parse(&serial_files[0]).unwrap();
+        let probe = ProbeHandle::new(ProbeStack::new().with_attribution());
+        let (r, _) = run_checkpointed(cfg, &ts, probe.clone(), 3, None, Some(&snap), None)
+            .expect("restore succeeds");
+        let json = probe
+            .with_stack(|s| {
+                s.attribution
+                    .as_ref()
+                    .map(|a| a.report(r.finish.as_ps()).to_json())
+            })
+            .flatten()
+            .unwrap();
+        assert_eq!(json, serial_json);
+    }
+
+    #[test]
+    fn attribution_probe_without_snapshot_record_is_refused() {
+        let cfg = NetworkConfig::test(Topology::Ring(8));
+        let ts = exchange_traces(8);
+        let (_, files) = run_collecting(cfg, &ts, 3, 2_000, None);
+        let snap = Snapshot::parse(&files[0]).unwrap();
+        assert!(snap.attribution.is_none());
+        let probe = ProbeHandle::new(ProbeStack::new().with_attribution());
+        for shards in [1, 3] {
+            let err = run_checkpointed(cfg, &ts, probe.clone(), shards, None, Some(&snap), None)
+                .expect_err("a silent partial attribution report must be refused");
+            assert!(err.to_string().contains("attribution"), "{err}");
+        }
     }
 }

@@ -12,6 +12,7 @@ use crate::fault::FaultSchedule;
 use crate::packet::NetMsg;
 use crate::processor::{AbstractProcessor, ProcStats, UnreachableReport};
 use crate::router::{Router, RouterStats};
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::world::NetWorld;
 
 /// Per-node results of a communication simulation.
@@ -296,6 +297,67 @@ impl CommSim {
     /// The configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.cfg
+    }
+
+    /// Run until virtual `deadline` (inclusive): events *at* the deadline
+    /// are delivered, so a subsequent [`CommSim::checkpoint`] at
+    /// `deadline + 1` captures a state where everything strictly before
+    /// the instant has been processed.
+    pub fn run_until(&mut self, deadline: Time) -> pearl::engine::RunResult {
+        self.engine.run_until(deadline)
+    }
+
+    /// Capture the complete simulation state at instant `at` as a
+    /// [`Snapshot`]: every event strictly before `at` must have been
+    /// processed (run with [`CommSim::run_until`]`(at - 1)` first) and
+    /// every pending event must be at or after `at` — asserted here,
+    /// because a snapshot violating it could never restore bit-identically.
+    ///
+    /// `config_hash` is the campaign-layer identity of the run; restore
+    /// refuses a snapshot whose hash differs. The attribution section is
+    /// the caller's to fill in (the probe layer owns that state).
+    pub fn checkpoint(&self, config_hash: &str, at: Time) -> Snapshot {
+        // A serial capture is the one-piece case of the sharded compose,
+        // so both modes produce byte-identical files by construction.
+        Snapshot::compose(vec![crate::snapshot::capture_piece(
+            &self.engine,
+            config_hash,
+            at,
+        )])
+    }
+
+    /// Rebuild a simulation from a [`Snapshot`], bit-identically: the
+    /// restored run processes the same events in the same order and
+    /// produces the same results, stats and probe stream as the
+    /// uninterrupted run from the checkpoint instant on.
+    ///
+    /// The caller passes the same configuration, traces and fault
+    /// schedule the checkpointed run was built from (the config hash in
+    /// the snapshot is verified at the CLI layer against the run's
+    /// canonical identity; here the node count is re-checked as a last
+    /// line of defence). Components are built exactly as in a fresh run,
+    /// then the captured state is overlaid and the engine's queue, clock
+    /// and key counters are replaced wholesale — initialisation never
+    /// runs, and the pre-posted fault events are superseded by the
+    /// snapshot's pending set (which still contains every scripted fault
+    /// at or after the instant, under its original key).
+    pub fn restore(
+        cfg: NetworkConfig,
+        traces: &TraceSet,
+        probe: ProbeHandle,
+        faults: Option<Arc<FaultSchedule>>,
+        snap: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        let n = cfg.topology.nodes();
+        if snap.nodes != n {
+            return Err(SnapshotError::NodesMismatch {
+                found: snap.nodes,
+                expected: n,
+            });
+        }
+        let mut sim = CommSim::build(cfg, traces, probe, faults);
+        crate::snapshot::restore_engine(&mut sim.engine, snap, snap.events_processed)?;
+        Ok(sim)
     }
 
     /// Current virtual time of the simulation.

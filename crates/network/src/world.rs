@@ -65,6 +65,28 @@ impl NetWorld {
     pub fn proc(&self, node: NodeId) -> &AbstractProcessor {
         &self.procs[(node - self.base) as usize]
     }
+
+    /// Mutably borrow the router of `node` (checkpoint restore overlays
+    /// captured state onto freshly built components).
+    pub fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        &mut self.routers[(node - self.base) as usize]
+    }
+
+    /// Mutably borrow the abstract processor of `node` (see
+    /// [`NetWorld::router_mut`]).
+    pub fn proc_mut(&mut self, node: NodeId) -> &mut AbstractProcessor {
+        &mut self.procs[(node - self.base) as usize]
+    }
+
+    /// First node owned by this world's slabs.
+    pub fn base(&self) -> NodeId {
+        self.base
+    }
+
+    /// Number of nodes owned by this world's slabs.
+    pub fn owned(&self) -> u32 {
+        self.routers.len() as u32
+    }
 }
 
 impl World<NetMsg> for NetWorld {

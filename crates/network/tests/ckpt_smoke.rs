@@ -1,0 +1,102 @@
+// Quick smoke: serial checkpoint → restore → byte-identical results.
+use mermaid_network::{CommSim, NetworkConfig, Topology};
+use mermaid_ops::{Operation, TraceSet};
+use mermaid_probe::ProbeHandle;
+use pearl::Time;
+
+fn trace_set(n: u32) -> TraceSet {
+    let mut ts = TraceSet::new(n as usize);
+    for node in 0..n {
+        ts.trace_mut(node).ops = vec![
+            Operation::ASend {
+                bytes: 3000,
+                dst: (node + 1) % n,
+            },
+            Operation::Recv {
+                src: (node + n - 1) % n,
+            },
+            Operation::Compute { ps: 10_000 },
+        ];
+    }
+    ts
+}
+
+#[test]
+fn serial_checkpoint_restore_is_bit_identical() {
+    let cfg = NetworkConfig::test(Topology::Ring(4));
+    let ts = trace_set(4);
+    let full = CommSim::new(cfg, &ts).run();
+    let at = Time::from_ps(2_000);
+    let mut sim = CommSim::new(cfg, &ts);
+    sim.run_until(Time::from_ps(1_999));
+    let snap = sim.checkpoint("deadbeefdeadbeef", at);
+    let text = snap.to_file_string();
+    let back = mermaid_network::Snapshot::parse(&text).unwrap();
+    let mut restored = CommSim::restore(cfg, &ts, ProbeHandle::disabled(), None, &back).unwrap();
+    let r = restored.run();
+    assert_eq!(r.finish, full.finish);
+    assert_eq!(r.events, full.events);
+    assert_eq!(r.total_messages, full.total_messages);
+    assert_eq!(format!("{:?}", r.nodes), format!("{:?}", full.nodes));
+}
+
+#[test]
+fn faulty_checkpoint_restore_is_bit_identical() {
+    use mermaid_network::{FaultSchedule, RetryParams};
+    use std::sync::Arc;
+    let cfg = NetworkConfig::test(Topology::Mesh2D { w: 3, h: 2 });
+    let mk_faults = || {
+        let mut f = FaultSchedule::new(7)
+            .with_drop_ppm(30_000)
+            .with_corrupt_ppm(10_000)
+            .with_retry(RetryParams::default_for(&NetworkConfig::test(
+                Topology::Mesh2D { w: 3, h: 2 },
+            )));
+        f.cut_link(
+            0,
+            1,
+            pearl::Time::from_us(2),
+            Some(pearl::Time::from_us(60)),
+        );
+        f.crash_router(2, pearl::Time::from_us(10), Some(pearl::Time::from_us(80)));
+        Arc::new(f)
+    };
+    let n = 6u32;
+    let mut ts = TraceSet::new(n as usize);
+    for node in 0..n {
+        ts.trace_mut(node).ops = vec![
+            Operation::ASend {
+                bytes: 9000,
+                dst: (node + 1) % n,
+            },
+            Operation::ASend {
+                bytes: 500,
+                dst: (node + 2) % n,
+            },
+            Operation::Recv {
+                src: (node + n - 1) % n,
+            },
+            Operation::Recv {
+                src: (node + n - 2) % n,
+            },
+            Operation::Compute { ps: 10_000 },
+        ];
+    }
+    let full = CommSim::new_with_faults(cfg, &ts, ProbeHandle::disabled(), mk_faults()).run();
+    // Checkpoint mid-outage, with retries outstanding.
+    for at_us in [1u64, 5, 15, 70] {
+        let at = Time::from_us(at_us);
+        let mut sim = CommSim::new_with_faults(cfg, &ts, ProbeHandle::disabled(), mk_faults());
+        sim.run_until(Time::from_ps(at.as_ps() - 1));
+        let snap = sim.checkpoint("deadbeefdeadbeef", at);
+        let back = mermaid_network::Snapshot::parse(&snap.to_file_string()).unwrap();
+        let mut restored =
+            CommSim::restore(cfg, &ts, ProbeHandle::disabled(), Some(mk_faults()), &back).unwrap();
+        let r = restored.run();
+        assert_eq!(
+            format!("{r:?}"),
+            format!("{full:?}"),
+            "diverged at T={at_us}us"
+        );
+    }
+}

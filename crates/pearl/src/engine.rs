@@ -48,11 +48,17 @@ pub struct Ctx<'e, M> {
     key_counters: &'e mut [u64],
 }
 
+#[derive(Clone)]
 struct QueuedEvent<M> {
     src: CompId,
     dst: CompId,
     payload: M,
 }
+
+/// One pending event as exposed by [`Engine::snapshot_pending`] and
+/// accepted by [`Engine::restore`]: delivery time, deterministic tie-break
+/// key, scheduling component, destination component, payload.
+pub type PendingEvent<M> = (Time, EventKey, CompId, CompId, M);
 
 impl<M> Ctx<'_, M> {
     /// Current virtual time.
@@ -369,6 +375,70 @@ impl<M: 'static, W: World<M>> Engine<M, W> {
     /// Ladder-tier transition counters of the underlying event queue.
     pub fn ladder_stats(&self) -> LadderStats {
         self.queue.ladder_stats()
+    }
+
+    /// The per-component push counters feeding the deterministic tie-break
+    /// key (indexed by component id). Part of the checkpointable engine
+    /// state: a restored engine must resume the exact key sequence.
+    pub fn key_counters(&self) -> &[u64] {
+        &self.key_counters
+    }
+
+    /// Non-destructive snapshot of every pending event, sorted by
+    /// `(time, key)` — the exact delivery order. Ladder geometry is not
+    /// captured (see `EventQueue::snapshot_events`).
+    pub fn snapshot_pending(&self) -> Vec<PendingEvent<M>>
+    where
+        M: Clone,
+    {
+        self.queue
+            .snapshot_events()
+            .into_iter()
+            .map(|(t, k, qe)| (t, k, qe.src, qe.dst, qe.payload))
+            .collect()
+    }
+
+    /// Overwrite the engine's dynamic state with a checkpoint: clock,
+    /// delivery counter, per-component key counters, and the pending-event
+    /// set (each event keeping its original [`EventKey`], so same-instant
+    /// ties replay in the checkpointed order).
+    ///
+    /// Component `init` hooks are marked as already run — the caller is
+    /// responsible for overlaying the matching component state onto the
+    /// world *without* re-running init (init schedules initial events and
+    /// mutates state; the checkpoint already reflects all of that). A
+    /// pending event earlier than `now` or addressed outside the id space
+    /// panics: that is a corrupt checkpoint, not a recoverable condition.
+    pub fn restore(
+        &mut self,
+        now: Time,
+        events_processed: u64,
+        key_counters: Vec<u64>,
+        events: Vec<PendingEvent<M>>,
+    ) {
+        assert_eq!(
+            key_counters.len(),
+            self.world.count(),
+            "checkpoint key counters do not match the component id space"
+        );
+        self.queue.clear();
+        self.now = now;
+        self.events_processed = events_processed;
+        self.key_counters = key_counters;
+        self.stop_requested = false;
+        self.initialized = true;
+        for (t, k, src, dst, payload) in events {
+            assert!(
+                t >= now,
+                "checkpointed event earlier than the checkpoint instant"
+            );
+            assert!(
+                dst < self.world.count(),
+                "checkpointed event to unknown component"
+            );
+            self.queue
+                .push_keyed(t, k, QueuedEvent { src, dst, payload });
+        }
     }
 
     /// Notify the attached probe of one delivery (and any ladder-counter

@@ -54,7 +54,7 @@ pub mod shard;
 pub mod sync;
 pub mod time;
 
-pub use engine::{BoxWorld, CompId, Component, Ctx, Engine, Event, RunResult, World};
+pub use engine::{BoxWorld, CompId, Component, Ctx, Engine, Event, PendingEvent, RunResult, World};
 pub use hash::{FastHashMap, FastHashSet};
 pub use probe::{EngineProbe, LadderStats};
 pub use queue::{EventKey, EventQueue};

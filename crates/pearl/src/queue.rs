@@ -371,6 +371,25 @@ impl<T> EventQueue<T> {
         self.next_seq
     }
 
+    /// Non-destructive snapshot of every pending entry, sorted by
+    /// `(time, key)` — the exact order the entries would pop in. Ladder
+    /// geometry (which tier an entry currently sits in) is deliberately
+    /// not captured: it is a performance artefact, not simulation state,
+    /// and a restored queue rebuilds it from scratch.
+    pub fn snapshot_events(&self) -> Vec<(Time, EventKey, T)>
+    where
+        T: Clone,
+    {
+        let mut out: Vec<(Time, EventKey, T)> = Vec::with_capacity(self.len());
+        out.extend(self.current.iter().map(|e| (e.time, e.key, e.item.clone())));
+        for b in &self.buckets {
+            out.extend(b.iter().map(|e| (e.time, e.key, e.item.clone())));
+        }
+        out.extend(self.far.iter().map(|e| (e.time, e.key, e.item.clone())));
+        out.sort_by_key(|a| (a.0, a.1));
+        out
+    }
+
     /// Monotone ladder-tier transition counters (like [`total_pushed`],
     /// they survive [`clear`]).
     ///

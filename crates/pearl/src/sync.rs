@@ -122,6 +122,20 @@ impl<K: Eq + Hash + Clone, A, W> MatchBox<K, A, W> {
     pub fn is_empty(&self) -> bool {
         self.arrivals.is_empty() && self.waiters.is_empty()
     }
+
+    /// Iterate over every channel with queued (unmatched) arrivals, each
+    /// with its FIFO queue front-to-back. Iteration order is the hash
+    /// map's — callers needing determinism (checkpointing) must sort.
+    pub fn arrivals(&self) -> impl Iterator<Item = (&K, impl Iterator<Item = &A>)> {
+        self.arrivals.iter().map(|(k, q)| (k, q.iter()))
+    }
+
+    /// Iterate over every channel with queued (unmatched) waiters, each
+    /// with its FIFO queue front-to-back (same ordering caveat as
+    /// [`MatchBox::arrivals`]).
+    pub fn waiters(&self) -> impl Iterator<Item = (&K, impl Iterator<Item = &W>)> {
+        self.waiters.iter().map(|(k, q)| (k, q.iter()))
+    }
 }
 
 /// Outstanding request/reply transactions keyed by correlation token.

@@ -170,6 +170,40 @@ impl Histogram {
             .map(|(i, &c)| (self.bucket_lo(i), c))
     }
 
+    /// Flatten the full sample state into integers for the checkpoint
+    /// format: `[count, sum, min, max, n_buckets, counts…]`. The bucketing
+    /// strategy itself is not encoded — a restore site reconstructs the
+    /// histogram with the same constructor and overlays these counters.
+    pub fn snapshot_ints(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(5 + self.counts.len());
+        out.extend([
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            self.counts.len() as u64,
+        ]);
+        out.extend_from_slice(&self.counts);
+        out
+    }
+
+    /// Overlay counters captured by [`Histogram::snapshot_ints`] onto a
+    /// histogram built with the same bucketing. Returns `false` (leaving
+    /// `self` untouched) when the integer run does not fit this
+    /// histogram's shape — a corrupt or mismatched checkpoint.
+    #[must_use]
+    pub fn restore_ints(&mut self, ints: &[u64]) -> bool {
+        if ints.len() != 5 + self.counts.len() || ints[4] as usize != self.counts.len() {
+            return false;
+        }
+        self.count = ints[0];
+        self.sum = ints[1];
+        self.min = ints[2];
+        self.max = ints[3];
+        self.counts.copy_from_slice(&ints[5..]);
+        true
+    }
+
     /// Merge another histogram with identical bucketing. Panics on mismatch.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.buckets, other.buckets, "histogram bucketing mismatch");

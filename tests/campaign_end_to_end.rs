@@ -12,7 +12,8 @@
 use std::path::{Path, PathBuf};
 
 use mermaid::campaign::{
-    load_records, run_campaign, CampaignOptions, CampaignSpec, CSV_FILE, RUNS_FILE,
+    capture_run_checkpoint, checkpoint_path, checkpoints_dir, load_records, run_campaign,
+    CampaignOptions, CampaignSpec, CSV_FILE, RUNS_FILE,
 };
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -28,6 +29,7 @@ fn opts(dir: &Path, jobs: usize) -> CampaignOptions {
         limit: None,
         progress: false,
         attribution: false,
+        checkpoint_every_ps: None,
     }
 }
 
@@ -127,6 +129,65 @@ fn kill_and_resume_matches_an_uninterrupted_run() {
     );
     std::fs::remove_dir_all(&fresh).ok();
     std::fs::remove_dir_all(&resumed).ok();
+}
+
+#[test]
+fn checkpointed_campaign_resumes_mid_run_byte_identically() {
+    let spec = tiny_spec();
+    let fresh = temp_dir("ckpt-fresh");
+    run_campaign(&spec, &opts(&fresh, 2)).unwrap();
+
+    // Simulate a campaign killed mid-run under `--checkpoint`: fabricate
+    // the rolling snapshot one of the runs would have left behind, then
+    // resume. The resumed campaign must finish that run from its
+    // checkpoint and still produce byte-identical artifacts.
+    let resumed = temp_dir("ckpt-resumed");
+    let ckdir = checkpoints_dir(&resumed);
+    std::fs::create_dir_all(&ckdir).unwrap();
+    let victim = spec.expand().unwrap().remove(0);
+    let snap = checkpoint_path(&resumed, &victim);
+    capture_run_checkpoint(&victim, false, 50_000, &snap).unwrap();
+    assert!(snap.is_file(), "fabricated kill state missing");
+
+    let mut o = opts(&resumed, 2);
+    o.checkpoint_every_ps = Some(50_000);
+    let outcome = run_campaign(&spec, &o).unwrap();
+    assert_eq!((outcome.executed, outcome.pending), (8, 0));
+    assert_eq!(sorted_jsonl(&fresh), sorted_jsonl(&resumed));
+    assert_eq!(csv(&fresh), csv(&resumed));
+    // Every run completed, so every rolling checkpoint is spent and gone.
+    assert_eq!(
+        std::fs::read_dir(&ckdir).unwrap().count(),
+        0,
+        "completed runs must delete their checkpoints"
+    );
+    std::fs::remove_dir_all(&fresh).ok();
+    std::fs::remove_dir_all(&resumed).ok();
+}
+
+#[test]
+fn a_torn_campaign_checkpoint_is_discarded_and_rerun() {
+    let spec = tiny_spec();
+    let fresh = temp_dir("ckpt-torn-fresh");
+    run_campaign(&spec, &opts(&fresh, 2)).unwrap();
+
+    // A checkpoint torn by a kill mid-write (here: garbage bytes) must be
+    // detected, discarded with a warning, and the run restarted from
+    // scratch — never silently restored.
+    let dir = temp_dir("ckpt-torn");
+    let ckdir = checkpoints_dir(&dir);
+    std::fs::create_dir_all(&ckdir).unwrap();
+    let victim = spec.expand().unwrap().remove(0);
+    std::fs::write(checkpoint_path(&dir, &victim), "mermaid-snapshot-v1 sch").unwrap();
+
+    let mut o = opts(&dir, 2);
+    o.checkpoint_every_ps = Some(50_000);
+    run_campaign(&spec, &o).unwrap();
+    assert_eq!(sorted_jsonl(&fresh), sorted_jsonl(&dir));
+    assert_eq!(csv(&fresh), csv(&dir));
+    assert_eq!(std::fs::read_dir(&ckdir).unwrap().count(), 0);
+    std::fs::remove_dir_all(&fresh).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -365,3 +365,173 @@ proptest! {
         prop_assert_eq!(r.total_messages, pairs.len() as u64);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Checkpoint/restore invariance (DESIGN.md §16): for a random
+    /// (topology, traffic, fault schedule, checkpoint instant, restore
+    /// shard count), the restored run conserves messages and reproduces
+    /// the uninterrupted run's results — finish time, event count,
+    /// delivery accounting, and per-node counters — exactly.
+    #[test]
+    fn restored_runs_match_uninterrupted_runs(
+        topo_kind in 0u8..4,
+        fault_seed in 0u64..1_000,
+        drop_ppm in prop_oneof![Just(0u32), 1u32..50_000],
+        pick_raw in 0usize..64,
+        restore_shards in prop_oneof![Just(1usize), Just(3usize)],
+        pairs in prop::collection::vec((0u32..8, 0u32..8, 64u32..8_192), 1..20)
+    ) {
+        use std::sync::{Arc, Mutex};
+        use mermaid_network::{
+            run_checkpointed, CheckpointOpts, FaultSchedule, NetworkConfig, RetryParams,
+            Snapshot,
+        };
+        use mermaid_ops::TraceSet;
+        use mermaid_probe::ProbeHandle;
+        use pearl::Duration;
+
+        let topo = match topo_kind {
+            0 => Topology::Ring(8),
+            1 => Topology::Mesh2D { w: 4, h: 2 },
+            2 => Topology::Torus2D { w: 4, h: 2 },
+            _ => Topology::Hypercube { dim: 3 },
+        };
+        let cfg = NetworkConfig::test(topo);
+        let mut ts = TraceSet::new(8);
+        for &(src, dst, bytes) in &pairs {
+            ts.trace_mut(src).push(Operation::ASend { bytes, dst });
+        }
+        for &(src, dst, _) in &pairs {
+            ts.trace_mut(dst).push(Operation::Recv { src });
+        }
+        let faults = (drop_ppm > 0).then(|| {
+            Arc::new(
+                FaultSchedule::new(fault_seed)
+                    .with_retry(RetryParams::default_for(&cfg))
+                    .with_drop_ppm(drop_ppm),
+            )
+        });
+
+        let (straight, _) = run_checkpointed(
+            cfg, &ts, ProbeHandle::disabled(), 1, faults.clone(), None, None,
+        )
+        .unwrap();
+        prop_assert!(straight.all_done, "deadlocked: {:?}", straight.deadlocked);
+
+        // Capture at a cadence that lands ~4 checkpoints inside the run.
+        let snaps: Mutex<Vec<Snapshot>> = Mutex::new(Vec::new());
+        let keep = |s: &Snapshot| {
+            snaps.lock().unwrap().push(s.clone());
+            Ok(())
+        };
+        let ck = CheckpointOpts {
+            every: Duration::from_ps((straight.finish.as_ps() / 4).max(1)),
+            config_hash: "prop".into(),
+            write: &keep,
+        };
+        run_checkpointed(
+            cfg, &ts, ProbeHandle::disabled(), 1, faults.clone(), None, Some(&ck),
+        )
+        .unwrap();
+        let snaps = snaps.into_inner().unwrap();
+        prop_assert!(!snaps.is_empty(), "cadence produced no checkpoint");
+        let snap = &snaps[pick_raw % snaps.len()];
+
+        let (restored, _) = run_checkpointed(
+            cfg, &ts, ProbeHandle::disabled(), restore_shards, faults, Some(snap), None,
+        )
+        .unwrap();
+        prop_assert_eq!(restored.finish, straight.finish);
+        prop_assert_eq!(restored.all_done, straight.all_done);
+        prop_assert_eq!(restored.events, straight.events);
+        prop_assert_eq!(restored.total_messages, straight.total_messages);
+        prop_assert_eq!(restored.total_bytes, straight.total_bytes);
+        prop_assert_eq!(restored.unreachable.len(), straight.unreachable.len());
+
+        // Message conservation holds through the splice, globally and per
+        // node.
+        let (ds, dr) = (straight.delivery(), restored.delivery());
+        prop_assert!(dr.conserved(), "tracked={} acked={} failed={}", dr.tracked, dr.acked, dr.failed);
+        prop_assert_eq!(dr.tracked, ds.tracked);
+        prop_assert_eq!(dr.acked, ds.acked);
+        prop_assert_eq!(dr.failed, ds.failed);
+        for (a, b) in straight.nodes.iter().zip(&restored.nodes) {
+            prop_assert_eq!(a.proc.msgs_tracked, b.proc.msgs_tracked, "node {}", a.node);
+            prop_assert_eq!(a.proc.msgs_acked, b.proc.msgs_acked, "node {}", a.node);
+            prop_assert_eq!(a.proc.msgs_failed, b.proc.msgs_failed, "node {}", a.node);
+        }
+    }
+
+    /// Torn, truncated, or bit-flipped snapshot files are always detected:
+    /// any strict prefix of a snapshot fails to parse, as does any
+    /// single-byte corruption of the body — a damaged checkpoint is never
+    /// silently restored.
+    #[test]
+    fn damaged_snapshots_never_parse(
+        topo_kind in 0u8..4,
+        cut_raw in 0usize..100_000,
+        flip_raw in 0usize..100_000,
+        pairs in prop::collection::vec((0u32..8, 0u32..8, 64u32..4_096), 1..12)
+    ) {
+        use std::sync::Mutex;
+        use mermaid_network::{run_checkpointed, CheckpointOpts, NetworkConfig, Snapshot};
+        use mermaid_ops::TraceSet;
+        use mermaid_probe::ProbeHandle;
+        use pearl::Duration;
+
+        let topo = match topo_kind {
+            0 => Topology::Ring(8),
+            1 => Topology::Mesh2D { w: 4, h: 2 },
+            2 => Topology::Torus2D { w: 4, h: 2 },
+            _ => Topology::Hypercube { dim: 3 },
+        };
+        let cfg = NetworkConfig::test(topo);
+        let mut ts = TraceSet::new(8);
+        for &(src, dst, bytes) in &pairs {
+            ts.trace_mut(src).push(Operation::ASend { bytes, dst });
+        }
+        for &(src, dst, _) in &pairs {
+            ts.trace_mut(dst).push(Operation::Recv { src });
+        }
+        let snaps: Mutex<Vec<Snapshot>> = Mutex::new(Vec::new());
+        let keep = |s: &Snapshot| {
+            snaps.lock().unwrap().push(s.clone());
+            Ok(())
+        };
+        let ck = CheckpointOpts {
+            every: Duration::from_ps(20_000),
+            config_hash: "prop".into(),
+            write: &keep,
+        };
+        run_checkpointed(cfg, &ts, ProbeHandle::disabled(), 1, None, None, Some(&ck)).unwrap();
+        let snaps = snaps.into_inner().unwrap();
+        prop_assume!(!snaps.is_empty());
+        let text = snaps[cut_raw % snaps.len()].to_file_string();
+
+        // The intact file round-trips (the format is ASCII, so byte
+        // offsets below are valid slice points).
+        prop_assert!(text.is_ascii());
+        let reparsed = Snapshot::parse(&text).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(reparsed.to_file_string(), text.clone());
+
+        // Any strict prefix — a checkpoint killed mid-write — is refused.
+        let cut = cut_raw % text.len();
+        prop_assert!(
+            Snapshot::parse(&text[..cut]).is_err(),
+            "a snapshot truncated to {cut}/{} bytes parsed", text.len()
+        );
+
+        // Any single corrupted body byte trips the header's body hash.
+        let body_start = text.find('\n').unwrap() + 1;
+        let flip = body_start + flip_raw % (text.len() - body_start);
+        let mut bytes = text.clone().into_bytes();
+        bytes[flip] ^= 1;
+        let corrupt = String::from_utf8(bytes).unwrap();
+        prop_assert!(
+            Snapshot::parse(&corrupt).is_err(),
+            "a snapshot with byte {flip} flipped parsed"
+        );
+    }
+}
