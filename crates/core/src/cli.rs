@@ -13,7 +13,7 @@
 //!                      [--app <scientific|integer>] [--pattern <name>]
 //!                      [--phases N] [--ops N] [--seed N]
 //!                      [--mode <detailed|task|direct>] [--watch]
-//!                      [--shards <N|auto>] [--shard-profile]
+//!                      [--shards <N|auto>] [--shard-profile] [--speculate <on|off|ps>]
 //!                      [--faults <spec|file>] [--fault-seed N]
 //!                      [--trace-out <file>] [--metrics] [--attribution <file>]
 //!                      [--checkpoint-every <ps> --checkpoint-dir <dir>] [--restore <file>]
@@ -29,6 +29,10 @@
 //! profile of the simulator itself. `--shards` runs the communication
 //! model on N worker threads (`auto` = one per host core); sharded runs
 //! are bit-identical to single-threaded ones — with or without faults.
+//! `--speculate` controls the speculative-window policy of sharded runs
+//! (`on` = the default adaptive threshold, `off` = conservative windows
+//! only, or an explicit window-width threshold in picoseconds); it is a
+//! scheduling knob only and never changes results (DESIGN.md §17).
 //!
 //! `analyze` answers "where did the time go": it runs the simulation with
 //! the bottleneck-attribution sink attached and renders the latency
@@ -74,8 +78,8 @@
 //! their last snapshot instead of from scratch.
 
 use mermaid_network::{
-    run_checkpointed, CheckpointOpts, CommResult, FaultSchedule, RetryParams, Snapshot,
-    SnapshotError, Topology,
+    run_checkpointed_with, CheckpointOpts, CommResult, FaultSchedule, RetryParams, Snapshot,
+    SnapshotError, Speculation, Topology,
 };
 use mermaid_ops::table1;
 use std::sync::Arc;
@@ -88,7 +92,8 @@ pub fn usage() -> &'static str {
     "usage:\n  mermaid-cli table1\n  mermaid-cli topo <spec>\n  mermaid-cli machines\n  \
      mermaid-cli simulate --machine <name> --topology <spec> [--app <mix>] [--pattern <p>] \
      [--phases N] [--ops N] [--seed N] [--mode <detailed|task|direct>] [--watch] \
-     [--shards <N|auto>] [--shard-profile] [--faults <spec|file>] [--fault-seed N] \
+     [--shards <N|auto>] [--shard-profile] [--speculate <on|off|ps>] \
+     [--faults <spec|file>] [--fault-seed N] \
      [--trace-out <file>] [--metrics] [--attribution <file>] \
      [--checkpoint-every <ps> --checkpoint-dir <dir>] [--restore <file>]\n  \
      mermaid-cli analyze [same workload flags as simulate] [--json <file>]\n  \
@@ -128,6 +133,7 @@ struct Opts {
     checkpoint_every: Option<u64>,
     checkpoint_dir: Option<String>,
     restore: Option<String>,
+    speculate: Option<Speculation>,
 }
 
 /// Parse a `--shards` value: a thread count ≥ 1, or `auto` for one shard
@@ -139,6 +145,22 @@ fn parse_shards(s: &str) -> Result<usize, String> {
     match s.parse::<usize>() {
         Ok(n) if n >= 1 => Ok(n),
         _ => Err(format!("bad --shards `{s}` (want a count >= 1 or `auto`)")),
+    }
+}
+
+/// Parse a `--speculate` value: `on` (the built-in adaptive threshold),
+/// `off`, or an explicit window-width threshold in picoseconds.
+/// Scheduling policy only — results are bit-identical either way.
+fn parse_speculation(s: &str) -> Result<Speculation, String> {
+    match s {
+        "on" => Ok(Speculation::Auto),
+        "off" => Ok(Speculation::Off),
+        _ => match s.parse::<u64>() {
+            Ok(ps) if ps >= 1 => Ok(Speculation::Threshold(pearl::Duration::from_ps(ps))),
+            _ => Err(format!(
+                "bad --speculate `{s}` (want `on`, `off`, or a threshold in ps >= 1)"
+            )),
+        },
     }
 }
 
@@ -296,6 +318,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--checkpoint-dir" => o.checkpoint_dir = Some(value("--checkpoint-dir")?),
             "--restore" => o.restore = Some(value("--restore")?),
+            "--speculate" => o.speculate = Some(parse_speculation(&value("--speculate")?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -486,7 +509,7 @@ fn run_task_checkpointed(
         config_hash: hash.clone(),
         write: &write_snap,
     });
-    let (comm, shard_profile) = run_checkpointed(
+    let (comm, shard_profile) = run_checkpointed_with(
         network,
         traces,
         probe.clone(),
@@ -494,6 +517,7 @@ fn run_task_checkpointed(
         faults,
         restored.as_ref(),
         ck.as_ref(),
+        o.speculate.unwrap_or_default(),
     )
     .map_err(|e| e.to_string())?;
     let r = crate::TaskLevelResult {
@@ -522,7 +546,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
     let spec = crate::campaign::CampaignSpec::parse(&spec_text)?;
 
     let mut out_dir: Option<String> = None;
-    let mut jobs: usize = 1;
+    let mut jobs: Option<usize> = Some(1); // `None` = auto, resolved against the spec below
     let mut limit: Option<usize> = None;
     let mut dry_run = false;
     let mut attribution = false;
@@ -545,10 +569,10 @@ fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
             "--jobs" => {
                 let v = value("--jobs")?;
                 jobs = if v == "auto" {
-                    crate::sweep::auto_workers()
+                    None
                 } else {
                     match v.parse::<usize>() {
-                        Ok(n) if n >= 1 => n,
+                        Ok(n) if n >= 1 => Some(n),
                         _ => return Err(format!("bad --jobs `{v}` (want a count >= 1 or `auto`)")),
                     }
                 };
@@ -581,6 +605,12 @@ fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
         return Ok(out);
     }
     let out_dir = out_dir.ok_or("campaign needs --out <dir> (or --dry-run)")?;
+    // `--jobs auto` is resolved against the spec's shard axis: each run may
+    // itself spawn `shards` worker threads, so the job count is capped to
+    // keep jobs × shards within the host core count.
+    let jobs = jobs.unwrap_or_else(|| {
+        crate::sweep::auto_workers_for(spec.shards.iter().copied().max().unwrap_or(1))
+    });
     let outcome = crate::campaign::run_campaign(
         &spec,
         &crate::campaign::CampaignOptions {
@@ -665,6 +695,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
             if o.shard_profile && shards <= 1 {
                 return Err("--shard-profile needs --shards with at least 2 workers".into());
             }
+            if o.speculate.is_some() && shards <= 1 {
+                return Err("--speculate needs --shards with at least 2 workers".into());
+            }
             let checkpointing =
                 o.checkpoint_every.is_some() || o.checkpoint_dir.is_some() || o.restore.is_some();
             if checkpointing && mode != "task" {
@@ -743,6 +776,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         .with_probe(probe.clone())
                         .with_shards(shards)
                         .with_faults(faults.clone())
+                        .with_speculation(o.speculate.unwrap_or_default())
                         .run(&traces);
                     let slow = meter.finish(r.predicted_time);
                     finish_ps = r.predicted_time.as_ps();
@@ -797,6 +831,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                                     .with_probe(probe.clone())
                                     .with_shards(shards)
                                     .with_faults(faults.clone())
+                                    .with_speculation(o.speculate.unwrap_or_default())
                                     .run(&traces);
                                 (r, 0)
                             };
@@ -875,6 +910,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
             if o.shard_profile && shards <= 1 {
                 return Err("--shard-profile needs --shards with at least 2 workers".into());
             }
+            if o.speculate.is_some() && shards <= 1 {
+                return Err("--speculate needs --shards with at least 2 workers".into());
+            }
             if o.fault_seed.is_some() && o.faults.is_none() {
                 return Err("--fault-seed needs --faults".into());
             }
@@ -895,6 +933,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         .with_probe(probe.clone())
                         .with_shards(shards)
                         .with_faults(faults.clone())
+                        .with_speculation(o.speculate.unwrap_or_default())
                         .run(&traces);
                     out.push_str(&format!("predicted time: {}\n", r.predicted_time));
                     (r.predicted_time.as_ps(), r.shard_profile)
@@ -905,6 +944,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         .with_probe(probe.clone())
                         .with_shards(shards)
                         .with_faults(faults.clone())
+                        .with_speculation(o.speculate.unwrap_or_default())
                         .run(&traces);
                     out.push_str(&format!("predicted time: {}\n", r.predicted_time));
                     (r.predicted_time.as_ps(), r.shard_profile)
@@ -1193,6 +1233,59 @@ mod tests {
     }
 
     #[test]
+    fn speculate_flag_needs_a_sharded_run_and_a_sane_value() {
+        let err = run(&s(&["sim", "--mode", "task", "--speculate", "on"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = run(&s(&["analyze", "--speculate", "off"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = parse_opts(&s(&["--speculate", "maybe"])).unwrap_err();
+        assert!(err.contains("--speculate"), "{err}");
+        let err = parse_opts(&s(&["--speculate", "0"])).unwrap_err();
+        assert!(err.contains("--speculate"), "{err}");
+        assert!(matches!(
+            parse_opts(&s(&["--speculate", "on"])).unwrap().speculate,
+            Some(Speculation::Auto)
+        ));
+        assert!(matches!(
+            parse_opts(&s(&["--speculate", "off"])).unwrap().speculate,
+            Some(Speculation::Off)
+        ));
+        assert!(matches!(
+            parse_opts(&s(&["--speculate", "50000"])).unwrap().speculate,
+            Some(Speculation::Threshold(_))
+        ));
+    }
+
+    #[test]
+    fn speculation_policies_produce_identical_output() {
+        let base = s(&[
+            "sim",
+            "--machine",
+            "test",
+            "--topology",
+            "torus:2x2",
+            "--mode",
+            "task",
+            "--phases",
+            "2",
+            "--pattern",
+            "all2all",
+            "--shards",
+            "3",
+        ]);
+        let default = run(&base).unwrap();
+        for policy in ["on", "off", "200000"] {
+            let mut args = base.clone();
+            args.extend(s(&["--speculate", policy]));
+            assert_eq!(
+                default,
+                run(&args).unwrap(),
+                "--speculate {policy} diverged"
+            );
+        }
+    }
+
+    #[test]
     fn campaign_dry_run_lists_the_expanded_grid() {
         let out = run(&s(&[
             "campaign",
@@ -1238,6 +1331,23 @@ mod tests {
         assert!(
             second.contains("2 run(s) expanded, 2 already recorded, 0 executed"),
             "{second}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_jobs_auto_respects_sharded_runs() {
+        // `--jobs auto` resolves against the spec's shard axis, so a
+        // campaign of 2-shard runs must still execute (with a capped
+        // worker pool) rather than oversubscribe the host.
+        let dir = std::env::temp_dir().join(format!("mermaid-cli-jobsauto-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_str().unwrap().to_string();
+        let spec = "topo = ring:4; pattern = ring; phases = 1; ops = 200; shards = 1, 2";
+        let out = run(&s(&["campaign", spec, "--out", &dir_s, "--jobs", "auto"])).unwrap();
+        assert!(
+            out.contains("2 run(s) expanded, 0 already recorded, 2 executed"),
+            "{out}"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use mermaid_cpu::{CpuStats, SingleNodeSim};
 use mermaid_memory::{MemStats, MemSystemConfig};
 use mermaid_network::{
-    run_sharded_with_faults_profiled, CommResult, CommSim, FaultSchedule, ShardProfile,
+    run_checkpointed_with, CommResult, CommSim, FaultSchedule, ShardProfile, Speculation,
 };
 use mermaid_ops::{NodeId, Trace, TraceSet};
 use mermaid_probe::ProbeHandle;
@@ -69,6 +69,7 @@ pub struct HybridSim {
     probe: ProbeHandle,
     shards: usize,
     faults: Option<Arc<FaultSchedule>>,
+    speculation: Speculation,
 }
 
 impl HybridSim {
@@ -80,6 +81,7 @@ impl HybridSim {
             probe: ProbeHandle::disabled(),
             shards: 1,
             faults: None,
+            speculation: Speculation::default(),
         }
     }
 
@@ -111,17 +113,29 @@ impl HybridSim {
         self
     }
 
+    /// Set the speculative-window policy for a sharded communication
+    /// phase (builder style). Scheduling only: results are bit-identical
+    /// across every policy. Ignored by serial runs.
+    pub fn with_speculation(mut self, speculation: Speculation) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
     /// Run the communication model over already-extracted task-level
     /// traces, honouring the configured shard count and fault schedule.
     fn run_comm(&self, task_traces: &TraceSet) -> (CommResult, Option<ShardProfile>) {
         if self.shards > 1 {
-            run_sharded_with_faults_profiled(
+            run_checkpointed_with(
                 self.machine.network,
                 task_traces,
                 self.probe.clone(),
                 self.shards,
                 self.faults.clone(),
+                None,
+                None,
+                self.speculation,
             )
+            .expect("a run without checkpoint options cannot fail")
         } else {
             let comm = match &self.faults {
                 Some(f) => CommSim::new_with_faults(

@@ -17,6 +17,17 @@ pub fn auto_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// Worker count for a sweep whose individual runs are themselves
+/// multi-threaded: caps `workers × max_shards` at the host core count so
+/// sharded runs don't oversubscribe the machine (at least one worker).
+pub fn auto_workers_for(max_shards: usize) -> usize {
+    workers_for(auto_workers(), max_shards)
+}
+
+fn workers_for(cores: usize, max_shards: usize) -> usize {
+    (cores / max_shards.max(1)).max(1)
+}
+
 /// Run `f` over every configuration, in parallel, preserving input order.
 ///
 /// `f` must be deterministic for reproducible sweeps (every simulator in
@@ -111,6 +122,29 @@ mod tests {
     use crate::machines::MachineConfig;
     use mermaid_network::Topology;
     use mermaid_tracegen::{CommPattern, SizeDist, StochasticApp, StochasticGenerator};
+
+    #[test]
+    fn shard_aware_workers_cap_total_threads_at_the_core_count() {
+        // workers × shards never exceeds the core count, and both floors
+        // hold: at least one worker, shards of zero treated as one.
+        assert_eq!(workers_for(8, 1), 8);
+        assert_eq!(workers_for(8, 2), 4);
+        assert_eq!(workers_for(8, 3), 2);
+        assert_eq!(workers_for(8, 16), 1);
+        assert_eq!(workers_for(1, 4), 1);
+        assert_eq!(workers_for(8, 0), 8);
+        for cores in 1..=16usize {
+            for shards in 1..=8usize {
+                let w = workers_for(cores, shards);
+                assert!(w >= 1);
+                assert!(
+                    w == 1 || w * shards <= cores,
+                    "{cores} cores {shards} shards -> {w}"
+                );
+            }
+        }
+        assert!(auto_workers_for(1) >= 1);
+    }
 
     #[test]
     fn parallel_results_preserve_order() {

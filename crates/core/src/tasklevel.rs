@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use mermaid_network::{
-    run_sharded_with_faults_profiled, CommResult, CommSim, FaultSchedule, NetworkConfig,
-    ShardProfile,
+    run_checkpointed_with, CommResult, CommSim, FaultSchedule, NetworkConfig, ShardProfile,
+    Speculation,
 };
 use mermaid_ops::TraceSet;
 use mermaid_probe::ProbeHandle;
@@ -38,6 +38,7 @@ pub struct TaskLevelSim {
     probe: ProbeHandle,
     shards: usize,
     faults: Option<Arc<FaultSchedule>>,
+    speculation: Speculation,
 }
 
 impl TaskLevelSim {
@@ -49,6 +50,7 @@ impl TaskLevelSim {
             probe: ProbeHandle::disabled(),
             shards: 1,
             faults: None,
+            speculation: Speculation::default(),
         }
     }
 
@@ -77,6 +79,14 @@ impl TaskLevelSim {
         self
     }
 
+    /// Set the speculative-window policy for sharded runs (builder
+    /// style). Scheduling only: results are bit-identical across every
+    /// policy. Ignored by serial runs.
+    pub fn with_speculation(mut self, speculation: Speculation) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
     /// The interconnect configuration.
     pub fn network(&self) -> &NetworkConfig {
         &self.network
@@ -86,13 +96,17 @@ impl TaskLevelSim {
     pub fn run(&self, traces: &TraceSet) -> TaskLevelResult {
         let ops_simulated = traces.total_ops() as u64;
         let (comm, shard_profile) = if self.shards > 1 {
-            run_sharded_with_faults_profiled(
+            run_checkpointed_with(
                 self.network,
                 traces,
                 self.probe.clone(),
                 self.shards,
                 self.faults.clone(),
+                None,
+                None,
+                self.speculation,
             )
+            .expect("a run without checkpoint options cannot fail")
         } else {
             let comm = match &self.faults {
                 Some(f) => CommSim::new_with_faults(

@@ -39,11 +39,11 @@ pub(crate) mod world;
 
 pub use config::{LinkParams, NetworkConfig, RouterParams, Routing, Switching};
 pub use fault::{FaultEvent, FaultKind, FaultSchedule, RetryParams};
-pub use partition::{lookahead, Partition};
+pub use partition::{lookahead, PairLookahead, Partition};
 pub use processor::{ProcStats, UnreachableReport};
 pub use sharded::{
-    auto_shards, run_checkpointed, run_sharded, run_sharded_with_faults,
-    run_sharded_with_faults_profiled, CheckpointOpts, ShardProfile, ShardProfileEntry,
+    auto_shards, run_checkpointed, run_checkpointed_with, run_sharded, run_sharded_with_faults,
+    run_sharded_with_faults_profiled, CheckpointOpts, ShardProfile, ShardProfileEntry, Speculation,
 };
 pub use sim::{CommResult, CommSim, NodeCommStats};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA};

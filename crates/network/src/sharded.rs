@@ -25,22 +25,84 @@ use std::thread;
 use mermaid_ops::TraceSet;
 use mermaid_probe::{canonical_sort, AttributionSink, ProbeHandle, ProbeStack, SimEvent};
 use pearl::engine::RunResult;
-use pearl::{CompId, Duration, Engine, Time, WindowBarrier};
+use pearl::{CompId, Duration, Engine, Time, WindowBarrier, IDLE_PS};
 
 use crate::config::NetworkConfig;
 use crate::fault::FaultSchedule;
 use crate::packet::NetMsg;
-use crate::partition::{lookahead, Partition};
+use crate::partition::{lookahead, PairLookahead, Partition};
 use crate::processor::AbstractProcessor;
 use crate::router::{CrossShard, OutMsg, Router};
 use crate::sim::{CommResult, CommSim, NodeCommStats};
-use crate::snapshot::{capture_piece, restore_engine, ShardPiece, Snapshot, SnapshotError};
+use crate::snapshot::{
+    capture_piece, load_engine_state, restore_engine, save_engine_state, EngineState, ShardPiece,
+    Snapshot, SnapshotError,
+};
 use crate::world::NetWorld;
 
-/// Capacity of each shard's cross-shard inbox channel. Senders that find
-/// a channel full drain their own inbox while retrying, so the bound
-/// applies backpressure without risking deadlock.
-const CHANNEL_CAP: usize = 1024;
+/// One cross-shard transfer: every message a shard produced for one
+/// destination shard in one flush, shipped as a single channel send.
+type Batch = Vec<OutMsg>;
+
+/// Capacity (in batches) of each shard's cross-shard inbox channel,
+/// derived from the protocol rather than guessed: a sender ships at most
+/// one batch per destination per flush point, there are at most two flush
+/// points per round (the round-top flush and the pre-capture flush of a
+/// checkpoint rendezvous), and a receiver drains its inbox between any
+/// two of its own flush points — so at most `2` undrained batches can
+/// exist per sender at any instant, `2 * (k - 1)` per channel. A full
+/// channel therefore cannot happen in a correct run; [`ship`] treats it
+/// as a protocol-invariant violation instead of retrying (the PR 3 code
+/// sized the channel at a magic 1024 messages and span on full).
+fn channel_capacity(shards: usize) -> usize {
+    2 * shards.saturating_sub(1).max(1)
+}
+
+/// Push one batch into a destination shard's inbox, panicking on the
+/// (provably impossible) full or disconnected channel — see
+/// [`channel_capacity`] for the bound.
+fn ship(tx: &SyncSender<Batch>, batch: Batch, from: usize, to: usize) {
+    match tx.try_send(batch) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => panic!(
+            "cross-shard channel {from}->{to} full: the batched-flush protocol \
+             bounds in-flight batches below the channel capacity, so this is a \
+             sharding protocol bug, not backpressure"
+        ),
+        Err(TrySendError::Disconnected(_)) => {
+            unreachable!("inbox receivers live for the whole run")
+        }
+    }
+}
+
+/// Speculative-window policy for sharded runs. Speculation never changes
+/// results — a mis-speculated window is rolled back and re-executed from
+/// an in-memory snapshot — it only trades (bounded) re-execution risk for
+/// fewer barrier rounds when the conservative window bound is degenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Speculation {
+    /// Never speculate: pure conservative windows.
+    Off,
+    /// Speculate past degenerate windows with a threshold derived from
+    /// the configuration's lookahead (currently `8 x` lookahead).
+    #[default]
+    Auto,
+    /// Speculate with an explicit window threshold: a conservative window
+    /// narrower than this triggers a speculative run out to
+    /// `next event + threshold`.
+    Threshold(Duration),
+}
+
+impl Speculation {
+    /// The speculation threshold in picoseconds; `None` when off.
+    fn threshold_ps(self, la: Duration) -> Option<u64> {
+        match self {
+            Speculation::Off => None,
+            Speculation::Auto => Some(8 * la.as_ps()),
+            Speculation::Threshold(d) => Some(d.as_ps()).filter(|&ps| ps > 0),
+        }
+    }
+}
 
 /// Iterations a waiting shard spends yielding (the fast path: peers
 /// usually arrive within a scheduling quantum) before it parks on a
@@ -153,16 +215,42 @@ pub struct ShardProfileEntry {
     pub cross_sent: u64,
     /// Cross-shard messages this shard drained from its own inbox.
     pub cross_recv: u64,
+    /// Batched channel sends carrying those messages (one per destination
+    /// shard per flush with traffic) — the actual channel operation count.
+    pub flush_batches: u64,
+    /// Speculative windows whose results were validated and kept.
+    pub spec_commits: u64,
+    /// Speculative windows rolled back and re-executed conservatively
+    /// (including stagnation aborts, which restore the same snapshot).
+    pub spec_rollbacks: u64,
+    /// Log2 histogram of executed window widths: `window_hist[b]` counts
+    /// windows whose width in picoseconds satisfied `2^b <= width <
+    /// 2^(b+1)` (bucket 0 also holds zero-width rounds). Empty when the
+    /// shard executed no window.
+    pub window_hist: Vec<u64>,
     /// Host nanoseconds spent waiting on the round gate and window barrier.
     pub barrier_wait_ns: u64,
     /// Host nanoseconds spent executing events (`Engine::run_until`).
     pub work_ns: u64,
 }
 
+/// Number of log2 buckets in [`ShardProfileEntry::window_hist`] — enough
+/// for any u64 width.
+const WIDTH_BUCKETS: usize = 64;
+
 impl ShardProfileEntry {
     /// Mean events executed per lookahead window (window occupancy).
     pub fn events_per_window(&self) -> u64 {
         self.events.checked_div(self.windows).unwrap_or(0)
+    }
+
+    /// Record one executed window of `width_ps` in the log2 histogram.
+    fn record_width(&mut self, width_ps: u64) {
+        if self.window_hist.is_empty() {
+            self.window_hist = vec![0; WIDTH_BUCKETS];
+        }
+        let bucket = (u64::BITS - 1).saturating_sub(width_ps.leading_zeros()) as usize;
+        self.window_hist[bucket] += 1;
     }
 }
 
@@ -190,6 +278,32 @@ impl ShardProfile {
         self.shards.iter().map(|s| s.cross_sent).sum()
     }
 
+    /// Total batched channel sends across all shards.
+    pub fn total_flush_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.flush_batches).sum()
+    }
+
+    /// Total committed speculative windows across all shards.
+    pub fn total_spec_commits(&self) -> u64 {
+        self.shards.iter().map(|s| s.spec_commits).sum()
+    }
+
+    /// Total rolled-back speculative windows across all shards.
+    pub fn total_spec_rollbacks(&self) -> u64 {
+        self.shards.iter().map(|s| s.spec_rollbacks).sum()
+    }
+
+    /// Element-wise sum of every shard's window-width histogram.
+    pub fn window_hist(&self) -> Vec<u64> {
+        let mut all = vec![0u64; WIDTH_BUCKETS];
+        for s in &self.shards {
+            for (a, w) in all.iter_mut().zip(&s.window_hist) {
+                *a += w;
+            }
+        }
+        all
+    }
+
     /// Barrier wait as parts-per-million of total shard wall-clock
     /// (barrier + work). Answers "how synchronization-bound was this run".
     pub fn barrier_share_ppm(&self) -> u64 {
@@ -202,17 +316,21 @@ impl ShardProfile {
     /// time and will differ between runs.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "shard  windows  events  ev/window  cross-sent  cross-recv  barrier-us  work-us\n",
+            "shard  windows  events  ev/window  cross-sent  cross-recv  batches  \
+             spec-commit  spec-rollback  barrier-us  work-us\n",
         );
         for s in &self.shards {
             out.push_str(&format!(
-                "{:>5}  {:>7}  {:>6}  {:>9}  {:>10}  {:>10}  {:>10}  {:>7}\n",
+                "{:>5}  {:>7}  {:>6}  {:>9}  {:>10}  {:>10}  {:>7}  {:>11}  {:>13}  {:>10}  {:>7}\n",
                 s.shard,
                 s.windows,
                 s.events,
                 s.events_per_window(),
                 s.cross_sent,
                 s.cross_recv,
+                s.flush_batches,
+                s.spec_commits,
+                s.spec_rollbacks,
                 s.barrier_wait_ns / 1_000,
                 s.work_ns / 1_000,
             ));
@@ -224,6 +342,16 @@ impl ShardProfile {
             self.barrier_share_ppm() / 10_000,
             self.barrier_share_ppm() % 10_000 / 1_000,
         ));
+        let hist = self.window_hist();
+        let lines: Vec<String> = hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, c)| format!("2^{b}ps:{c}"))
+            .collect();
+        if !lines.is_empty() {
+            out.push_str(&format!("window widths (log2): {}\n", lines.join("  ")));
+        }
         out
     }
 }
@@ -422,6 +550,33 @@ pub fn run_checkpointed(
     restore_from: Option<&Snapshot>,
     ckpt: Option<&CheckpointOpts<'_>>,
 ) -> Result<(CommResult, Option<ShardProfile>), SnapshotError> {
+    run_checkpointed_with(
+        cfg,
+        traces,
+        probe,
+        shards,
+        faults,
+        restore_from,
+        ckpt,
+        Speculation::default(),
+    )
+}
+
+/// [`run_checkpointed`] with an explicit [`Speculation`] policy. The
+/// policy affects scheduling only — results, stats, probe streams and
+/// checkpoint files are bit-identical across every policy (and to the
+/// serial run).
+#[allow(clippy::too_many_arguments)]
+pub fn run_checkpointed_with(
+    cfg: NetworkConfig,
+    traces: &TraceSet,
+    probe: ProbeHandle,
+    shards: usize,
+    faults: Option<Arc<FaultSchedule>>,
+    restore_from: Option<&Snapshot>,
+    ckpt: Option<&CheckpointOpts<'_>>,
+    speculation: Speculation,
+) -> Result<(CommResult, Option<ShardProfile>), SnapshotError> {
     cfg.validate();
     let part = Partition::contiguous(cfg.topology, shards);
     let la = lookahead(&cfg);
@@ -429,7 +584,17 @@ pub fn run_checkpointed(
         let result = run_serial_checkpointed(cfg, traces, probe, faults, restore_from, ckpt)?;
         return Ok((result, None));
     }
-    run_sharded_inner(cfg, traces, probe, part, la, faults, restore_from, ckpt)
+    run_sharded_inner(
+        cfg,
+        traces,
+        probe,
+        part,
+        la,
+        faults,
+        restore_from,
+        ckpt,
+        speculation,
+    )
 }
 
 /// The serial path of [`run_checkpointed`]: restore (if asked), then run
@@ -489,6 +654,7 @@ fn run_sharded_inner(
     faults: Option<Arc<FaultSchedule>>,
     restore_from: Option<&Snapshot>,
     ckpt: Option<&CheckpointOpts<'_>>,
+    speculation: Speculation,
 ) -> Result<(CommResult, Option<ShardProfile>), SnapshotError> {
     let n = cfg.topology.nodes();
     if let Some(snap) = restore_from {
@@ -511,15 +677,19 @@ fn run_sharded_inner(
 
     let k = part.shards();
     let barrier = WindowBarrier::new(k);
+    // Per-shard-pair lookahead matrix, computed once per partition: the
+    // window bound of shard `i` is `min over j of (mins[j] + L[j][i])`
+    // instead of the global minimum plus the global lookahead.
+    let pairla = PairLookahead::compute(&cfg.topology, &part, la);
     // Round-arrival gate: shards increment once per round; a shard may
     // compute its round-`r` local minimum only after all `k` increments of
-    // round `r` — by then every cross-shard message of the previous window
+    // round `r` — by then every cross-shard batch of the previous window
     // has been pushed into its destination channel.
     let gate = RoundGate::new();
     let mut txs = Vec::with_capacity(k);
     let mut rxs = Vec::with_capacity(k);
     for _ in 0..k {
-        let (tx, rx) = sync_channel::<OutMsg>(CHANNEL_CAP);
+        let (tx, rx) = sync_channel::<Batch>(channel_capacity(k));
         txs.push(tx);
         rxs.push(rx);
     }
@@ -543,7 +713,7 @@ fn run_sharded_inner(
             .map(|(s, rx)| {
                 let txs = txs.clone();
                 let faults = faults.clone();
-                let (part, barrier, gate) = (&part, &barrier, &gate);
+                let (part, barrier, gate, pairla) = (&part, &barrier, &gate, &pairla);
                 let ckpt_sync = ckpt_sync.as_ref();
                 scope.spawn(move || {
                     shard_worker(
@@ -551,7 +721,7 @@ fn run_sharded_inner(
                         cfg,
                         traces,
                         part,
-                        la,
+                        pairla,
                         barrier,
                         gate,
                         txs,
@@ -560,6 +730,7 @@ fn run_sharded_inner(
                         faults,
                         restore_from,
                         ckpt_sync,
+                        speculation.threshold_ps(la),
                     )
                 })
             })
@@ -579,6 +750,63 @@ fn run_sharded_inner(
     Ok((result, Some(profile)))
 }
 
+/// Cap on the speculation rollback backoff, in conservative rounds. The
+/// penalty doubles on every rollback up to this cap and resets to zero on
+/// a commit, so a workload where speculation keeps losing pays for at most
+/// one rollback per `SPEC_BACKOFF_CAP` rounds in steady state.
+const SPEC_BACKOFF_CAP: u64 = 1024;
+
+/// An in-flight speculative window: the rollback snapshot plus everything
+/// needed to validate, commit, or unwind it.
+struct Spec {
+    /// Exclusive end of the speculated region; an incoming message
+    /// timestamped strictly below it invalidates the speculation.
+    end_ps: u64,
+    /// The promise to publish while this speculation is pending: the
+    /// engine's queue-head time at launch, exactly what a conservative
+    /// shard stalled at the same frontier would publish. The sped-ahead
+    /// engine's own `next_event_time` is NOT a valid promise — a later
+    /// arrival above `end_ps` can land below it and legally drag it
+    /// back down after peers already built their frontiers on it.
+    promise_ps: u64,
+    /// Engine + world state at the conservative frontier the speculation
+    /// started from.
+    state: EngineState,
+    /// Probe buffer length at the snapshot (rollback truncation point).
+    probe_len: usize,
+    /// Cross-shard output generated by the speculative run, withheld from
+    /// the channels until the window commits.
+    held: Vec<OutMsg>,
+    /// Cross-shard input received while pending — already posted to the
+    /// speculated engine, re-posted after a rollback (the wholesale
+    /// restore wipes the queue), dropped on commit.
+    incoming_log: Vec<OutMsg>,
+}
+
+/// Roll a mis-speculated (or stagnation-aborted) window back: restore the
+/// engine to the conservative frontier, drop the speculated probe suffix
+/// and held output, and re-post every cross-shard message received since
+/// the snapshot (`extra` carries the current round's, including the
+/// invalidating one).
+fn unwind(
+    engine: &mut Engine<NetMsg, NetWorld>,
+    probe: &ProbeHandle,
+    sp: Spec,
+    extra: Vec<OutMsg>,
+    profile: &mut ShardProfileEntry,
+) {
+    profile.spec_rollbacks += 1;
+    load_engine_state(engine, &sp.state);
+    let _ = probe.with_stack(|st| {
+        if let Some(b) = st.buffer.as_mut() {
+            b.truncate(sp.probe_len);
+        }
+    });
+    for m in sp.incoming_log.into_iter().chain(extra) {
+        engine.post_keyed(m.time, m.key, m.src, m.dst, m.msg);
+    }
+}
+
 /// One shard's whole life: build its arena world, run the window loop,
 /// collect local stats.
 #[allow(clippy::too_many_arguments)]
@@ -587,15 +815,16 @@ fn shard_worker(
     cfg: NetworkConfig,
     traces: &TraceSet,
     part: &Partition,
-    la: Duration,
+    pairla: &PairLookahead,
     barrier: &WindowBarrier,
     gate: &RoundGate,
-    txs: Vec<SyncSender<OutMsg>>,
-    rx: Receiver<OutMsg>,
+    txs: Vec<SyncSender<Batch>>,
+    rx: Receiver<Batch>,
     want_probe: bool,
     faults: Option<Arc<FaultSchedule>>,
     restore_from: Option<&Snapshot>,
     ckpt: Option<&CkptSync<'_>>,
+    spec_threshold: Option<u64>,
 ) -> ShardOut {
     let n = part.nodes();
     let k = part.shards() as u64;
@@ -694,73 +923,163 @@ fn shard_worker(
         None => (u64::MAX, 0),
     };
 
-    let la_ps = la.as_ps();
+    let ks = part.shards();
     let mut round: u64 = 0;
-    let mut inbox: Vec<OutMsg> = Vec::new();
+    let mut inbox: Vec<Batch> = Vec::new();
     let mut profile = ShardProfileEntry {
         shard: s,
         ..ShardProfileEntry::default()
     };
-    loop {
-        // Flush this window's cross-shard messages. On a full channel,
-        // drain our own inbox while retrying: the receiver of any full
-        // channel frees capacity this way no matter where it is blocked,
-        // so the bounded channels cannot deadlock. The retry yields for a
-        // bounded number of rounds, then backs off into timed sleeps — a
-        // stalled peer should cost this core its timeslice, not peg it.
-        for msg in outbox.borrow_mut().drain(..) {
-            let dst_shard = part.shard_of(msg.dst as u32);
-            profile.cross_sent += 1;
-            let mut pending = Some(msg);
-            let mut spins: u32 = 0;
-            while let Some(m) = pending.take() {
-                match txs[dst_shard].try_send(m) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(m)) => {
-                        pending = Some(m);
-                        inbox.extend(rx.try_iter());
-                        if spins < SPIN_LIMIT {
-                            spins += 1;
-                            thread::yield_now();
-                        } else {
-                            thread::sleep(PARK_WAIT);
-                        }
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        unreachable!("inbox receivers live for the whole run")
-                    }
-                }
+    // Batch the outbox into one channel send per destination shard with
+    // traffic. The channels never fill (see [`channel_capacity`]), so
+    // there is no retry path.
+    let do_flush = |msgs: &mut Vec<OutMsg>, profile: &mut ShardProfileEntry| {
+        if msgs.is_empty() {
+            return;
+        }
+        profile.cross_sent += msgs.len() as u64;
+        let mut batches: Vec<Batch> = vec![Vec::new(); ks];
+        for m in msgs.drain(..) {
+            batches[part.shard_of(m.dst as u32)].push(m);
+        }
+        for (d, b) in batches.into_iter().enumerate() {
+            if !b.is_empty() {
+                profile.flush_batches += 1;
+                ship(&txs[d], b, s, d);
             }
         }
-        // Round gate: wait (draining) until every shard has flushed.
+    };
+    let mut spec: Option<Spec> = None;
+    let mut mins: Vec<u64> = Vec::new();
+    let mut prev_mins: Vec<u64> = Vec::new();
+    // Rollback backoff. Speculation is a bet that no peer sends into the
+    // speculated region; when the bet loses, the shard pays a snapshot
+    // restore plus a re-executed window — far more than the stall it
+    // tried to hide. On comm-heavy workloads the bet loses almost every
+    // round, so unbounded retry turns speculation into a large slowdown.
+    // The penalty doubles on every rollback (capped) and suppresses new
+    // launches for that many conservative rounds; a commit resets it, so
+    // workloads where speculation wins keep speculating freely.
+    let mut spec_penalty: u64 = 0;
+    let mut spec_cooldown: u64 = 0;
+    loop {
+        // 1. Flush this round's cross-shard messages. During a pending
+        //    speculation the outbox only ever holds validated output —
+        //    the speculative suffix lives in `spec.held`.
+        do_flush(&mut outbox.borrow_mut(), &mut profile);
+        // 2. Round gate: wait (draining) until every shard has flushed.
         round += 1;
         gate.arrive();
         let gate_wait = std::time::Instant::now();
         gate.wait(round * k, || inbox.extend(rx.try_iter()));
         profile.barrier_wait_ns += gate_wait.elapsed().as_nanos() as u64;
         inbox.extend(rx.try_iter());
-        // Inject cross-shard arrivals at their exact serial queue keys.
-        profile.cross_recv += inbox.len() as u64;
-        for m in inbox.drain(..) {
-            engine.post_keyed(m.time, m.key, m.src, m.dst, m.msg);
+        // 3. Inject cross-shard arrivals at their exact serial queue
+        //    keys. An arrival inside a speculated region proves the
+        //    speculation wrong: rewind and re-execute with it.
+        let mut incoming: Vec<OutMsg> = Vec::new();
+        for b in inbox.drain(..) {
+            incoming.extend(b);
         }
-        // Agree on the next window and execute it. Events *at* the window
-        // end belong to the next round (times are integer picoseconds, so
-        // `end - 1` is exact).
-        let local_min = engine.next_event_time();
-        let (agreed, waited_ns) = barrier.agree_min_timed(s, local_min);
-        profile.barrier_wait_ns += waited_ns;
-        let Some(w) = agreed else {
-            break; // every shard idle and no message in flight: done
+        profile.cross_recv += incoming.len() as u64;
+        if let Some(mut sp) = spec.take() {
+            if incoming.iter().any(|m| m.time.as_ps() < sp.end_ps) {
+                unwind(&mut engine, &my_probe, sp, incoming, &mut profile);
+                spec_penalty = (spec_penalty * 2).clamp(1, SPEC_BACKOFF_CAP);
+                spec_cooldown = spec_penalty;
+            } else {
+                for m in &incoming {
+                    engine.post_keyed(m.time, m.key, m.src, m.dst, m.msg);
+                }
+                sp.incoming_log.append(&mut incoming);
+                spec = Some(sp);
+            }
+        } else {
+            for m in incoming.drain(..) {
+                engine.post_keyed(m.time, m.key, m.src, m.dst, m.msg);
+            }
+        }
+        // 4. Publish this shard's promise and read every peer's. The
+        //    promise must lower-bound (through the pair matrix) every
+        //    message this shard may still deliver. Conservatively that is
+        //    the queue head. While a speculation is pending it is the
+        //    queue head *at launch*, frozen: every speculated event (and
+        //    hence every held message, and the identical replayed prefix
+        //    after a rollback) executes at or after that head, and
+        //    rollback divergence is bounded by the trigger sender's own
+        //    promise chained through real node paths — see DESIGN.md
+        //    §17. Speculation therefore never widens what a peer may
+        //    execute; it only precomputes this shard's side of a window
+        //    the conservative protocol will eventually grant.
+        let local_ps = match &spec {
+            Some(sp) => sp.promise_ps,
+            None => engine.next_event_time().map_or(IDLE_PS, |t| t.as_ps()),
         };
-        // Capture every checkpoint instant at or before the agreed
-        // minimum: all events before it were processed (windows are
-        // clamped to the cadence below), all pending events are at or
-        // after it (pending ≥ own local minimum ≥ `w` ≥ instant). Every
-        // shard sees the same `w` and cadence, so all deposit pieces for
-        // the same instants in the same rounds.
+        let waited_ns = barrier.publish_mins_timed(s, local_ps, &mut mins);
+        profile.barrier_wait_ns += waited_ns;
+        let m_ps = mins.iter().copied().min().unwrap_or(IDLE_PS);
+        if m_ps == IDLE_PS {
+            // Every engine drained, nothing in flight. A shard with a
+            // pending speculation publishes its finite frozen promise,
+            // so all-idle implies no speculation is pending anywhere.
+            debug_assert!(
+                spec.is_none(),
+                "a pending speculation publishes a finite promise"
+            );
+            break;
+        }
+        // 5. Validate a pending speculation against the new bound.
+        let bound = pairla.window_end_ps(s, &mins);
+        if let Some(sp) = spec.take() {
+            if bound >= sp.end_ps {
+                // Proven: no shard can ever send into the speculated
+                // region. Release the held output (flushed next round).
+                profile.spec_commits += 1;
+                outbox.borrow_mut().extend(sp.held);
+                spec_penalty = 0;
+            } else if mins == prev_mins {
+                // Stagnation: a full round with no published value moving
+                // means every shard is frozen behind pending speculations
+                // (an executing shard strictly raises its promise).
+                // Revert to the conservative protocol to restore
+                // liveness.
+                unwind(&mut engine, &my_probe, sp, Vec::new(), &mut profile);
+                spec_penalty = (spec_penalty * 2).clamp(1, SPEC_BACKOFF_CAP);
+                spec_cooldown = spec_penalty;
+            } else {
+                spec = Some(sp);
+            }
+        }
+        prev_mins.clone_from(&mins);
+        // 6. Capture every checkpoint instant at or before the global
+        //    minimum: all events before it were processed (windows and
+        //    speculations are clamped to the cadence), all pending events
+        //    are at or after it. Every shard sees the same `mins` and
+        //    cadence, so all deposit pieces for the same instants in the
+        //    same rounds. A speculation pending here is impossible: its
+        //    end is clamped to `next_cp <= m < bound`, which commits it
+        //    in step 5.
         if let Some(ck) = ckpt {
-            while next_cp <= w.as_ps() {
+            while next_cp <= m_ps {
+                debug_assert!(
+                    spec.is_none(),
+                    "speculation never crosses a capture instant"
+                );
+                // Deliver every in-flight message first: a speculative
+                // batch committed this round still sits in the outbox,
+                // and the composed snapshot must show it in its
+                // destination's queue exactly as a serial capture would.
+                do_flush(&mut outbox.borrow_mut(), &mut profile);
+                ck.barrier.wait();
+                inbox.extend(rx.try_iter());
+                let mut late: Vec<OutMsg> = Vec::new();
+                for b in inbox.drain(..) {
+                    late.extend(b);
+                }
+                profile.cross_recv += late.len() as u64;
+                for m in late {
+                    engine.post_keyed(m.time, m.key, m.src, m.dst, m.msg);
+                }
                 let at = Time::from_ps(next_cp);
                 let piece = capture_piece(&engine, &ck.opts.config_hash, at);
                 let buffered = if ck.want_attr {
@@ -784,15 +1103,63 @@ fn shard_worker(
                 next_cp += every_ps;
             }
         }
-        // Clamp the window to the next checkpoint instant so every
-        // capture lands exactly on a window boundary — smaller windows
-        // are always safe under the lookahead contract, and `next_cp` is
-        // beyond `w` here, so progress is preserved.
-        let end_ps = w.as_ps().saturating_add(la_ps).min(next_cp);
-        let work = std::time::Instant::now();
-        engine.run_until(Time::from_ps(end_ps - 1));
-        profile.work_ns += work.elapsed().as_nanos() as u64;
+        // 7. Execute the window. Events *at* the window end belong to the
+        //    next round (times are integer picoseconds, so `end - 1` is
+        //    exact). While a speculation is pending the engine has
+        //    already run ahead; the shard stalls until validation.
         profile.windows += 1;
+        if spec.is_none() {
+            let end_ps = bound.min(next_cp);
+            let nev = engine.next_event_time().map(|t| t.as_ps());
+            if let Some(start) = nev {
+                if start < end_ps {
+                    let work = std::time::Instant::now();
+                    engine.run_until(Time::from_ps(end_ps - 1));
+                    profile.work_ns += work.elapsed().as_nanos() as u64;
+                    profile.record_width(end_ps - start);
+                }
+            }
+            // 8. Launch a speculative window when the proven bound left
+            //    less than a threshold of runway: snapshot, run ahead to
+            //    `next event + threshold` (never across a checkpoint
+            //    instant), and hold all cross-shard output back until the
+            //    bound catches up.
+            if let Some(thr) = spec_threshold {
+                if spec_cooldown > 0 {
+                    spec_cooldown -= 1;
+                    // Backing off after recent rollbacks — see the
+                    // penalty bookkeeping at the unwind sites.
+                } else {
+                    let start = nev.unwrap_or(end_ps);
+                    let spec_end = start.saturating_add(thr).min(next_cp);
+                    if end_ps != u64::MAX && end_ps.saturating_sub(start) < thr && spec_end > end_ps
+                    {
+                        if let Some(head) = engine.next_event_time() {
+                            if head.as_ps() < spec_end {
+                                let mark = outbox.borrow().len();
+                                let state = save_engine_state(&engine);
+                                let probe_len = my_probe
+                                    .with_stack(|st| st.buffer.as_ref().map_or(0, |b| b.len()))
+                                    .unwrap_or(0);
+                                let work = std::time::Instant::now();
+                                engine.run_until(Time::from_ps(spec_end - 1));
+                                profile.work_ns += work.elapsed().as_nanos() as u64;
+                                profile.record_width(spec_end - head.as_ps());
+                                let held = outbox.borrow_mut().split_off(mark);
+                                spec = Some(Spec {
+                                    end_ps: spec_end,
+                                    promise_ps: head.as_ps(),
+                                    state,
+                                    probe_len,
+                                    held,
+                                    incoming_log: Vec::new(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
     profile.events = engine.events_processed();
 
@@ -1019,6 +1386,116 @@ mod tests {
         let table = profile.render();
         assert!(table.contains("ev/window"));
         assert!(table.lines().count() >= 5);
+    }
+
+    /// Run sharded under an explicit speculative-window policy.
+    fn run_with_policy(
+        cfg: NetworkConfig,
+        ts: &TraceSet,
+        shards: usize,
+        policy: Speculation,
+    ) -> (CommResult, ShardProfile) {
+        let (r, profile) = run_checkpointed_with(
+            cfg,
+            ts,
+            ProbeHandle::disabled(),
+            shards,
+            None,
+            None,
+            None,
+            policy,
+        )
+        .expect("a run without checkpoint options cannot fail");
+        (r, profile.expect("a real sharded run self-profiles"))
+    }
+
+    #[test]
+    fn speculation_off_is_bit_identical_and_never_speculates() {
+        let cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 4 });
+        let ts = exchange_traces(16);
+        let serial = CommSim::new(cfg, &ts).run();
+        let (sh, profile) = run_with_policy(cfg, &ts, 4, Speculation::Off);
+        assert_identical(&serial, &sh);
+        assert_eq!(profile.total_spec_commits(), 0);
+        assert_eq!(profile.total_spec_rollbacks(), 0);
+    }
+
+    #[test]
+    fn forced_speculation_is_bit_identical_and_counted() {
+        // A threshold far beyond every conservative window forces a
+        // speculative attempt whenever a shard has pending work, so the
+        // commit/rollback machinery is genuinely exercised — and the
+        // results must still match the serial run exactly.
+        let cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 4 });
+        let ts = exchange_traces(16);
+        let serial = CommSim::new(cfg, &ts).run();
+        let aggressive = Speculation::Threshold(Duration::from_ps(1_000_000_000));
+        let (sh, profile) = run_with_policy(cfg, &ts, 4, aggressive);
+        assert_identical(&serial, &sh);
+        assert!(
+            profile.total_spec_commits() + profile.total_spec_rollbacks() > 0,
+            "an aggressive threshold must trigger speculation"
+        );
+        // The flush path batches: cross-shard traffic moves in at most one
+        // batch per destination per flush point.
+        assert!(profile.total_flush_batches() > 0);
+        assert!(profile.total_flush_batches() <= profile.total_cross_msgs());
+    }
+
+    #[test]
+    fn forced_speculation_keeps_the_probe_stream_exact() {
+        // Rollbacks must leave no trace in the probe buffer (speculated
+        // events are truncated before re-execution).
+        let cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 2 });
+        let ts = exchange_traces(8);
+        let serial_probe = ProbeHandle::new(ProbeStack::new().with_buffer());
+        let serial = CommSim::new_with_probe(cfg, &ts, serial_probe.clone()).run();
+        let mut serial_events: Vec<SimEvent> = serial_probe
+            .take_buffer()
+            .unwrap()
+            .into_iter()
+            .filter(|e| !e.is_engine_internal())
+            .collect();
+        canonical_sort(&mut serial_events);
+
+        let probe = ProbeHandle::new(ProbeStack::new().with_buffer());
+        let (sh, _) = run_checkpointed_with(
+            cfg,
+            &ts,
+            probe.clone(),
+            3,
+            None,
+            None,
+            None,
+            Speculation::Threshold(Duration::from_ps(1_000_000_000)),
+        )
+        .expect("a run without checkpoint options cannot fail");
+        let sharded_events = probe.take_buffer().unwrap();
+        assert_eq!(serial_events, sharded_events);
+        assert!(!sharded_events.is_empty());
+        assert_identical(&serial, &sh);
+    }
+
+    #[test]
+    fn window_histogram_accounts_for_every_window() {
+        let cfg = NetworkConfig::test(Topology::Torus2D { w: 4, h: 2 });
+        let ts = exchange_traces(8);
+        let (_, profile) = run_with_policy(cfg, &ts, 3, Speculation::default());
+        let hist = profile.window_hist();
+        let total: u64 = hist.iter().sum();
+        let windows: u64 = profile.shards.iter().map(|p| p.windows).sum();
+        // A round records at most two widths: the conservative slice it
+        // executed, plus a speculative window launched in the same round
+        // (which later resolves as exactly one commit or rollback).
+        let launches = profile.total_spec_commits() + profile.total_spec_rollbacks();
+        assert!(total > 0, "a finite run records window widths");
+        assert!(
+            total <= windows + launches,
+            "histogram counts executed windows only ({total} vs {windows} rounds + {launches} speculative launches)"
+        );
+        let rendered = profile.render();
+        assert!(rendered.contains("window widths (log2):"), "{rendered}");
+        assert!(rendered.contains("spec-commit"), "{rendered}");
     }
 
     #[test]

@@ -20,8 +20,10 @@ use std::sync::Barrier;
 
 use crate::time::Time;
 
-/// Sentinel published by a shard with no pending events.
-const IDLE: u64 = u64::MAX;
+/// Sentinel published by a shard with no pending events (and no other
+/// future cross-shard obligations). Public so callers of
+/// [`WindowBarrier::publish_mins_timed`] can interpret raw slot values.
+pub const IDLE: u64 = u64::MAX;
 
 /// Barrier used by sharded runs to agree on the next window start.
 ///
@@ -37,11 +39,12 @@ const IDLE: u64 = u64::MAX;
 ///    the simulation has terminated.
 ///
 /// Memory ordering: the per-shard slots are written and read with `Relaxed`
-/// ordering. This is sound because each `agree_min` round is bracketed by
+/// ordering. This is sound because each min-exchange round is bracketed by
 /// `Barrier::wait` calls, which establish happens-before edges between every
 /// writer and every reader: a shard reads slot values only after the interior
 /// barrier, which all writers have passed; and a shard overwrites its slot in
-/// round *k+1* only after passing that round's [`exchange`] barrier, which the
+/// round *k+1* only after the round-closing rendezvous inside
+/// [`publish_mins_timed`](WindowBarrier::publish_mins_timed), which the
 /// round-*k* readers must also have passed.
 ///
 /// [`exchange`]: WindowBarrier::exchange
@@ -95,22 +98,58 @@ impl WindowBarrier {
     /// purely for self-profiling (how much of a shard's life is barrier
     /// overhead versus useful event execution).
     pub fn agree_min_timed(&self, shard: usize, local: Option<Time>) -> (Option<Time>, u64) {
-        let raw = local.map_or(IDLE, |t| t.as_ps());
-        self.mins[shard].store(raw, Ordering::Relaxed);
-        let waited = std::time::Instant::now();
-        self.resolve.wait();
-        let waited_ns = waited.elapsed().as_nanos() as u64;
-        let min = self
-            .mins
-            .iter()
-            .map(|m| m.load(Ordering::Relaxed))
-            .min()
-            .unwrap_or(IDLE);
+        let mut all = Vec::with_capacity(self.shards);
+        let waited_ns = self.publish_mins_timed(shard, local.map_or(IDLE, |t| t.as_ps()), &mut all);
+        let min = all.iter().copied().min().unwrap_or(IDLE);
         if min == IDLE {
             (None, waited_ns)
         } else {
             (Some(Time::from_ps(min)), waited_ns)
         }
+    }
+
+    /// Full min-exchange: publish this shard's earliest-obligation bound
+    /// (in raw picoseconds, [`IDLE`] when it has none) and fill `out` with
+    /// *every* shard's published value, indexed by shard id. Returns how
+    /// long this shard blocked waiting for its peers, in host nanoseconds.
+    ///
+    /// This is the primitive behind per-shard-*pair* window bounds: a
+    /// caller that knows a lower bound `L[j][i]` on the latency of any
+    /// cross-shard effect from shard `j` to shard `i` can widen its window
+    /// to `min over j != i of (out[j] + L[j][i])` instead of the global
+    /// minimum plus the global lookahead — see the sharded runner in the
+    /// network crate (DESIGN.md §17).
+    ///
+    /// The published value is a *promise*, not just a queue peek: a shard
+    /// must publish a value `p` such that every event it will ever hand to
+    /// shard `j` from now on arrives no earlier than `p + L[self][j]`.
+    /// Publishing the earliest pending event time satisfies this; a shard
+    /// that has run ahead speculatively must instead keep publishing the
+    /// floor it would publish conservatively (its queue head when the
+    /// speculation launched) — the sped-ahead queue head is not a floor,
+    /// since later arrivals can legally land below it.
+    ///
+    /// The same barrier memory-ordering argument as [`agree_min`]
+    /// (see the type-level docs) covers the whole-slice read: every slot
+    /// write happens-before the `resolve` rendezvous, which happens-before
+    /// every slot read.
+    ///
+    /// [`agree_min`]: WindowBarrier::agree_min
+    pub fn publish_mins_timed(&self, shard: usize, local_ps: u64, out: &mut Vec<u64>) -> u64 {
+        self.mins[shard].store(local_ps, Ordering::Relaxed);
+        let waited = std::time::Instant::now();
+        self.resolve.wait();
+        out.clear();
+        out.extend(self.mins.iter().map(|m| m.load(Ordering::Relaxed)));
+        // Close the round before returning: without this rendezvous a fast
+        // shard could re-enter and overwrite its slot for round k+1 while a
+        // slow peer is still reading round k's values, handing the slow
+        // shard an inconsistent (future) minimum. `agree_min` historically
+        // relied on callers interposing `exchange()` between rounds;
+        // publish_mins_timed is called back-to-back, so it closes the round
+        // itself.
+        self.publish.wait();
+        waited.elapsed().as_nanos() as u64
     }
 }
 
@@ -168,6 +207,53 @@ mod tests {
                 // Wait time is host wall-clock and may legitimately be 0ns
                 // on the last arrival; only the agreed minimum is checkable.
                 assert_eq!(min, Some(Time::from_ps(100)));
+            }
+        });
+    }
+
+    #[test]
+    fn publish_mins_returns_every_shards_value() {
+        let b = WindowBarrier::new(3);
+        let locals = [400u64, 100, IDLE];
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let b = &b;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        b.publish_mins_timed(i, locals[i], &mut out);
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), vec![400, 100, IDLE]);
+            }
+        });
+    }
+
+    #[test]
+    fn publish_mins_rounds_interleave_with_agree_min() {
+        // The two entry points share slots and barriers; mixing them
+        // across rounds must keep every shard's view consistent.
+        let b = WindowBarrier::new(2);
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..2u64)
+                .map(|i| {
+                    let b = &b;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        b.publish_mins_timed(i as usize, 10 + i, &mut out);
+                        assert_eq!(out, vec![10, 11]);
+                        let got = b.agree_min(i as usize, Some(Time::from_ps(20 + i)));
+                        assert_eq!(got, Some(Time::from_ps(20)));
+                        b.publish_mins_timed(i as usize, 30 + i, &mut out);
+                        assert_eq!(out, vec![30, 31]);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
             }
         });
     }

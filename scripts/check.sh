@@ -65,6 +65,27 @@ MERMAID_BENCH_QUICK=1 cargo bench -p mermaid-bench --bench arena_hot_path
 echo "==> tier-1: fault-injection conformance suite"
 cargo test -q --test fault_injection
 
+echo "==> tier-1: checkpoint/restore conformance suite"
+cargo test -q --test checkpoint_conformance
+
+echo "==> cli: speculative windows change nothing but the schedule"
+# --speculate is a scheduling policy: on, off, and a forced threshold all
+# produce byte-identical output on 3 shards (and match the serial run,
+# via transitivity with the sharded-vs-serial diff above).
+spec_args=(sim --machine test --topology torus:4x4 --mode task --pattern all2all --phases 3)
+cargo run --release -p mermaid --bin mermaid-cli -- "${spec_args[@]}" \
+    --shards 3 --speculate off > "$serial_out"
+for policy in on 1000000000; do
+    cargo run --release -p mermaid --bin mermaid-cli -- "${spec_args[@]}" \
+        --shards 3 --speculate "$policy" > "$sharded_out"
+    diff -u "$serial_out" "$sharded_out" \
+        || { echo "--speculate $policy diverged from --speculate off" >&2; exit 1; }
+done
+if cargo run --release -p mermaid --bin mermaid-cli -- "${spec_args[@]}" \
+    --speculate on > /dev/null 2>&1; then
+    echo "--speculate without --shards should have been rejected" >&2; exit 1
+fi
+
 echo "==> cli: faulty runs are bit-identical serial vs sharded"
 # A scripted outage (link 0-1 down at 2 us, healed at 60 us) plus 2%
 # transient loss: retries recover everything, and the sharded run must

@@ -111,6 +111,51 @@ fn sharded_faulty_runs_are_bit_identical_across_topologies() {
     }
 }
 
+/// Forced speculative windows under an eventful fault schedule: rollback
+/// re-execution must reproduce fault state (retry timers, drop/corrupt
+/// RNG draws) exactly, so results and probe streams stay bit-identical
+/// to the serial run.
+#[test]
+fn forced_speculation_is_bit_identical_under_faults() {
+    use mermaid_network::{run_checkpointed_with, Speculation};
+
+    let topo = Topology::Torus2D { w: 4, h: 2 };
+    let ts = traces(topo.nodes(), CommPattern::AllToAll, 17);
+    let faults = eventful_schedule(7);
+    let (serial, serial_stream) = run_serial(NetworkConfig::test(topo), &ts, &faults);
+    assert!(
+        serial.total_dropped > 0 || serial.total_retries > 0,
+        "schedule injected nothing"
+    );
+    for policy in [
+        Speculation::Off,
+        Speculation::Threshold(pearl::Duration::from_ps(1_000_000_000)),
+    ] {
+        let probe = ProbeHandle::new(ProbeStack::new().with_buffer());
+        let (r, _) = run_checkpointed_with(
+            NetworkConfig::test(topo),
+            &ts,
+            probe.clone(),
+            3,
+            Some(Arc::clone(&faults)),
+            None,
+            None,
+            policy,
+        )
+        .expect("a run without checkpoint options cannot fail");
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{r:?}"),
+            "{policy:?} results diverged under faults"
+        );
+        assert_eq!(
+            serial_stream,
+            probe.take_buffer().unwrap(),
+            "{policy:?} probe streams diverged under faults"
+        );
+    }
+}
+
 #[test]
 fn faults_that_heal_before_the_retry_budget_lose_nothing() {
     // Outage windows sit well inside the give-up horizon (the budget sums
